@@ -1,0 +1,37 @@
+//! E1 — Table I: dataset overview.
+//!
+//! Regenerates the dataset at a scaled version of the paper's Table I
+//! counts, prints the overview table, and benchmarks the generation
+//! pipeline (simulate + render + VP) per segment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::experiments::{table1_dataset, ExperimentConfig};
+use safecross_dataset::{DatasetSpec, SegmentGenerator};
+use safecross_trafficsim::Weather;
+
+fn print_table1(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let data = table1_dataset(&cfg);
+    println!(
+        "\n=== Table I: overview of dataset (scaled x{}) ===",
+        cfg.dataset_factor
+    );
+    println!("{}", data.stats());
+    println!("(paper: 1966 daytime / 34 rain / 855 snow segments, 32 frames @ 30 Hz)\n");
+
+    let mut group = c.benchmark_group("table1_dataset");
+    group.sample_size(10);
+    let spec = DatasetSpec::tiny();
+    let mut gen = SegmentGenerator::new(1);
+    group.bench_function("generate_segment_daytime", |b| {
+        b.iter(|| gen.generate(Weather::Daytime, true, true, &spec))
+    });
+    let mut gen_snow = SegmentGenerator::new(2);
+    group.bench_function("generate_segment_snow", |b| {
+        b.iter(|| gen_snow.generate(Weather::Snow, true, true, &spec))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, print_table1);
+criterion_main!(benches);

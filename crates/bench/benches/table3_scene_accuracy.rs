@@ -1,0 +1,38 @@
+//! E3 — Table III: classification accuracy per weather scene.
+//!
+//! Trains the daytime SlowFast model from scratch, adapts rain and snow
+//! models with few-shot learning, prints the Table III rows, and
+//! benchmarks single-clip inference latency (the quantity that must stay
+//! real-time on the roadside unit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::experiments::{table1_dataset, table3_scene_accuracy, ExperimentConfig};
+use safecross_nn::Mode;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::VideoClassifier;
+
+fn table3(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    println!("\n[table3] generating dataset (factor {})...", cfg.dataset_factor);
+    let data = table1_dataset(&cfg);
+    println!("[table3] training daytime model + few-shot scene adaptation...");
+    let mut result = table3_scene_accuracy(&data, &cfg);
+    println!("\n=== Table III: accuracy of different scenes video classification ===");
+    print!("{result}");
+    println!("(paper: daytime 0.9630/0.9667 | snow 0.9416/0.9510 | rain 0.8518/0.8636)\n");
+
+    // Inference latency of the deployed daytime model.
+    let model = result
+        .models
+        .get_mut(&Weather::Daytime)
+        .expect("daytime model exists");
+    let (clip, _) = data.batch(&data.indices_of_weather(Weather::Daytime)[..1]);
+    let mut group = c.benchmark_group("table3_inference");
+    group.bench_function("slowfast_single_clip", |b| {
+        b.iter(|| model.forward(&clip, Mode::Eval))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 — Table IV: classification-architecture comparison on daytime data.
+//!
+//! Trains SlowFast-lite, C3D-lite and TSN-lite on the same daytime split,
+//! prints the Table IV rows, and benchmarks per-clip inference of each
+//! architecture (the cost contrast the SlowFast design exists to win).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::experiments::{table1_dataset, table4_architectures, ExperimentConfig};
+use safecross_nn::Mode;
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::{C3dLite, SlowFastLite, TsnLite, VideoClassifier};
+
+fn table4(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    println!("\n[table4] generating dataset (factor {})...", cfg.dataset_factor);
+    let data = table1_dataset(&cfg);
+    println!("[table4] training three architectures on the daytime split...");
+    let result = table4_architectures(&data, &cfg);
+    println!("\n=== Table IV: accuracy of different classification methods (daytime) ===");
+    print!("{result}");
+    println!("(paper: slowfast 0.9630/0.9667 | c3d 0.9644/0.9340 | tsn 0.8855/0.7538)\n");
+
+    // Per-clip inference cost of each architecture.
+    let (clip, _) = data.batch(&data.indices_of_weather(Weather::Daytime)[..1]);
+    let mut rng = TensorRng::seed_from(0);
+    let mut slowfast = SlowFastLite::new(2, &mut rng);
+    let mut c3d = C3dLite::new(2, &mut rng);
+    let mut tsn = TsnLite::new(2, &mut rng);
+    println!("--- architecture summaries (Fig. 5 stand-in) ---");
+    println!("{}\n{}\n{}\n", slowfast.describe(), c3d.describe(), tsn.describe());
+
+    let mut group = c.benchmark_group("table4_inference");
+    group.bench_function("slowfast", |b| b.iter(|| slowfast.forward(&clip, Mode::Eval)));
+    group.bench_function("c3d", |b| b.iter(|| c3d.forward(&clip, Mode::Eval)));
+    group.bench_function("tsn", |b| b.iter(|| tsn.forward(&clip, Mode::Eval)));
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E5 — Table V: the few-shot learning ablation.
+//!
+//! For snow and rain, trains one model *with* few-shot adaptation from
+//! the daytime model and one *without* (from scratch on the same tiny
+//! support set), prints the Table V rows, then benchmarks the inner-loop
+//! adaptation and sweeps the shot count K (ablation from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::experiments::{
+    fewshot_split, table1_dataset, table3_scene_accuracy, table5_fewshot, ExperimentConfig,
+};
+use safecross_fewshot::{adapt, Maml, MamlConfig};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::evaluate;
+
+fn table5(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    println!("\n[table5] generating dataset (factor {})...", cfg.dataset_factor);
+    let data = table1_dataset(&cfg);
+    println!("[table5] training daytime base model...");
+    let scene = table3_scene_accuracy(&data, &cfg);
+    let daytime = &scene.models[&Weather::Daytime];
+
+    let result = table5_fewshot(&data, daytime, &cfg);
+    println!("\n=== Table V: accuracy of few shot learning ===");
+    print!("{result}");
+    println!(
+        "(paper: snow 0.9416/0.9510 vs 0.8889/0.8648 | rain 0.8518/0.8636 vs 0.5455/0.5833)\n"
+    );
+
+    // Ablation: shot count K vs adapted accuracy on snow.
+    println!("--- Ablation: shots per class (snow) ---");
+    let mut rng = TensorRng::seed_from(cfg.seed + 5);
+    for k in [1usize, 2, 4] {
+        let (support, test) = fewshot_split(&data, Weather::Snow, k, &mut rng);
+        let batch = data.batch(&support);
+        let mut adapted = adapt(daytime, &batch, cfg.adapt_steps, 0.05);
+        let eval = evaluate(&mut adapted, &data, &test);
+        println!("  K={k}: top1 {:.4}  mean_class {:.4}  (n={})", eval.top1, eval.mean_class, eval.samples);
+    }
+    println!();
+
+    // Extension (paper Sec. III-D): full MAML meta-training on daytime
+    // episodes before adaptation, compared against plain transfer.
+    println!("--- Extension: MAML meta-initialisation vs plain transfer (rain) ---");
+    let mut rng = TensorRng::seed_from(cfg.seed + 7);
+    let day_idx = data.indices_of_weather(Weather::Daytime);
+    let mut meta_model = daytime.clone();
+    let maml = Maml::new(MamlConfig {
+        meta_iterations: 6,
+        meta_batch: 2,
+        inner_steps: 2,
+        k_shot: 3,
+        query_per_class: 3,
+        outer_lr: 0.005,
+        ..MamlConfig::default()
+    });
+    let losses = maml.meta_train(&mut meta_model, &data, &day_idx, cfg.seed + 8);
+    println!(
+        "  meta-training query loss: {:.3} -> {:.3}",
+        losses.first().unwrap(),
+        losses.last().unwrap()
+    );
+    let (support, test) = fewshot_split(&data, Weather::Rain, 3, &mut rng);
+    let batch = data.batch(&support);
+    for (label, base) in [("plain daytime transfer", daytime), ("MAML meta-init", &meta_model)] {
+        let mut adapted = adapt(base, &batch, cfg.adapt_steps, 0.05);
+        let eval = evaluate(&mut adapted, &data, &test);
+        println!("  {label:<24} -> {eval}");
+    }
+    println!();
+
+    // Adaptation latency: the deployment-time inner loop.
+    let mut rng = TensorRng::seed_from(cfg.seed + 6);
+    let (support, _) = fewshot_split(&data, Weather::Snow, cfg.k_shot, &mut rng);
+    let batch = data.batch(&support);
+    let mut group = c.benchmark_group("table5_adaptation");
+    group.sample_size(10);
+    group.bench_function("inner_loop_adapt", |b| {
+        b.iter(|| adapt(daytime, &batch, cfg.adapt_steps, 0.05))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

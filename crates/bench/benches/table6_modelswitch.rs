@@ -1,0 +1,79 @@
+//! E6 — Table VI + Fig. 7: model-switch latency, stop-and-start vs
+//! PipeSwitch, plus the grouping-granularity ablation and the pipeline
+//! timeline trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross_modelswitch::{
+    optimal_groups, simulate_switch, GpuSpec, ModelDesc, SwitchStrategy, TimelinePhase,
+};
+
+fn table6(c: &mut Criterion) {
+    let gpu = GpuSpec::rtx_2080_ti();
+    let models = [
+        ("Slowfast 4x16,R50", ModelDesc::slowfast_r50()),
+        ("ResNet152", ModelDesc::resnet152()),
+        ("Inception v3", ModelDesc::inception_v3()),
+    ];
+
+    println!("\n=== Table VI: comparison between different models switching ===");
+    println!("{:<20} {:>14} {:>14}", "", "End-start", "Pipeswitch");
+    for (label, model) in &models {
+        let cold = simulate_switch(&gpu, model, &SwitchStrategy::StopAndStart);
+        let pipe = simulate_switch(&gpu, model, &SwitchStrategy::PipelinedOptimal);
+        println!(
+            "{:<20} {:>11.2} ms {:>11.2} ms",
+            label, cold.switch_overhead_ms, pipe.switch_overhead_ms
+        );
+    }
+    println!("(paper: slowfast 5614.75/6.06 | resnet152 4081.15/5.30 | inception 3612.25/4.32)\n");
+
+    // Grouping-granularity ablation (DESIGN.md ablation 4).
+    println!("--- Ablation: PipeSwitch grouping granularity (ResNet152) ---");
+    let resnet = ModelDesc::resnet152();
+    for (label, strategy) in [
+        ("per-layer", SwitchStrategy::PipelinedPerLayer),
+        ("groups of 8", SwitchStrategy::PipelinedGrouped(8)),
+        ("groups of 32", SwitchStrategy::PipelinedGrouped(32)),
+        ("single group", SwitchStrategy::PipelinedGrouped(resnet.num_layers())),
+        ("optimal (pruned DP)", SwitchStrategy::PipelinedOptimal),
+    ] {
+        let r = simulate_switch(&gpu, &resnet, &strategy);
+        println!(
+            "  {:<20} {:>4} groups  total {:>8.2} ms  overhead {:>6.2} ms",
+            label, r.groups, r.total_ms, r.switch_overhead_ms
+        );
+    }
+
+    // Fig. 7: the pipelined transmission/execution timeline (first 6
+    // groups of the optimal SlowFast schedule).
+    println!("\n--- Fig. 7: PipeSwitch timeline (slowfast, optimal groups) ---");
+    let report = simulate_switch(&gpu, &models[0].1, &SwitchStrategy::PipelinedOptimal);
+    for e in report.timeline.iter().take(12) {
+        let phase = match e.phase {
+            TimelinePhase::Setup => "setup",
+            TimelinePhase::Transmit => "xmit ",
+            TimelinePhase::Compute => "exec ",
+        };
+        println!(
+            "  group {:>2} {}  {:>8.3} -> {:>8.3} ms",
+            e.group, phase, e.start_ms, e.end_ms
+        );
+    }
+    println!("  ... ({} groups total)\n", report.groups);
+
+    let mut group = c.benchmark_group("table6_switch");
+    group.bench_function("simulate_stop_and_start", |b| {
+        b.iter(|| simulate_switch(&gpu, &resnet, &SwitchStrategy::StopAndStart))
+    });
+    group.bench_function("simulate_pipelined_optimal", |b| {
+        b.iter(|| simulate_switch(&gpu, &resnet, &SwitchStrategy::PipelinedOptimal))
+    });
+    group.sample_size(10);
+    group.bench_function("optimal_grouping_search", |b| {
+        b.iter(|| optimal_groups(&gpu, &resnet))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table6);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7 — Sec. V-D: left-turn throughput with SafeCross.
+//!
+//! Builds the paper's blind-zone test set (63 segments: 32 safe, 31
+//! danger), classifies it with the trained scene models, prints the
+//! throughput report, and benchmarks the end-to-end per-clip verdict
+//! path (VP output -> classifier -> warning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::experiments::{
+    table1_dataset, table3_scene_accuracy, table7_throughput, ExperimentConfig,
+};
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_trafficsim::Weather;
+
+fn table7(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    println!("\n[table7] generating dataset (factor {})...", cfg.dataset_factor);
+    let data = table1_dataset(&cfg);
+    println!("[table7] training scene models...");
+    let scene = table3_scene_accuracy(&data, &cfg);
+
+    let report = table7_throughput(&scene.models, &cfg);
+    println!("\n=== Sec. V-D: left-turn throughput with blind zones ===");
+    println!("{report}");
+    println!(
+        "(paper: 63 segments, accuracy 1.0, 32/63 immediate turns = +~50% throughput)\n"
+    );
+
+    // End-to-end verdict latency.
+    let mut system = SafeCross::new(SafeCrossConfig::default());
+    for (weather, model) in &scene.models {
+        system.register_model(*weather, model.clone());
+    }
+    let idx = data.indices_of_weather(Weather::Daytime);
+    let clip = data.get(idx[0]).clip.clone();
+    let mut group = c.benchmark_group("table7_verdict");
+    group.bench_function("classify_clip", |b| {
+        b.iter(|| system.classify_clip(&clip, Weather::Daytime))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table7);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared helpers for the SafeCross table-regeneration benches (all logic lives in `safecross::experiments`).

@@ -1,0 +1,321 @@
+//! Scripted segment generation.
+
+use crate::label::{Class, SegmentLabel, TurnAction};
+use crate::set::{Dataset, GridSegment};
+use crate::spec::DatasetSpec;
+use safecross_tensor::{Tensor, TensorRng};
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{
+    Renderer, RenderConfig, Scenario, Simulator, VehicleKind, Weather,
+};
+use safecross_vision::{GrayFrame, PreprocessConfig, Preprocessor};
+
+/// Produces labelled segments by scripting the simulator into situations
+/// with a known ground truth, then rendering and pre-processing them.
+///
+/// Determinism: the generator owns a seeded RNG; the same seed produces
+/// the same dataset bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct SegmentGenerator {
+    rng: TensorRng,
+}
+
+/// Frames rendered before capture starts so the dynamic background model
+/// settles (the parked occluder melts into the background, exactly as it
+/// does for the paper's camera).
+const WARMUP_FRAMES: usize = 8;
+
+/// The default scripting margin (seconds around the safe-gap threshold):
+/// tight, so training data contains genuinely ambiguous gaps.
+const HARD_MARGIN: f64 = 0.1;
+
+impl SegmentGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        SegmentGenerator {
+            rng: TensorRng::seed_from(seed),
+        }
+    }
+
+    /// Generates one segment:
+    /// `blind` controls the parked occluder; `want_danger` scripts an
+    /// oncoming vehicle that threatens the conflict point at the final
+    /// frame. The label is derived from the *actual* simulation state, so
+    /// it stays truthful even if the scripting is approximate.
+    pub fn generate(
+        &mut self,
+        weather: Weather,
+        blind: bool,
+        want_danger: bool,
+        spec: &DatasetSpec,
+    ) -> GridSegment {
+        self.generate_with_margin(weather, blind, want_danger, spec, HARD_MARGIN)
+    }
+
+    /// Like [`SegmentGenerator::generate`] but with an explicit scripting
+    /// margin around the safe-gap threshold (seconds). Small margins
+    /// produce near-boundary segments that genuinely require speed
+    /// estimation (training difficulty); large margins produce the
+    /// clear-cut presence/absence situations of the paper's Sec. V-D
+    /// throughput test.
+    pub fn generate_with_margin(
+        &mut self,
+        weather: Weather,
+        blind: bool,
+        want_danger: bool,
+        spec: &DatasetSpec,
+        margin: f64,
+    ) -> GridSegment {
+        let (frames, label) = self.generate_raw_with_margin(weather, blind, want_danger, spec, margin);
+        let mut vp = Preprocessor::new(
+            spec.frame_width,
+            spec.frame_height,
+            PreprocessConfig {
+                grid_width: spec.grid_width,
+                grid_height: spec.grid_height,
+                ..PreprocessConfig::default()
+            },
+        );
+        let mut grids = Vec::with_capacity(spec.frames_per_segment);
+        for (i, frame) in frames.iter().enumerate() {
+            let grid = vp.process(frame);
+            if i >= WARMUP_FRAMES {
+                grids.push(grid);
+            }
+        }
+        let stacked = Tensor::stack(&grids); // [T, H, W]
+        let dims = stacked.dims().to_vec();
+        GridSegment {
+            clip: stacked.reshape(&[1, dims[0], dims[1], dims[2]]),
+            label,
+            weather,
+        }
+    }
+
+    /// Generates the raw rendered frames (warm-up included) plus the
+    /// label. Used directly by the detection-method experiments, which
+    /// need pixels rather than grids.
+    pub fn generate_raw(
+        &mut self,
+        weather: Weather,
+        blind: bool,
+        want_danger: bool,
+        spec: &DatasetSpec,
+    ) -> (Vec<GrayFrame>, SegmentLabel) {
+        self.generate_raw_with_margin(weather, blind, want_danger, spec, HARD_MARGIN)
+    }
+
+    /// [`SegmentGenerator::generate_raw`] with an explicit scripting
+    /// margin (see [`SegmentGenerator::generate_with_margin`]).
+    pub fn generate_raw_with_margin(
+        &mut self,
+        weather: Weather,
+        blind: bool,
+        want_danger: bool,
+        spec: &DatasetSpec,
+        margin: f64,
+    ) -> (Vec<GrayFrame>, SegmentLabel) {
+        let occluder_kind = if self.rng.unit() < 0.7 {
+            VehicleKind::Van
+        } else {
+            VehicleKind::Truck
+        };
+        let scenario = Scenario {
+            weather,
+            occluder: blind.then_some(occluder_kind),
+            arrival_rate: 0.0, // fully scripted oncoming traffic
+            eastbound_rate: 0.05 + 0.1 * self.rng.unit() as f64,
+            policy: safecross_trafficsim::TurnPolicy::HumanVisible,
+        };
+        let mut sim = Simulator::new(scenario, self.rng.fork_seed());
+        let mut renderer = Renderer::new(
+            RenderConfig {
+                width: spec.frame_width,
+                height: spec.frame_height,
+                ..RenderConfig::default()
+            },
+            weather,
+            self.rng.fork_seed(),
+        );
+
+        let params = weather.params();
+        let capture_secs = spec.frames_per_segment as f64 * DT;
+        let warmup_secs = WARMUP_FRAMES as f64 * DT;
+        let travel = capture_secs + warmup_secs;
+        // Time-to-conflict measured at the final captured frame. The two
+        // classes straddle the safe-gap threshold with a narrow margin,
+        // so near-boundary segments force the classifier to actually
+        // estimate speed and distance rather than mere presence.
+        let gap = params.safe_gap_seconds;
+        // In ~35% of safe segments the lane is simply empty.
+        let inject = want_danger || self.rng.unit() > 0.35;
+        if inject {
+            let conflict = sim.intersection().conflict_s();
+            // Both classes draw speeds from overlapping ranges and sit at
+            // overlapping distances near the decision boundary, so no
+            // positional shortcut exists: the classifier must estimate
+            // speed from the motion to tell a tight-but-late gap from a
+            // genuine threat.
+            let (speed, ttc_end) = if want_danger {
+                let speed = params.desired_speed * (0.9 + 0.25 * self.rng.unit() as f64);
+                let hi = (gap - margin).max(0.55 * gap);
+                let ttc = 0.5 * gap + (hi - 0.5 * gap) * self.rng.unit() as f64;
+                (speed, ttc)
+            } else {
+                let speed = params.desired_speed * (0.8 + 0.25 * self.rng.unit() as f64);
+                let lo = gap + margin.max(0.15);
+                // Cap the gap so the vehicle still fits inside the world.
+                let ttc_fit = (conflict / speed - travel - 0.2).max(lo);
+                let hi = (gap + 6.0).min(ttc_fit).max(lo);
+                let ttc = lo + (hi - lo) * self.rng.unit() as f64;
+                (speed, ttc)
+            };
+            let distance_now = speed * (ttc_end + travel);
+            let s0 = (conflict - distance_now).max(0.0);
+            sim.inject_oncoming(VehicleKind::Car, s0, speed);
+        }
+
+        let total = WARMUP_FRAMES + spec.frames_per_segment;
+        let mut frames = Vec::with_capacity(total);
+        for _ in 0..total {
+            sim.step(DT);
+            frames.push(renderer.render(&sim));
+        }
+
+        let assessment = sim.assessment();
+        let class = if assessment.dangerous() {
+            Class::Danger
+        } else {
+            Class::Safe
+        };
+        let label = SegmentLabel {
+            action: if class == Class::Safe {
+                TurnAction::Turn
+            } else {
+                TurnAction::NoTurn
+            },
+            blind_area: blind,
+            class,
+            blind_occupied: assessment.hidden_vehicles > 0,
+        };
+        (frames, label)
+    }
+
+    /// Generates a full dataset per `spec`, balanced 50/50 between blind
+    /// and open scenes and between safe and danger classes.
+    pub fn generate_dataset(&mut self, spec: &DatasetSpec) -> Dataset {
+        let mut segments = Vec::with_capacity(spec.total_segments());
+        for weather in Weather::ALL {
+            let n = spec.segments_for(weather);
+            for i in 0..n {
+                let blind = i % 2 == 0;
+                let want_danger = (i / 2) % 2 == 0;
+                segments.push(self.generate(weather, blind, want_danger, spec));
+            }
+        }
+        Dataset::new(segments)
+    }
+}
+
+/// Extension: forked seeds for sub-generators.
+trait ForkSeed {
+    fn fork_seed(&mut self) -> u64;
+}
+
+impl ForkSeed for TensorRng {
+    fn fork_seed(&mut self) -> u64 {
+        (self.unit() * u32::MAX as f32) as u64 | ((self.unit() * u32::MAX as f32) as u64) << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_clip_has_requested_shape() {
+        let spec = DatasetSpec::tiny();
+        let mut g = SegmentGenerator::new(1);
+        let seg = g.generate(Weather::Daytime, false, false, &spec);
+        assert_eq!(seg.clip.dims(), &[1, 32, 20, 20]);
+        assert_eq!(seg.weather, Weather::Daytime);
+    }
+
+    #[test]
+    fn danger_scripting_produces_danger_labels() {
+        let spec = DatasetSpec::tiny();
+        let mut g = SegmentGenerator::new(2);
+        let mut danger_hits = 0;
+        for i in 0..6 {
+            let seg = g.generate(Weather::Daytime, i % 2 == 0, true, &spec);
+            if seg.label.class == Class::Danger {
+                danger_hits += 1;
+            }
+        }
+        assert!(danger_hits >= 5, "only {danger_hits}/6 danger segments");
+    }
+
+    #[test]
+    fn safe_scripting_produces_safe_labels() {
+        let spec = DatasetSpec::tiny();
+        let mut g = SegmentGenerator::new(3);
+        let mut safe_hits = 0;
+        for i in 0..6 {
+            let seg = g.generate(Weather::Daytime, i % 2 == 0, false, &spec);
+            if seg.label.class == Class::Safe {
+                safe_hits += 1;
+            }
+        }
+        assert!(safe_hits >= 5, "only {safe_hits}/6 safe segments");
+    }
+
+    #[test]
+    fn blind_danger_segments_hide_the_threat() {
+        let spec = DatasetSpec::tiny();
+        let mut g = SegmentGenerator::new(4);
+        // Over several blind+danger segments, at least one must have the
+        // threatening vehicle inside the blind interval at the keyframe.
+        let mut hidden = 0;
+        for _ in 0..8 {
+            let seg = g.generate(Weather::Daytime, true, true, &spec);
+            if seg.label.blind_occupied {
+                hidden += 1;
+            }
+        }
+        assert!(hidden >= 3, "only {hidden}/8 segments had hidden threats");
+    }
+
+    #[test]
+    fn clips_contain_motion_energy() {
+        let spec = DatasetSpec::tiny();
+        let mut g = SegmentGenerator::new(5);
+        let seg = g.generate(Weather::Daytime, false, true, &spec);
+        // A danger segment has a moving vehicle: the occupancy clip is
+        // not all zeros.
+        assert!(seg.clip.sum() > 0.1, "clip energy {}", seg.clip.sum());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny();
+        let a = SegmentGenerator::new(9).generate(Weather::Rain, true, true, &spec);
+        let b = SegmentGenerator::new(9).generate(Weather::Rain, true, true, &spec);
+        assert_eq!(a.clip, b.clip);
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn dataset_generation_respects_spec_counts() {
+        let spec = DatasetSpec {
+            daytime_segments: 4,
+            rain_segments: 2,
+            snow_segments: 2,
+            ..DatasetSpec::tiny()
+        };
+        let ds = SegmentGenerator::new(6).generate_dataset(&spec);
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.of_weather(Weather::Daytime).count(), 4);
+        assert_eq!(ds.of_weather(Weather::Rain).count(), 2);
+        assert_eq!(ds.of_weather(Weather::Snow).count(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Dataset persistence: a compact binary format so expensive generated
+//! datasets can be cached on disk and shared between benches.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "SCDS" | u32 version | u32 segment count
+//! per segment:
+//!   u8 weather | u8 action | u8 blind_area | u8 class | u8 blind_occupied
+//!   u32 ndim | u32 dims... | f32 clip data...
+//! ```
+
+use crate::label::{Class, SegmentLabel, TurnAction};
+use crate::set::{Dataset, GridSegment};
+use safecross_tensor::Tensor;
+use safecross_trafficsim::Weather;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SCDS";
+const VERSION: u32 = 1;
+
+/// Errors while reading or writing a dataset file.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a dataset file, or corrupted.
+    Format(String),
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetIoError::Format(m) => write!(f, "invalid dataset file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetIoError::Io(e) => Some(e),
+            DatasetIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetIoError {
+    fn from(e: io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+fn weather_tag(w: Weather) -> u8 {
+    match w {
+        Weather::Daytime => 0,
+        Weather::Rain => 1,
+        Weather::Snow => 2,
+    }
+}
+
+fn weather_from(tag: u8) -> Result<Weather, DatasetIoError> {
+    match tag {
+        0 => Ok(Weather::Daytime),
+        1 => Ok(Weather::Rain),
+        2 => Ok(Weather::Snow),
+        _ => Err(DatasetIoError::Format(format!("unknown weather tag {tag}"))),
+    }
+}
+
+/// Writes the dataset to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_dataset(path: &Path, data: &Dataset) -> Result<(), DatasetIoError> {
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&VERSION.to_le_bytes())?;
+    f.write_all(&(data.len() as u32).to_le_bytes())?;
+    for seg in data.iter() {
+        let l = &seg.label;
+        f.write_all(&[
+            weather_tag(seg.weather),
+            matches!(l.action, TurnAction::Turn) as u8,
+            l.blind_area as u8,
+            l.class.index() as u8,
+            l.blind_occupied as u8,
+        ])?;
+        f.write_all(&(seg.clip.shape().ndim() as u32).to_le_bytes())?;
+        for &d in seg.clip.dims() {
+            f.write_all(&(d as u32).to_le_bytes())?;
+        }
+        // Bulk-write the clip as LE f32.
+        let mut buf = Vec::with_capacity(seg.clip.len() * 4);
+        for &v in seg.clip.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        f.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError::Format`] on magic/version mismatch or
+/// truncation, [`DatasetIoError::Io`] on read failure.
+pub fn load_dataset(path: &Path) -> Result<Dataset, DatasetIoError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let mut cur = 0usize;
+    let take = |cur: &mut usize, n: usize| -> Result<&[u8], DatasetIoError> {
+        if *cur + n > buf.len() {
+            return Err(DatasetIoError::Format("unexpected end of file".into()));
+        }
+        let s = &buf[*cur..*cur + n];
+        *cur += n;
+        Ok(s)
+    };
+    let take_u32 = |cur: &mut usize| -> Result<u32, DatasetIoError> {
+        let b = take(cur, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    };
+    if take(&mut cur, 4)? != MAGIC {
+        return Err(DatasetIoError::Format("bad magic".into()));
+    }
+    let version = take_u32(&mut cur)?;
+    if version != VERSION {
+        return Err(DatasetIoError::Format(format!("unsupported version {version}")));
+    }
+    let count = take_u32(&mut cur)? as usize;
+    let mut segments = Vec::with_capacity(count);
+    for _ in 0..count {
+        let head = take(&mut cur, 5)?;
+        let weather = weather_from(head[0])?;
+        let label = SegmentLabel {
+            action: if head[1] == 1 { TurnAction::Turn } else { TurnAction::NoTurn },
+            blind_area: head[2] == 1,
+            class: Class::from_index(head[3] as usize),
+            blind_occupied: head[4] == 1,
+        };
+        let ndim = take_u32(&mut cur)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(take_u32(&mut cur)? as usize);
+        }
+        let len: usize = dims.iter().product::<usize>().max(1);
+        let raw = take(&mut cur, len * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        segments.push(GridSegment {
+            clip: Tensor::from_vec(data, &dims),
+            label,
+            weather,
+        });
+    }
+    Ok(Dataset::new(segments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SegmentGenerator};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("safecross_ds_{name}_{}", std::process::id()))
+    }
+
+    fn small_dataset() -> Dataset {
+        let spec = DatasetSpec {
+            daytime_segments: 3,
+            rain_segments: 1,
+            snow_segments: 1,
+            ..DatasetSpec::tiny()
+        };
+        SegmentGenerator::new(5).generate_dataset(&spec)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let data = small_dataset();
+        let path = tmp("roundtrip");
+        save_dataset(&path, &data).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), data.len());
+        for i in 0..data.len() {
+            assert_eq!(loaded.get(i).clip, data.get(i).clip);
+            assert_eq!(loaded.get(i).label, data.get(i).label);
+            assert_eq!(loaded.get(i).weather, data.get(i).weather);
+        }
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a dataset").unwrap();
+        assert!(matches!(
+            load_dataset(&path),
+            Err(DatasetIoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = small_dataset();
+        let path = tmp("trunc");
+        save_dataset(&path, &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        assert!(matches!(
+            load_dataset(&path),
+            Err(DatasetIoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = DatasetIoError::Format("boom".into());
+        assert!(format!("{e}").contains("boom"));
+        use std::error::Error;
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Segment labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether the recorded driver behaviour was to take the turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TurnAction {
+    /// The turner proceeds (the segment ends with the left front wheel on
+    /// the lane line, per the paper's keyframe convention).
+    Turn,
+    /// The turner keeps waiting.
+    NoTurn,
+}
+
+/// The binary training class of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Class 0: dangerous to turn left now.
+    Danger,
+    /// Class 1: safe to turn left now.
+    Safe,
+}
+
+impl Class {
+    /// The integer label used by the loss function (paper: class 0 =
+    /// danger, class 1 = safe).
+    pub fn index(&self) -> usize {
+        match self {
+            Class::Danger => 0,
+            Class::Safe => 1,
+        }
+    }
+
+    /// Builds a class from a loss-function index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for indices other than 0 or 1.
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Class::Danger,
+            1 => Class::Safe,
+            _ => panic!("invalid class index {i}"),
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Class::Danger => f.write_str("danger"),
+            Class::Safe => f.write_str("safe"),
+        }
+    }
+}
+
+/// Full per-segment ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentLabel {
+    /// Driver behaviour in the segment.
+    pub action: TurnAction,
+    /// Whether a blocking vehicle creates a blind area ("big car on the
+    /// opposite side" in the paper's labelling rule).
+    pub blind_area: bool,
+    /// Binary training class at the decision keyframe (last frame).
+    pub class: Class,
+    /// Ground truth: a vehicle occupies the blind interval at the
+    /// keyframe. Only meaningful when `blind_area` is true.
+    pub blind_occupied: bool,
+}
+
+impl SegmentLabel {
+    /// The paper's four-way behavioural category index:
+    /// 0 turn/no-blind, 1 no-turn/no-blind, 2 turn/blind, 3 no-turn/blind.
+    pub fn category(&self) -> usize {
+        match (self.action, self.blind_area) {
+            (TurnAction::Turn, false) => 0,
+            (TurnAction::NoTurn, false) => 1,
+            (TurnAction::Turn, true) => 2,
+            (TurnAction::NoTurn, true) => 3,
+        }
+    }
+
+    /// Human-readable category name.
+    pub fn category_name(&self) -> &'static str {
+        match self.category() {
+            0 => "left turn without blind area",
+            1 => "no left turn without blind area",
+            2 => "left turn with blind area",
+            _ => "no left turn with blind area",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_match_paper() {
+        assert_eq!(Class::Danger.index(), 0);
+        assert_eq!(Class::Safe.index(), 1);
+        assert_eq!(Class::from_index(0), Class::Danger);
+        assert_eq!(Class::from_index(1), Class::Safe);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid class index")]
+    fn bad_index_panics() {
+        Class::from_index(2);
+    }
+
+    #[test]
+    fn four_categories_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for action in [TurnAction::Turn, TurnAction::NoTurn] {
+            for blind in [false, true] {
+                let l = SegmentLabel {
+                    action,
+                    blind_area: blind,
+                    class: Class::Safe,
+                    blind_occupied: false,
+                };
+                seen.insert(l.category());
+                assert!(!l.category_name().is_empty());
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(format!("{}", Class::Danger), "danger");
+        assert_eq!(format!("{}", Class::Safe), "safe");
+    }
+}

@@ -1,0 +1,306 @@
+//! Dataset container, splits, and Table I statistics.
+
+use crate::label::{Class, SegmentLabel};
+use safecross_tensor::{Tensor, TensorRng};
+use safecross_trafficsim::Weather;
+use std::fmt;
+
+/// One pre-processed segment: an occupancy clip plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GridSegment {
+    /// `[1, T, H, W]` occupancy clip (channel-leading).
+    pub clip: Tensor,
+    /// Ground-truth label.
+    pub label: SegmentLabel,
+    /// Weather scene the segment was recorded in.
+    pub weather: Weather,
+}
+
+/// An in-memory dataset of grid segments.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    segments: Vec<GridSegment>,
+}
+
+/// Index-based train/val/test split (paper: 8:1:1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+impl Dataset {
+    /// Wraps a list of segments.
+    pub fn new(segments: Vec<GridSegment>) -> Self {
+        Dataset { segments }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Iterates over the segments.
+    pub fn iter(&self) -> std::slice::Iter<'_, GridSegment> {
+        self.segments.iter()
+    }
+
+    /// Segment at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, i: usize) -> &GridSegment {
+        &self.segments[i]
+    }
+
+    /// Adds a segment.
+    pub fn push(&mut self, seg: GridSegment) {
+        self.segments.push(seg);
+    }
+
+    /// Segments of one weather scene.
+    pub fn of_weather(&self, weather: Weather) -> impl Iterator<Item = &GridSegment> {
+        self.segments.iter().filter(move |s| s.weather == weather)
+    }
+
+    /// Indices of segments of one weather scene.
+    pub fn indices_of_weather(&self, weather: Weather) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.segments[i].weather == weather)
+            .collect()
+    }
+
+    /// Shuffled split of the given indices into the paper's 8:1:1
+    /// train/val/test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` holds fewer than 3 entries.
+    pub fn split_indices(&self, indices: &[usize], rng: &mut TensorRng) -> Split {
+        assert!(indices.len() >= 3, "need at least 3 segments to split");
+        let mut shuffled = indices.to_vec();
+        rng.shuffle(&mut shuffled);
+        let n = shuffled.len();
+        let n_val = (n / 10).max(1);
+        let n_test = (n / 10).max(1);
+        let n_train = n - n_val - n_test;
+        Split {
+            train: shuffled[..n_train].to_vec(),
+            val: shuffled[n_train..n_train + n_val].to_vec(),
+            test: shuffled[n_train + n_val..].to_vec(),
+        }
+    }
+
+    /// 8:1:1 split over the whole dataset.
+    pub fn split(&self, rng: &mut TensorRng) -> Split {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.split_indices(&all, rng)
+    }
+
+    /// Assembles a `[N, 1, T, H, W]` batch and its class labels from
+    /// segment indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "cannot build an empty batch");
+        let clips: Vec<Tensor> = indices.iter().map(|&i| self.segments[i].clip.clone()).collect();
+        let labels = indices
+            .iter()
+            .map(|&i| self.segments[i].label.class.index())
+            .collect();
+        (Tensor::stack(&clips), labels)
+    }
+
+    /// Table I-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut per_weather = [(0usize, 0usize, 0usize); 3]; // (total, danger, blind)
+        for seg in &self.segments {
+            let slot = match seg.weather {
+                Weather::Daytime => 0,
+                Weather::Rain => 1,
+                Weather::Snow => 2,
+            };
+            per_weather[slot].0 += 1;
+            if seg.label.class == Class::Danger {
+                per_weather[slot].1 += 1;
+            }
+            if seg.label.blind_area {
+                per_weather[slot].2 += 1;
+            }
+        }
+        let frames = self
+            .segments
+            .first()
+            .map(|s| s.clip.shape().dim(1))
+            .unwrap_or(0);
+        DatasetStats {
+            daytime: per_weather[0],
+            rain: per_weather[1],
+            snow: per_weather[2],
+            frames_per_segment: frames,
+        }
+    }
+}
+
+impl Extend<GridSegment> for Dataset {
+    fn extend<T: IntoIterator<Item = GridSegment>>(&mut self, iter: T) {
+        self.segments.extend(iter);
+    }
+}
+
+impl FromIterator<GridSegment> for Dataset {
+    fn from_iter<T: IntoIterator<Item = GridSegment>>(iter: T) -> Self {
+        Dataset::new(iter.into_iter().collect())
+    }
+}
+
+/// Per-scene counts in the spirit of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Daytime `(segments, danger, blind)`.
+    pub daytime: (usize, usize, usize),
+    /// Rain `(segments, danger, blind)`.
+    pub rain: (usize, usize, usize),
+    /// Snow `(segments, danger, blind)`.
+    pub snow: (usize, usize, usize),
+    /// Frames per segment.
+    pub frames_per_segment: usize,
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Scenarios        Daytime   Rain   Snow")?;
+        writeln!(
+            f,
+            "Segments         {:7}  {:5}  {:5}",
+            self.daytime.0, self.rain.0, self.snow.0
+        )?;
+        writeln!(
+            f,
+            "  danger class   {:7}  {:5}  {:5}",
+            self.daytime.1, self.rain.1, self.snow.1
+        )?;
+        writeln!(
+            f,
+            "  blind area     {:7}  {:5}  {:5}",
+            self.daytime.2, self.rain.2, self.snow.2
+        )?;
+        writeln!(f, "Segment length   {} frames", self.frames_per_segment)?;
+        writeln!(f, "Frame rate       30 Hz")?;
+        write!(f, "Classes          turn left & no turn left")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::TurnAction;
+
+    fn seg(weather: Weather, class: Class, blind: bool) -> GridSegment {
+        GridSegment {
+            clip: Tensor::zeros(&[1, 4, 2, 2]),
+            label: SegmentLabel {
+                action: TurnAction::Turn,
+                blind_area: blind,
+                class,
+                blind_occupied: false,
+            },
+            weather,
+        }
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::default();
+        for i in 0..20 {
+            let class = if i % 2 == 0 { Class::Safe } else { Class::Danger };
+            ds.push(seg(Weather::Daytime, class, i % 4 == 0));
+        }
+        for _ in 0..5 {
+            ds.push(seg(Weather::Rain, Class::Safe, true));
+        }
+        ds
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let ds = sample_dataset();
+        let mut rng = TensorRng::seed_from(0);
+        let split = ds.split(&mut rng);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ds.len()).collect::<Vec<_>>());
+        // 8:1:1 proportions (25 segments -> 21/2/2).
+        assert_eq!(split.val.len(), 2);
+        assert_eq!(split.test.len(), 2);
+        assert_eq!(split.train.len(), 21);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = sample_dataset();
+        let a = ds.split(&mut TensorRng::seed_from(5));
+        let b = ds.split(&mut TensorRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_shapes_and_labels() {
+        let ds = sample_dataset();
+        let (x, y) = ds.batch(&[0, 1, 2]);
+        assert_eq!(x.dims(), &[3, 1, 4, 2, 2]);
+        assert_eq!(y, vec![1, 0, 1]); // safe=1, danger=0, safe=1
+    }
+
+    #[test]
+    fn weather_filters() {
+        let ds = sample_dataset();
+        assert_eq!(ds.of_weather(Weather::Rain).count(), 5);
+        assert_eq!(ds.indices_of_weather(Weather::Snow).len(), 0);
+        assert_eq!(ds.indices_of_weather(Weather::Daytime).len(), 20);
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let ds = sample_dataset();
+        let stats = ds.stats();
+        assert_eq!(stats.daytime.0, 20);
+        assert_eq!(stats.daytime.1, 10); // danger
+        assert_eq!(stats.daytime.2, 5); // blind
+        assert_eq!(stats.rain.0, 5);
+        assert_eq!(stats.frames_per_segment, 4);
+        let table = format!("{stats}");
+        assert!(table.contains("Daytime"));
+        assert!(table.contains("30 Hz"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let ds: Dataset = (0..3).map(|_| seg(Weather::Snow, Class::Safe, false)).collect();
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 segments")]
+    fn tiny_split_panics() {
+        let ds = Dataset::new(vec![seg(Weather::Daytime, Class::Safe, false)]);
+        ds.split(&mut TensorRng::seed_from(0));
+    }
+}

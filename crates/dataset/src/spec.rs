@@ -1,0 +1,132 @@
+//! Dataset size and format specifications.
+
+use safecross_trafficsim::Weather;
+use serde::{Deserialize, Serialize};
+
+/// Shape and size of a generated dataset.
+///
+/// [`DatasetSpec::paper`] mirrors Table I of the paper (1966 daytime, 34
+/// rain, 855 snow segments of 32 frames at 30 Hz); scaled-down variants
+/// keep the same class balance and per-scene ratios for fast tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Daytime segment count.
+    pub daytime_segments: usize,
+    /// Rain segment count.
+    pub rain_segments: usize,
+    /// Snow segment count.
+    pub snow_segments: usize,
+    /// Frames per segment (paper: 32).
+    pub frames_per_segment: usize,
+    /// Rendered camera width in pixels.
+    pub frame_width: usize,
+    /// Rendered camera height in pixels.
+    pub frame_height: usize,
+    /// VP occupancy-grid width.
+    pub grid_width: usize,
+    /// VP occupancy-grid height.
+    pub grid_height: usize,
+}
+
+impl DatasetSpec {
+    /// The paper's Table I sizes.
+    pub fn paper() -> Self {
+        DatasetSpec {
+            daytime_segments: 1966,
+            rain_segments: 34,
+            snow_segments: 855,
+            ..DatasetSpec::tiny()
+        }
+    }
+
+    /// A minimal spec for unit tests (a handful of segments).
+    pub fn tiny() -> Self {
+        DatasetSpec {
+            daytime_segments: 8,
+            rain_segments: 4,
+            snow_segments: 4,
+            frames_per_segment: 32,
+            frame_width: 320,
+            frame_height: 240,
+            grid_width: 20,
+            grid_height: 20,
+        }
+    }
+
+    /// The paper's ratios scaled by `factor` (rain never drops below 24
+    /// segments so a train/test split remains meaningful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn paper_scaled(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let p = DatasetSpec::paper();
+        DatasetSpec {
+            daytime_segments: ((p.daytime_segments as f64 * factor) as usize).max(8),
+            rain_segments: ((p.rain_segments as f64 * factor) as usize).max(24),
+            snow_segments: ((p.snow_segments as f64 * factor) as usize).max(8),
+            ..p
+        }
+    }
+
+    /// Segment count for one weather scene.
+    pub fn segments_for(&self, weather: Weather) -> usize {
+        match weather {
+            Weather::Daytime => self.daytime_segments,
+            Weather::Rain => self.rain_segments,
+            Weather::Snow => self.snow_segments,
+        }
+    }
+
+    /// Total segment count across scenes.
+    pub fn total_segments(&self) -> usize {
+        self.daytime_segments + self.rain_segments + self.snow_segments
+    }
+
+    /// Recording length one scene represents at 30 Hz, in hours
+    /// (Table I reports 6 h / 1 h / 3 h).
+    pub fn hours_for(&self, weather: Weather) -> f64 {
+        // Table I: segments are cut from continuous footage; we keep the
+        // paper's ~11 s of raw footage per usable segment.
+        self.segments_for(weather) as f64 * 11.0 / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_table1() {
+        let s = DatasetSpec::paper();
+        assert_eq!(s.daytime_segments, 1966);
+        assert_eq!(s.rain_segments, 34);
+        assert_eq!(s.snow_segments, 855);
+        assert_eq!(s.total_segments(), 2855);
+        assert_eq!(s.frames_per_segment, 32);
+    }
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let s = DatasetSpec::paper_scaled(0.05);
+        assert!(s.rain_segments >= 24);
+        assert!(s.daytime_segments >= 90);
+        assert!(s.daytime_segments < 1966);
+    }
+
+    #[test]
+    fn hours_order_matches_table1() {
+        let s = DatasetSpec::paper();
+        // Daytime 6 h > snow 3 h > rain 1 h in the paper; our synthetic
+        // recreation preserves the ordering.
+        assert!(s.hours_for(Weather::Daytime) > s.hours_for(Weather::Snow));
+        assert!(s.hours_for(Weather::Snow) > s.hours_for(Weather::Rain));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn zero_factor_panics() {
+        DatasetSpec::paper_scaled(0.0);
+    }
+}

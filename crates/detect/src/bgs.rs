@@ -1,0 +1,127 @@
+//! Background-subtraction detector (the paper's winner).
+
+use crate::detector::Detector;
+use crate::zone::DangerZone;
+use safecross_vision::{connected_components, opening, BackgroundSubtractor, GrayFrame};
+
+/// Dynamic background subtraction + morphological opening + connected
+/// components, with the danger-zone hit test on component bounding
+/// boxes.
+///
+/// Cheapest of the four methods by a wide margin (one pass over the
+/// pixels), and robust to sensor noise thanks to the opening — exactly
+/// the profile Table II reports (0.74 ms, detected).
+#[derive(Debug, Clone)]
+pub struct BgsDetector {
+    bgs: BackgroundSubtractor,
+    morph_radius: usize,
+    min_area: usize,
+    width: usize,
+    height: usize,
+}
+
+impl BgsDetector {
+    /// Creates a detector for `width x height` frames with the VP
+    /// pipeline's default thresholds.
+    pub fn new(width: usize, height: usize) -> Self {
+        BgsDetector {
+            bgs: BackgroundSubtractor::new(width, height, 0.02, 35.0),
+            morph_radius: 1,
+            min_area: 4,
+            width,
+            height,
+        }
+    }
+
+    /// Disables all noise suppression — no morphological opening and no
+    /// minimum component area (Table II ablation).
+    pub fn without_morphology(mut self) -> Self {
+        self.morph_radius = 0;
+        self.min_area = 1;
+        self
+    }
+}
+
+impl Detector for BgsDetector {
+    fn name(&self) -> &'static str {
+        "background_subtraction"
+    }
+
+    fn detect(&mut self, frame: &GrayFrame, zone: &DangerZone) -> bool {
+        let mask = self.bgs.apply(frame);
+        let cleaned = opening(&mask, self.morph_radius);
+        connected_components(&cleaned, self.min_area)
+            .iter()
+            .any(|c| c.intersects_rect(zone.x0, zone.y0, zone.width, zone.height))
+    }
+
+    fn reset(&mut self) {
+        self.bgs = BackgroundSubtractor::new(self.width, self.height, 0.02, 35.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> DangerZone {
+        DangerZone { x0: 20, y0: 20, width: 30, height: 10 }
+    }
+
+    fn background() -> GrayFrame {
+        GrayFrame::filled(64, 48, 80)
+    }
+
+    fn with_vehicle(x: usize, y: usize) -> GrayFrame {
+        let mut f = background();
+        for dy in 0..4 {
+            for dx in 0..8 {
+                f.set(x + dx, y + dy, 220);
+            }
+        }
+        f
+    }
+
+    fn warm(det: &mut BgsDetector, frames: usize) {
+        let bg = background();
+        for _ in 0..frames {
+            det.detect(&bg, &zone());
+        }
+    }
+
+    #[test]
+    fn detects_vehicle_in_zone() {
+        let mut det = BgsDetector::new(64, 48);
+        warm(&mut det, 10);
+        assert!(det.detect(&with_vehicle(25, 22), &zone()));
+    }
+
+    #[test]
+    fn ignores_vehicle_outside_zone() {
+        let mut det = BgsDetector::new(64, 48);
+        warm(&mut det, 10);
+        assert!(!det.detect(&with_vehicle(2, 40), &zone()));
+    }
+
+    #[test]
+    fn morphology_suppresses_single_pixel_noise() {
+        let mut det = BgsDetector::new(64, 48);
+        warm(&mut det, 10);
+        let mut noisy = background();
+        noisy.set(30, 24, 250); // one hot pixel inside the zone
+        assert!(!det.detect(&noisy, &zone()));
+        // The ablation variant without morphology is fooled.
+        let mut naive = BgsDetector::new(64, 48).without_morphology();
+        warm(&mut naive, 10);
+        assert!(naive.detect(&noisy, &zone()));
+    }
+
+    #[test]
+    fn reset_clears_background() {
+        let mut det = BgsDetector::new(64, 48);
+        warm(&mut det, 10);
+        det.reset();
+        // First frame after reset initialises the model: no detection.
+        assert!(!det.detect(&with_vehicle(25, 22), &zone()));
+    }
+}

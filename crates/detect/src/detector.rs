@@ -1,0 +1,34 @@
+//! The detector abstraction.
+
+use crate::zone::DangerZone;
+use safecross_vision::GrayFrame;
+
+/// A moving-vehicle detector judged on the danger zone.
+///
+/// Detectors are streaming: they receive consecutive frames in order
+/// (several need the previous frame or an internal background model) and
+/// answer, per frame, whether a moving vehicle is present inside the
+/// zone.
+pub trait Detector {
+    /// Method name as it appears in Table II.
+    fn name(&self) -> &'static str;
+
+    /// Processes the next frame of the stream and reports whether a
+    /// moving vehicle is detected inside `zone`.
+    fn detect(&mut self, frame: &GrayFrame, zone: &DangerZone) -> bool;
+
+    /// Resets any streaming state (background model, previous frame).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BgsDetector;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let det: Box<dyn Detector> = Box::new(BgsDetector::new(320, 240));
+        assert_eq!(det.name(), "background_subtraction");
+    }
+}

@@ -1,0 +1,35 @@
+//! # safecross-detect
+//!
+//! The paper's detection-method comparison (Sec. V-A, Table II, Fig. 8):
+//! which technique can spot the vehicle moving through the danger zone of
+//! a low-quality surveillance frame, and at what per-frame cost?
+//!
+//! Four contenders, all implementing [`Detector`]:
+//!
+//! - [`BgsDetector`] — dynamic background subtraction + opening +
+//!   connected components (the paper's winner);
+//! - [`SparseFlowDetector`] — Shi–Tomasi corners + Lucas–Kanade flow;
+//! - [`DenseFlowDetector`] — Horn–Schunck dense flow;
+//! - [`YoloLiteDetector`] — a trainable single-shot grid detector
+//!   standing in for YOLOv3 (see `DESIGN.md` for the substitution).
+//!
+//! [`shootout`] reproduces the whole experiment end-to-end: script a
+//! blind-area scene, render it, time every method per frame, and record
+//! whether each method finds the vehicle in the danger zone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bgs;
+mod detector;
+mod flow;
+mod harness;
+mod yolo;
+mod zone;
+
+pub use bgs::BgsDetector;
+pub use detector::Detector;
+pub use flow::{DenseFlowDetector, SparseFlowDetector};
+pub use harness::{shootout, MethodResult, ShootoutConfig};
+pub use yolo::{YoloLiteDetector, YoloProfile};
+pub use zone::DangerZone;

@@ -1,0 +1,127 @@
+//! The danger zone in pixel coordinates.
+
+use safecross_trafficsim::intersection::LANE_WIDTH;
+use safecross_trafficsim::{Camera, Intersection, VehicleKind};
+
+/// The pixel-space rectangle covering the blind stretch of the oncoming
+/// lane — the region every detection method is judged on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DangerZone {
+    /// Left edge, pixels.
+    pub x0: usize,
+    /// Top edge, pixels.
+    pub y0: usize,
+    /// Width, pixels.
+    pub width: usize,
+    /// Height, pixels.
+    pub height: usize,
+}
+
+impl DangerZone {
+    /// Projects the blind interval cast by an occluder of `kind` onto
+    /// the camera, clamped to the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occluder kind casts no blind area (a `Car`).
+    pub fn from_scene(camera: &Camera, intersection: &Intersection, kind: VehicleKind) -> Self {
+        assert!(
+            kind.is_occluder(),
+            "occluder kind must cast a blind area (got {kind:?})"
+        );
+        let (lo, hi) = intersection
+            .blind_interval(kind)
+            .expect("occluding kinds always shadow part of the lane");
+        let route = intersection.oncoming_route();
+        // The oncoming route runs east -> west, so larger arc length is
+        // smaller x.
+        let p_east = route.point_at(lo);
+        let p_west = route.point_at(hi);
+        let lane_y = p_east.y;
+        let half = LANE_WIDTH / 2.0;
+        let cfg = camera.config();
+        let scale = camera.scale();
+        let to_px = |wx: f64| cfg.width as f64 / 2.0 + wx * scale;
+        let to_py = |wy: f64| cfg.height as f64 / 2.0 - wy * scale;
+        let x0 = to_px(p_west.x).max(0.0);
+        let x1 = to_px(p_east.x).min(cfg.width as f64 - 1.0);
+        let y0 = to_py(lane_y + half).max(0.0);
+        let y1 = to_py(lane_y - half).min(cfg.height as f64 - 1.0);
+        assert!(x1 > x0 && y1 > y0, "danger zone off screen");
+        DangerZone {
+            x0: x0 as usize,
+            y0: y0 as usize,
+            width: (x1 - x0) as usize,
+            height: (y1 - y0).ceil() as usize,
+        }
+    }
+
+    /// Whether a pixel lies inside the zone.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x0 + self.width && y >= self.y0 && y < self.y0 + self.height
+    }
+
+    /// Zone area in pixels.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_trafficsim::RenderConfig;
+
+    fn setup() -> (Camera, Intersection) {
+        (Camera::new(RenderConfig::default()), Intersection::new())
+    }
+
+    #[test]
+    fn zone_is_on_screen_and_in_the_upper_half() {
+        let (cam, ix) = setup();
+        let zone = DangerZone::from_scene(&cam, &ix, VehicleKind::Van);
+        assert!(zone.area() > 0);
+        // The oncoming lane is north of centre: upper half of the frame.
+        assert!(zone.y0 < cam.config().height / 2);
+        assert!(zone.x0 + zone.width <= cam.config().width);
+    }
+
+    use safecross_trafficsim::Vec2;
+
+    #[test]
+    fn zone_sits_east_of_the_conflict_point() {
+        let (cam, ix) = setup();
+        let zone = DangerZone::from_scene(&cam, &ix, VehicleKind::Van);
+        // Conflict point is near x = +1.75 world; zone is east (right).
+        let conflict_px = cam
+            .world_to_pixel(Vec2::new(LANE_WIDTH / 2.0, LANE_WIDTH * 1.5))
+            .unwrap()
+            .0;
+        assert!(zone.x0 >= conflict_px, "zone {zone:?} conflict x {conflict_px}");
+    }
+
+    #[test]
+    fn truck_zone_wider_than_van_zone() {
+        let (cam, ix) = setup();
+        let van = DangerZone::from_scene(&cam, &ix, VehicleKind::Van);
+        let truck = DangerZone::from_scene(&cam, &ix, VehicleKind::Truck);
+        assert!(truck.area() >= van.area());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let z = DangerZone { x0: 10, y0: 20, width: 5, height: 4 };
+        assert!(z.contains(10, 20));
+        assert!(z.contains(14, 23));
+        assert!(!z.contains(15, 20));
+        assert!(!z.contains(10, 24));
+        assert!(!z.contains(9, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cast a blind area")]
+    fn car_casts_no_zone() {
+        let (cam, ix) = setup();
+        DangerZone::from_scene(&cam, &ix, VehicleKind::Car);
+    }
+}

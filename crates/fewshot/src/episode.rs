@@ -1,0 +1,141 @@
+//! N-way K-shot episode sampling.
+
+use safecross_dataset::{Class, Dataset};
+use safecross_tensor::{Tensor, TensorRng};
+
+/// One meta-learning episode: a small labelled support set to adapt on
+/// and a query set to evaluate the adapted model.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// `(clips [S, 1, T, H, W], labels)` used for inner-loop adaptation.
+    pub support: (Tensor, Vec<usize>),
+    /// `(clips [Q, 1, T, H, W], labels)` used for the outer-loop loss.
+    pub query: (Tensor, Vec<usize>),
+}
+
+impl Episode {
+    /// Support-set size.
+    pub fn support_size(&self) -> usize {
+        self.support.1.len()
+    }
+
+    /// Query-set size.
+    pub fn query_size(&self) -> usize {
+        self.query.1.len()
+    }
+}
+
+/// Samples a 2-way `k_shot` episode from the dataset rows named by
+/// `indices`: `k_shot` support and `query_per_class` query segments per
+/// class, all distinct.
+///
+/// # Panics
+///
+/// Panics if either class has fewer than `k_shot + query_per_class`
+/// segments among `indices`.
+pub fn sample_episode(
+    data: &Dataset,
+    indices: &[usize],
+    k_shot: usize,
+    query_per_class: usize,
+    rng: &mut TensorRng,
+) -> Episode {
+    assert!(k_shot > 0 && query_per_class > 0, "episode sizes must be positive");
+    let mut danger: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| data.get(i).label.class == Class::Danger)
+        .collect();
+    let mut safe: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| data.get(i).label.class == Class::Safe)
+        .collect();
+    let need = k_shot + query_per_class;
+    assert!(
+        danger.len() >= need && safe.len() >= need,
+        "need {need} per class, have danger={} safe={}",
+        danger.len(),
+        safe.len()
+    );
+    rng.shuffle(&mut danger);
+    rng.shuffle(&mut safe);
+    let mut support_idx: Vec<usize> = Vec::with_capacity(2 * k_shot);
+    support_idx.extend(&danger[..k_shot]);
+    support_idx.extend(&safe[..k_shot]);
+    let mut query_idx: Vec<usize> = Vec::with_capacity(2 * query_per_class);
+    query_idx.extend(&danger[k_shot..need]);
+    query_idx.extend(&safe[k_shot..need]);
+    rng.shuffle(&mut support_idx);
+    rng.shuffle(&mut query_idx);
+    Episode {
+        support: data.batch(&support_idx),
+        query: data.batch(&query_idx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_dataset::{GridSegment, SegmentLabel, TurnAction};
+    use safecross_trafficsim::Weather;
+
+    fn dataset(n_danger: usize, n_safe: usize) -> Dataset {
+        let mut segs = Vec::new();
+        for i in 0..n_danger + n_safe {
+            let class = if i < n_danger { Class::Danger } else { Class::Safe };
+            segs.push(GridSegment {
+                clip: Tensor::full(&[1, 4, 2, 2], i as f32),
+                label: SegmentLabel {
+                    action: TurnAction::Turn,
+                    blind_area: false,
+                    class,
+                    blind_occupied: false,
+                },
+                weather: Weather::Rain,
+            });
+        }
+        Dataset::new(segs)
+    }
+
+    #[test]
+    fn episode_is_balanced_and_disjoint() {
+        let data = dataset(10, 10);
+        let all: Vec<usize> = (0..20).collect();
+        let mut rng = TensorRng::seed_from(0);
+        let ep = sample_episode(&data, &all, 3, 2, &mut rng);
+        assert_eq!(ep.support_size(), 6);
+        assert_eq!(ep.query_size(), 4);
+        // Balanced labels.
+        assert_eq!(ep.support.1.iter().filter(|&&l| l == 0).count(), 3);
+        assert_eq!(ep.query.1.iter().filter(|&&l| l == 1).count(), 2);
+        // Disjoint: the clip fill values identify source segments.
+        let mut ids: Vec<i64> = Vec::new();
+        for b in 0..6 {
+            ids.push(ep.support.0.at(&[b, 0, 0, 0, 0]) as i64);
+        }
+        for b in 0..4 {
+            ids.push(ep.query.0.at(&[b, 0, 0, 0, 0]) as i64);
+        }
+        let unique: std::collections::HashSet<i64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "support/query overlap: {ids:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = dataset(8, 8);
+        let all: Vec<usize> = (0..16).collect();
+        let a = sample_episode(&data, &all, 2, 2, &mut TensorRng::seed_from(3));
+        let b = sample_episode(&data, &all, 2, 2, &mut TensorRng::seed_from(3));
+        assert_eq!(a.support.1, b.support.1);
+        assert_eq!(a.query.0, b.query.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 5 per class")]
+    fn insufficient_class_data_panics() {
+        let data = dataset(4, 10);
+        let all: Vec<usize> = (0..14).collect();
+        sample_episode(&data, &all, 3, 2, &mut TensorRng::seed_from(0));
+    }
+}

@@ -1,0 +1,25 @@
+//! # safecross-fewshot
+//!
+//! The paper's few-shot learning (FL) module: rain and snow have far too
+//! few labelled segments to train a video classifier from scratch
+//! (Table I: 34 rain segments), so SafeCross adapts the data-rich daytime
+//! model instead. This crate implements:
+//!
+//! - [`Episode`] construction — N-way K-shot support/query sampling;
+//! - [`Maml`] — first-order Model-Agnostic Meta-Learning with the
+//!   paper's two optimisation loops (Eq. 1 inner task adaptation,
+//!   Eq. 2 outer meta-initialisation update), with meta-batch episodes
+//!   evaluated in parallel via crossbeam;
+//! - [`adapt`] — the deployment-time inner loop: clone the meta model
+//!   and take a few gradient steps on the support set;
+//! - [`train_from_scratch`] — the "without few-shot learning" ablation
+//!   arm of Table V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod episode;
+mod maml;
+
+pub use episode::{sample_episode, Episode};
+pub use maml::{adapt, train_from_scratch, Maml, MamlConfig};

@@ -1,0 +1,96 @@
+//! GPU device constants.
+
+/// Timing constants of the simulated device (PCIe-attached GPU).
+///
+/// The defaults are calibrated to the paper's testbed — a GeForce RTX
+/// 2080 Ti behind PCIe 3.0 x16 running PyTorch — such that the
+/// stop-and-start baseline lands in the seconds range (dominated by CUDA
+/// context initialisation and first-time library loading, exactly the
+/// breakdown the paper cites from the PipeSwitch work) and pipelined
+/// switching lands in single-digit milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Effective host-to-device bandwidth, bytes per millisecond.
+    pub bandwidth_bytes_per_ms: f64,
+    /// Effective small-batch inference throughput, FLOPs per millisecond.
+    pub flops_per_ms: f64,
+    /// Fixed cost per host-to-device transfer call, ms.
+    pub transfer_overhead_ms: f64,
+    /// Fixed cost per kernel-group launch + synchronisation, ms.
+    pub kernel_overhead_ms: f64,
+    /// CUDA context creation on a cold worker, ms.
+    pub context_init_ms: f64,
+    /// First-time framework/library load on a cold worker, ms.
+    pub library_load_ms: f64,
+    /// Python-side module (re)construction per model module, ms.
+    pub module_init_ms: f64,
+    /// Client <-> server IPC round trip included in a switch request, ms.
+    pub ipc_roundtrip_ms: f64,
+    /// Inference batch size (scales compute, not transmission).
+    pub batch_size: usize,
+}
+
+impl GpuSpec {
+    /// The paper's device: RTX 2080 Ti, PCIe 3.0 x16, PyTorch 1.3.
+    pub fn rtx_2080_ti() -> Self {
+        GpuSpec {
+            // ~12 GB/s effective pinned-memory H2D.
+            bandwidth_bytes_per_ms: 12.0e6,
+            // ~2.4 TFLOPS effective at small batch (far below peak;
+            // matches ~37 ms batch-8 ResNet-152 inference on a 2080 Ti).
+            flops_per_ms: 2.4e9,
+            transfer_overhead_ms: 0.10,
+            kernel_overhead_ms: 0.02,
+            context_init_ms: 2200.0,
+            library_load_ms: 800.0,
+            module_init_ms: 2.2,
+            ipc_roundtrip_ms: 3.0,
+            batch_size: 8,
+        }
+    }
+
+    /// Transmission time for a payload of `bytes` (one transfer call).
+    pub fn transmit_ms(&self, bytes: usize) -> f64 {
+        self.transfer_overhead_ms + bytes as f64 / self.bandwidth_bytes_per_ms
+    }
+
+    /// Compute time for `flops` floating-point operations (one kernel
+    /// group), scaled by the batch size.
+    pub fn compute_ms(&self, flops: f64) -> f64 {
+        self.kernel_overhead_ms + flops * self.batch_size as f64 / self.flops_per_ms
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::rtx_2080_ti()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_scales_linearly() {
+        let g = GpuSpec::rtx_2080_ti();
+        let small = g.transmit_ms(12_000_000); // 12 MB -> ~1 ms + overhead
+        let big = g.transmit_ms(120_000_000);
+        assert!((small - 1.1).abs() < 0.01, "small {small}");
+        assert!(big > 9.0 * small);
+    }
+
+    #[test]
+    fn compute_includes_launch_overhead() {
+        let g = GpuSpec::rtx_2080_ti();
+        assert!(g.compute_ms(0.0) == g.kernel_overhead_ms);
+        assert!(g.compute_ms(1.0e9) > g.compute_ms(0.5e9));
+    }
+
+    #[test]
+    fn cold_start_costs_dominate() {
+        let g = GpuSpec::rtx_2080_ti();
+        // Context + library load is already in the seconds range.
+        assert!(g.context_init_ms + g.library_load_ms > 2000.0);
+    }
+}

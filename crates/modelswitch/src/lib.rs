@@ -1,0 +1,46 @@
+//! # safecross-modelswitch
+//!
+//! The paper's model-switching (MS) module, built on a discrete-event
+//! model of a GPU + PCIe link instead of real CUDA hardware (see
+//! `DESIGN.md` for the substitution argument).
+//!
+//! PipeSwitch (Bai et al., OSDI 2020) exploits the layered structure of
+//! DNNs: inference proceeds layer by layer from the front, so the GPU can
+//! start computing group 1 while groups 2..n are still crossing the PCIe
+//! bus. Compared with the stop-and-start baseline — kill the resident
+//! task, re-initialise a CUDA context, re-load libraries, rebuild the
+//! model, transmit, then compute — pipelined switching reduces the
+//! switching delay from seconds to milliseconds (paper Table VI).
+//!
+//! The crate provides:
+//!
+//! - [`GpuSpec`]: bandwidth / throughput / overhead constants calibrated
+//!   to an RTX 2080 Ti-class device;
+//! - [`ModelDesc`]: per-layer parameter-size and FLOP tables for the
+//!   three models of Table VI plus arbitrary custom models;
+//! - [`simulate_switch`]: the event simulation for every
+//!   [`SwitchStrategy`], including the paper's *optimal model-aware
+//!   grouping*, found with a Pareto-pruned dynamic programme;
+//! - [`MemoryPool`]: the pinned GPU memory manager that lets the standby
+//!   model stream in next to the active one;
+//! - [`ModelSwitcher`]: the registry the SafeCross runtime drives when
+//!   the detected weather scene changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gpu;
+#[cfg(test)]
+mod proptests;
+mod memory;
+mod model_desc;
+mod schedule;
+mod switcher;
+
+pub use gpu::GpuSpec;
+pub use memory::{MemoryError, MemoryPool};
+pub use model_desc::{LayerDesc, ModelDesc};
+pub use schedule::{
+    optimal_groups, simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase,
+};
+pub use switcher::{ModelSwitcher, SwitchOutcome};

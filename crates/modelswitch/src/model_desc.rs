@@ -1,0 +1,229 @@
+//! Per-layer model descriptions.
+
+/// One transmittable/computable unit of a model (a layer or fused block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDesc {
+    /// Human-readable identifier.
+    pub name: String,
+    /// Parameter payload in bytes (fp32).
+    pub param_bytes: usize,
+    /// Forward-pass floating-point operations at batch 1.
+    pub flops: f64,
+}
+
+/// A model as the switching runtime sees it: an ordered layer table plus
+/// the Python-module count that drives cold-start construction cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDesc {
+    /// Model family name (matches Table VI rows).
+    pub name: String,
+    /// Ordered layers, front to back.
+    pub layers: Vec<LayerDesc>,
+    /// Framework modules instantiated when building the model cold.
+    pub module_count: usize,
+}
+
+impl ModelDesc {
+    /// Builds a description from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerDesc>, module_count: usize) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        ModelDesc {
+            name: name.into(),
+            layers,
+            module_count,
+        }
+    }
+
+    /// Total parameter payload in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Total forward FLOPs at batch 1.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops).sum()
+    }
+
+    /// Layer count.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// ResNet-152 (He et al.): ~60.2 M parameters, ~11.5 GFLOPs.
+    /// Encoded as conv1 + 50 bottleneck blocks x 3 convs + fc, with
+    /// realistic depth-wise size distribution.
+    pub fn resnet152() -> Self {
+        let mut layers = vec![LayerDesc {
+            name: "conv1".into(),
+            param_bytes: 9_408 * 4,
+            flops: 0.24e9,
+        }];
+        // Stage plan: (blocks, params-per-block, flops-per-block).
+        let stages: [(usize, usize, f64); 4] = [
+            (3, 215_000, 0.230e9),
+            (8, 560_000, 0.225e9),
+            (36, 1_100_000, 0.220e9),
+            (3, 4_460_000, 0.215e9),
+        ];
+        for (si, &(blocks, params, flops)) in stages.iter().enumerate() {
+            for b in 0..blocks {
+                for conv in 0..3 {
+                    layers.push(LayerDesc {
+                        name: format!("stage{}.block{}.conv{}", si + 1, b, conv),
+                        param_bytes: params * 4 / 3,
+                        flops: flops / 3.0,
+                    });
+                }
+            }
+        }
+        layers.push(LayerDesc {
+            name: "fc".into(),
+            param_bytes: 2_048 * 1_000 * 4,
+            flops: 0.004e9,
+        });
+        ModelDesc::new("resnet152", layers, 470)
+    }
+
+    /// Inception v3 (Szegedy et al.): ~23.8 M parameters, ~5.7 GFLOPs.
+    pub fn inception_v3() -> Self {
+        let mut layers = Vec::new();
+        for i in 0..5 {
+            layers.push(LayerDesc {
+                name: format!("stem.conv{i}"),
+                param_bytes: 120_000 * 4,
+                flops: 0.30e9,
+            });
+        }
+        for i in 0..11 {
+            layers.push(LayerDesc {
+                name: format!("inception.mixed{i}"),
+                param_bytes: 2_000_000 * 4,
+                flops: 0.25e9,
+            });
+        }
+        layers.push(LayerDesc {
+            name: "fc".into(),
+            param_bytes: 2_048 * 1_000 * 4,
+            flops: 0.004e9,
+        });
+        ModelDesc::new("inception_v3", layers, 270)
+    }
+
+    /// SlowFast-R50 4x16 (the paper's SafeCross backbone): ~34 M
+    /// parameters, ~36 GFLOPs over a 32-frame clip, with the module
+    /// count of a dual-pathway network plus lateral connections.
+    pub fn slowfast_r50() -> Self {
+        let mut layers = Vec::new();
+        // Slow pathway: R50-style, most of the parameters.
+        for i in 0..53 {
+            layers.push(LayerDesc {
+                name: format!("slow.conv{i}"),
+                param_bytes: 28_000_000 * 4 / 53,
+                flops: 20.0e9 / 53.0,
+            });
+        }
+        // Fast pathway: beta = 1/8 channels.
+        for i in 0..53 {
+            layers.push(LayerDesc {
+                name: format!("fast.conv{i}"),
+                param_bytes: 5_000_000 * 4 / 53,
+                flops: 13.0e9 / 53.0,
+            });
+        }
+        // Lateral connections + fused head.
+        for i in 0..4 {
+            layers.push(LayerDesc {
+                name: format!("lateral{i}"),
+                param_bytes: 250_000 * 4,
+                flops: 0.7e9,
+            });
+        }
+        layers.push(LayerDesc {
+            name: "head.fc".into(),
+            param_bytes: 2_304 * 400 * 4,
+            flops: 0.002e9,
+        });
+        ModelDesc::new("slowfast_r50_4x16", layers, 1150)
+    }
+
+    /// Builds a description from `(name, element_count)` tensors of a
+    /// real in-process model (4 bytes per element), attributing FLOPs
+    /// proportionally to parameter size.
+    pub fn from_state_sizes(
+        name: impl Into<String>,
+        tensors: &[(String, usize)],
+        total_flops: f64,
+    ) -> Self {
+        let total_elems: usize = tensors.iter().map(|(_, n)| *n).sum::<usize>().max(1);
+        let layers = tensors
+            .iter()
+            .map(|(n, elems)| LayerDesc {
+                name: n.clone(),
+                param_bytes: elems * 4,
+                flops: total_flops * *elems as f64 / total_elems as f64,
+            })
+            .collect();
+        let module_count = tensors.len();
+        ModelDesc::new(name, layers, module_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet152_sizes_are_realistic() {
+        let m = ModelDesc::resnet152();
+        let params = m.total_bytes() / 4;
+        assert!(
+            (55_000_000..66_000_000).contains(&params),
+            "resnet152 params {params}"
+        );
+        let gflops = m.total_flops() / 1e9;
+        assert!((10.0..13.0).contains(&gflops), "resnet152 gflops {gflops}");
+        assert!(m.num_layers() > 100);
+    }
+
+    #[test]
+    fn inception_sizes_are_realistic() {
+        let m = ModelDesc::inception_v3();
+        let params = m.total_bytes() / 4;
+        assert!(
+            (20_000_000..32_000_000).contains(&params),
+            "inception params {params}"
+        );
+    }
+
+    #[test]
+    fn slowfast_heavier_in_flops_lighter_in_params_than_resnet() {
+        let sf = ModelDesc::slowfast_r50();
+        let rn = ModelDesc::resnet152();
+        assert!(sf.total_flops() > rn.total_flops());
+        assert!(sf.total_bytes() < rn.total_bytes());
+        // The dual-pathway module count exceeds the single stream's.
+        assert!(sf.module_count > rn.module_count);
+    }
+
+    #[test]
+    fn from_state_sizes_distributes_flops() {
+        let m = ModelDesc::from_state_sizes(
+            "tiny",
+            &[("a".into(), 100), ("b".into(), 300)],
+            4.0e6,
+        );
+        assert_eq!(m.total_bytes(), 1600);
+        assert!((m.layers[0].flops - 1.0e6).abs() < 1.0);
+        assert!((m.layers[1].flops - 3.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_panics() {
+        ModelDesc::new("x", vec![], 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests over the switching schedule.
+
+use crate::gpu::GpuSpec;
+use crate::model_desc::{LayerDesc, ModelDesc};
+use crate::schedule::{optimal_groups, simulate_switch, SwitchStrategy};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelDesc> {
+    proptest::collection::vec((1_000usize..5_000_000, 1.0e6f64..5.0e8), 1..24).prop_map(
+        |layers| {
+            let descs = layers
+                .into_iter()
+                .enumerate()
+                .map(|(i, (bytes, flops))| LayerDesc {
+                    name: format!("l{i}"),
+                    param_bytes: bytes,
+                    flops,
+                })
+                .collect::<Vec<_>>();
+            let n = descs.len();
+            ModelDesc::new("prop", descs, n)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimal_never_worse_than_any_fixed_grouping(model in arb_model(), g in 1usize..8) {
+        let gpu = GpuSpec::rtx_2080_ti();
+        let optimal = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedOptimal);
+        let fixed = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedGrouped(g));
+        let per_layer = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedPerLayer);
+        prop_assert!(optimal.total_ms <= fixed.total_ms + 1e-6,
+            "optimal {} > grouped({g}) {}", optimal.total_ms, fixed.total_ms);
+        prop_assert!(optimal.total_ms <= per_layer.total_ms + 1e-6);
+    }
+
+    #[test]
+    fn optimal_groups_partition_the_layers(model in arb_model()) {
+        let gpu = GpuSpec::rtx_2080_ti();
+        let sizes = optimal_groups(&gpu, &model);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), model.num_layers());
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn pipelined_always_beats_stop_and_start(model in arb_model()) {
+        let gpu = GpuSpec::rtx_2080_ti();
+        let cold = simulate_switch(&gpu, &model, &SwitchStrategy::StopAndStart);
+        let pipe = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedOptimal);
+        prop_assert!(pipe.total_ms < cold.total_ms);
+    }
+
+    #[test]
+    fn makespan_at_least_transmission_and_compute_lower_bounds(model in arb_model()) {
+        // The schedule cannot beat physics: it must carry every byte over
+        // the link and run every FLOP on the device.
+        let gpu = GpuSpec::rtx_2080_ti();
+        let pipe = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedOptimal);
+        let min_transmit = model.total_bytes() as f64 / gpu.bandwidth_bytes_per_ms;
+        let min_compute = model.total_flops() * gpu.batch_size as f64 / gpu.flops_per_ms;
+        let makespan = pipe.total_ms - gpu.ipc_roundtrip_ms;
+        prop_assert!(makespan + 1e-6 >= min_transmit, "{makespan} < {min_transmit}");
+        prop_assert!(makespan + 1e-6 >= min_compute, "{makespan} < {min_compute}");
+    }
+
+    #[test]
+    fn timeline_events_are_disjoint_per_resource(model in arb_model()) {
+        let gpu = GpuSpec::rtx_2080_ti();
+        let report = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedOptimal);
+        let mut last_transmit_end = 0.0f64;
+        let mut last_compute_end = 0.0f64;
+        for e in &report.timeline {
+            match e.phase {
+                crate::schedule::TimelinePhase::Transmit => {
+                    prop_assert!(e.start_ms >= last_transmit_end - 1e-9);
+                    last_transmit_end = e.end_ms;
+                }
+                crate::schedule::TimelinePhase::Compute => {
+                    prop_assert!(e.start_ms >= last_compute_end - 1e-9);
+                    last_compute_end = e.end_ms;
+                }
+                crate::schedule::TimelinePhase::Setup => {}
+            }
+            prop_assert!(e.end_ms >= e.start_ms);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The model-switching runtime driven by scene changes.
+
+use crate::gpu::GpuSpec;
+use crate::memory::MemoryPool;
+use crate::model_desc::ModelDesc;
+use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of a switch request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchOutcome {
+    /// The requested model was already active; nothing happened.
+    AlreadyActive,
+    /// The switch ran; the report holds the simulated latency.
+    Switched(SwitchReport),
+}
+
+impl SwitchOutcome {
+    /// The latency this outcome cost, ms.
+    pub fn latency_ms(&self) -> f64 {
+        match self {
+            SwitchOutcome::AlreadyActive => 0.0,
+            SwitchOutcome::Switched(r) => r.total_ms,
+        }
+    }
+}
+
+/// A registry of scene models plus the simulated device state. This is
+/// the MS module the SafeCross orchestrator drives when the weather
+/// detector reports a scene change.
+///
+/// Thread safety: the inner state sits behind a `parking_lot::Mutex`, so
+/// a camera thread and a control thread can share one switcher.
+#[derive(Debug, Clone)]
+pub struct ModelSwitcher {
+    inner: Arc<Mutex<Inner>>,
+    gpu: GpuSpec,
+    strategy: SwitchStrategy,
+}
+
+#[derive(Debug)]
+struct Inner {
+    registry: HashMap<String, ModelDesc>,
+    pool: MemoryPool,
+    active: Option<String>,
+    switch_log: Vec<(String, f64)>,
+}
+
+impl ModelSwitcher {
+    /// Creates a switcher for a device with `gpu_memory` bytes.
+    pub fn new(gpu: GpuSpec, gpu_memory: usize, strategy: SwitchStrategy) -> Self {
+        ModelSwitcher {
+            inner: Arc::new(Mutex::new(Inner {
+                registry: HashMap::new(),
+                pool: MemoryPool::new(gpu_memory),
+                active: None,
+                switch_log: Vec::new(),
+            })),
+            gpu,
+            strategy,
+        }
+    }
+
+    /// Registers a scene model under `name` (e.g. `"daytime"`).
+    pub fn register(&self, name: &str, model: ModelDesc) {
+        self.inner.lock().registry.insert(name.to_owned(), model);
+    }
+
+    /// Registered model names, sorted.
+    pub fn registered(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().registry.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The active model name, if any.
+    pub fn active(&self) -> Option<String> {
+        self.inner.lock().active.clone()
+    }
+
+    /// Switches to the model registered under `name`, evicting the old
+    /// active model from the memory pool and simulating the transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never registered or the model cannot fit in
+    /// GPU memory even after evicting the previous one.
+    pub fn switch_to(&self, name: &str) -> SwitchOutcome {
+        let mut inner = self.inner.lock();
+        if inner.active.as_deref() == Some(name) {
+            return SwitchOutcome::AlreadyActive;
+        }
+        let model = inner
+            .registry
+            .get(name)
+            .unwrap_or_else(|| panic!("model {name} is not registered"))
+            .clone();
+        // Evict the previous model (PipeSwitch keeps one active model
+        // plus streaming buffers).
+        if let Some(old) = inner.active.take() {
+            inner.pool.release(&old).expect("active model was resident");
+        }
+        inner
+            .pool
+            .reserve(name, model.total_bytes())
+            .expect("standby model must fit in GPU memory");
+        let report = simulate_switch(&self.gpu, &model, &self.strategy);
+        inner.active = Some(name.to_owned());
+        inner.switch_log.push((name.to_owned(), report.total_ms));
+        SwitchOutcome::Switched(report)
+    }
+
+    /// `(model, latency_ms)` for every switch performed so far.
+    pub fn switch_log(&self) -> Vec<(String, f64)> {
+        self.inner.lock().switch_log.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switcher(strategy: SwitchStrategy) -> ModelSwitcher {
+        let s = ModelSwitcher::new(GpuSpec::rtx_2080_ti(), 11_000_000_000, strategy);
+        s.register("daytime", ModelDesc::slowfast_r50());
+        s.register("rain", ModelDesc::slowfast_r50());
+        s.register("snow", ModelDesc::slowfast_r50());
+        s
+    }
+
+    #[test]
+    fn switching_cycles_scenes() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        assert_eq!(s.active(), None);
+        let o1 = s.switch_to("daytime");
+        assert!(matches!(o1, SwitchOutcome::Switched(_)));
+        assert_eq!(s.active().as_deref(), Some("daytime"));
+        let o2 = s.switch_to("daytime");
+        assert_eq!(o2, SwitchOutcome::AlreadyActive);
+        assert_eq!(o2.latency_ms(), 0.0);
+        s.switch_to("snow");
+        assert_eq!(s.active().as_deref(), Some("snow"));
+        assert_eq!(s.switch_log().len(), 2);
+    }
+
+    #[test]
+    fn pipelined_switch_is_fast_enough_for_realtime() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        s.switch_to("daytime");
+        let outcome = s.switch_to("rain");
+        // Paper headline: scene switches complete in <10 ms beyond the
+        // inference itself.
+        if let SwitchOutcome::Switched(r) = outcome {
+            assert!(r.switch_overhead_ms < 10.0, "{:.2} ms", r.switch_overhead_ms);
+        } else {
+            panic!("expected a switch");
+        }
+    }
+
+    #[test]
+    fn stop_and_start_is_not_realtime() {
+        let s = switcher(SwitchStrategy::StopAndStart);
+        let outcome = s.switch_to("rain");
+        assert!(outcome.latency_ms() > 1000.0);
+    }
+
+    #[test]
+    fn registered_names_sorted() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        assert_eq!(s.registered(), vec!["daytime", "rain", "snow"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_model_panics() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        s.switch_to("fog");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            s2.switch_to("daytime");
+        });
+        h.join().unwrap();
+        assert_eq!(s.active().as_deref(), Some("daytime"));
+    }
+}

@@ -1,0 +1,206 @@
+//! 2-D convolution via im2col.
+
+use crate::{Layer, Mode, Param};
+use safecross_tensor::{col2im, im2col, Conv2dGeom, Tensor, TensorRng};
+
+/// A 2-D convolution over `[N, C, H, W]` batches with square kernels.
+///
+/// Lowered to matrix multiplication through [`im2col`]; the backward pass
+/// uses the adjoint [`col2im`]. Used by the TSN-lite classifier and the
+/// YOLO-lite detector.
+///
+/// ```
+/// use safecross_nn::{Conv2d, Layer, Mode};
+/// use safecross_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[2, 1, 8, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c * k * k]
+    bias: Param,   // [out_c]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_cols: Vec<Tensor>,
+    cached_geom: Option<Conv2dGeom>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with the given channel counts, square
+    /// `kernel`, `stride` and zero `padding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the channel counts, kernel or stride are zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new("weight", rng.kaiming(&[out_channels, fan_in], fan_in)),
+            bias: Param::new("bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_cols: Vec::new(),
+            cached_geom: None,
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: self.in_channels,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().ndim(), 4, "Conv2d expects [N, C, H, W]");
+        assert_eq!(x.shape().dim(1), self.in_channels, "Conv2d channel mismatch");
+        let (n, h, w) = (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3));
+        let g = self.geometry(h, w);
+        let (oh, ow) = (g.out_height(), g.out_width());
+        if mode == Mode::Train {
+            self.cached_cols.clear();
+            self.cached_geom = Some(g);
+        }
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        for i in 0..n {
+            let cols = im2col(&x.index_axis0(i), &g);
+            let mut y = self.weight.value.matmul(&cols); // [out_c, oh*ow]
+            let b = self.bias.value.data();
+            let plane = oh * ow;
+            let yd = y.data_mut();
+            for (c, &bc) in b.iter().enumerate() {
+                for v in &mut yd[c * plane..(c + 1) * plane] {
+                    *v += bc;
+                }
+            }
+            out.set_axis0(i, &y.reshape(&[self.out_channels, oh, ow]));
+            if mode == Mode::Train {
+                self.cached_cols.push(cols);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self
+            .cached_geom
+            .expect("Conv2d::backward called before a training forward");
+        let n = grad_out.shape().dim(0);
+        assert_eq!(n, self.cached_cols.len(), "batch size changed between passes");
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let plane = oh * ow;
+        let mut dx = Tensor::zeros(&[n, self.in_channels, g.height, g.width]);
+        for i in 0..n {
+            let dy = grad_out
+                .index_axis0(i)
+                .reshape(&[self.out_channels, plane]);
+            // dW += dy * cols^T
+            let dw = dy.matmul(&self.cached_cols[i].transpose());
+            self.weight.grad.add_scaled(&dw, 1.0);
+            // db += row sums of dy
+            let db = self.bias.grad.data_mut();
+            for (c, dbc) in db.iter_mut().enumerate() {
+                *dbc += dy.data()[c * plane..(c + 1) * plane].iter().sum::<f32>();
+            }
+            // dx = col2im(W^T dy)
+            let dcols = self.weight.value.transpose().matmul(&dy);
+            dx.set_axis0(i, &col2im(&dcols, &g));
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}->{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn box_filter_averages() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        conv.weight.value = Tensor::full(&[1, 9], 1.0 / 9.0);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert!((y.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stride_and_padding_shape() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::zeros(&[2, 1]);
+        conv.bias.value = Tensor::from_vec(vec![1.5, -2.0], &[2]);
+        let y = conv.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval);
+        assert_eq!(&y.data()[0..4], &[1.5; 4]);
+        assert_eq!(&y.data()[4..8], &[-2.0; 4]);
+    }
+}

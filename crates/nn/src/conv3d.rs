@@ -1,0 +1,214 @@
+//! 3-D (spatio-temporal) convolution via vol2col.
+
+use crate::{Layer, Mode, Param};
+use safecross_tensor::{col2vol, vol2col, Conv3dGeom, Tensor, TensorRng};
+
+/// A 3-D convolution over `[N, C, T, H, W]` video batches.
+///
+/// Temporal and spatial kernel/stride/padding are independent so the
+/// SlowFast pathways can use temporally-thin kernels on the Slow pathway
+/// and thicker ones on the Fast pathway, exactly as in the paper's
+/// backbone.
+///
+/// ```
+/// use safecross_nn::{Conv3d, Layer, Mode};
+/// use safecross_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut conv = Conv3d::new(1, 4, (3, 3), (1, 1), (1, 1), &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[1, 1, 8, 6, 6]), Mode::Eval);
+/// assert_eq!(y.dims(), &[1, 4, 8, 6, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv3d {
+    weight: Param, // [out_c, in_c * kt * ks * ks]
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: (usize, usize), // (temporal, spatial)
+    stride: (usize, usize),
+    padding: (usize, usize),
+    cached_cols: Vec<Tensor>,
+    cached_geom: Option<Conv3dGeom>,
+}
+
+impl Conv3d {
+    /// Creates a 3-D convolution. `kernel`, `stride` and `padding` are
+    /// `(temporal, spatial)` pairs; the spatial kernel is square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts, kernel extents or strides are zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(kernel.0 > 0 && kernel.1 > 0, "kernel extents must be positive");
+        assert!(stride.0 > 0 && stride.1 > 0, "strides must be positive");
+        let fan_in = in_channels * kernel.0 * kernel.1 * kernel.1;
+        Conv3d {
+            weight: Param::new("weight", rng.kaiming(&[out_channels, fan_in], fan_in)),
+            bias: Param::new("bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_cols: Vec::new(),
+            cached_geom: None,
+        }
+    }
+
+    fn geometry(&self, t: usize, h: usize, w: usize) -> Conv3dGeom {
+        Conv3dGeom {
+            in_channels: self.in_channels,
+            frames: t,
+            height: h,
+            width: w,
+            kernel_t: self.kernel.0,
+            kernel_s: self.kernel.1,
+            stride_t: self.stride.0,
+            stride_s: self.stride.1,
+            pad_t: self.padding.0,
+            pad_s: self.padding.1,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().ndim(), 5, "Conv3d expects [N, C, T, H, W]");
+        assert_eq!(x.shape().dim(1), self.in_channels, "Conv3d channel mismatch");
+        let (n, t, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(2),
+            x.shape().dim(3),
+            x.shape().dim(4),
+        );
+        let g = self.geometry(t, h, w);
+        let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
+        if mode == Mode::Train {
+            self.cached_cols.clear();
+            self.cached_geom = Some(g);
+        }
+        let mut out = Tensor::zeros(&[n, self.out_channels, ot, oh, ow]);
+        let plane = ot * oh * ow;
+        for i in 0..n {
+            let cols = vol2col(&x.index_axis0(i), &g);
+            let mut y = self.weight.value.matmul(&cols);
+            let b = self.bias.value.data();
+            let yd = y.data_mut();
+            for (c, &bc) in b.iter().enumerate() {
+                for v in &mut yd[c * plane..(c + 1) * plane] {
+                    *v += bc;
+                }
+            }
+            out.set_axis0(i, &y.reshape(&[self.out_channels, ot, oh, ow]));
+            if mode == Mode::Train {
+                self.cached_cols.push(cols);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self
+            .cached_geom
+            .expect("Conv3d::backward called before a training forward");
+        let n = grad_out.shape().dim(0);
+        assert_eq!(n, self.cached_cols.len(), "batch size changed between passes");
+        let plane = g.out_frames() * g.out_height() * g.out_width();
+        let mut dx = Tensor::zeros(&[n, self.in_channels, g.frames, g.height, g.width]);
+        for i in 0..n {
+            let dy = grad_out
+                .index_axis0(i)
+                .reshape(&[self.out_channels, plane]);
+            let dw = dy.matmul(&self.cached_cols[i].transpose());
+            self.weight.grad.add_scaled(&dw, 1.0);
+            let db = self.bias.grad.data_mut();
+            for (c, dbc) in db.iter_mut().enumerate() {
+                *dbc += dy.data()[c * plane..(c + 1) * plane].iter().sum::<f32>();
+            }
+            let dcols = self.weight.value.transpose().matmul(&dy);
+            dx.set_axis0(i, &col2vol(&dcols, &g));
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv3d({}->{}, kt{} ks{}, st{} ss{})",
+            self.in_channels,
+            self.out_channels,
+            self.kernel.0,
+            self.kernel.1,
+            self.stride.0,
+            self.stride.1
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointwise_kernel_is_identity() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv3d::new(1, 1, (1, 1), (1, 1), (0, 0), &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[1, 1, 2, 3, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn temporal_stride_reduces_frames() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv3d::new(2, 3, (3, 3), (2, 1), (1, 1), &mut rng);
+        let y = conv.forward(&Tensor::ones(&[1, 2, 8, 4, 4]), Mode::Eval);
+        assert_eq!(y.dims(), &[1, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn temporal_box_filter_sums_frames() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut conv = Conv3d::new(1, 1, (2, 1), (1, 1), (0, 0), &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 2]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        // Two frames of constant 1 and 2 -> single output frame of 3.
+        let mut x = Tensor::zeros(&[1, 1, 2, 2, 2]);
+        for v in x.data_mut()[0..4].iter_mut() {
+            *v = 1.0;
+        }
+        for v in x.data_mut()[4..8].iter_mut() {
+            *v = 2.0;
+        }
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 1, 2, 2]);
+        assert!(y.data().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,110 @@
+//! The core `Layer` abstraction.
+
+use crate::Param;
+use safecross_tensor::Tensor;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Layers with train/eval divergence (batch-norm statistics, dropout)
+/// branch on this; all other layers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: update normalisation statistics, apply dropout, cache
+    /// everything backward needs.
+    Train,
+    /// Inference: use running statistics, no dropout, caching optional.
+    Eval,
+}
+
+/// A differentiable network layer.
+///
+/// The contract is the classic "define-by-layer" one:
+///
+/// 1. `forward` consumes a batch-leading input (`[N, ...]`), caches
+///    whatever its backward pass needs, and produces the output.
+/// 2. `backward` receives the gradient of the loss with respect to that
+///    output, **accumulates** gradients into its parameters, and returns
+///    the gradient with respect to the input.
+///
+/// `backward` must be preceded by a `forward` in `Mode::Train` on the same
+/// data; implementations are allowed to panic otherwise.
+///
+/// The trait is object-safe so networks can be composed as
+/// `Vec<Box<dyn Layer>>` (see [`crate::Sequential`]); `clone_box` enables
+/// cloning whole models, which the MAML inner loop relies on.
+pub trait Layer: Send + Sync {
+    /// Runs the layer on `x`, caching backward state when training.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient with respect to the last `forward` input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before any training-mode
+    /// `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable access to learnable parameters (possibly empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to learnable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Non-learnable persistent state to serialise alongside parameters
+    /// (e.g. batch-norm running statistics), as `(name, tensor)` pairs.
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        Vec::new()
+    }
+
+    /// Restores a buffer previously returned by [`Layer::buffers`].
+    /// Unknown names are ignored so state dictionaries stay
+    /// forward-compatible.
+    fn set_buffer(&mut self, _name: &str, _value: Tensor) {}
+
+    /// A short human-readable identifier (`"linear(4->8)"`).
+    fn name(&self) -> String;
+
+    /// Clones the layer behind a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Total number of scalar weights in a parameter list.
+pub fn param_count(params: &[&Param]) -> usize {
+    params.iter().map(|p| p.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linear;
+    use safecross_tensor::TensorRng;
+
+    #[test]
+    fn boxed_layers_clone() {
+        let mut rng = TensorRng::seed_from(0);
+        let l: Box<dyn Layer> = Box::new(Linear::new(2, 3, &mut rng));
+        let c = l.clone();
+        assert_eq!(c.name(), l.name());
+        let pv: Vec<_> = l.params().iter().map(|p| p.value.clone()).collect();
+        let cv: Vec<_> = c.params().iter().map(|p| p.value.clone()).collect();
+        assert_eq!(pv, cv);
+    }
+
+    #[test]
+    fn param_count_sums() {
+        let mut rng = TensorRng::seed_from(0);
+        let l = Linear::new(2, 3, &mut rng);
+        assert_eq!(param_count(&l.params()), 2 * 3 + 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Fully-connected layer.
+
+use crate::{Layer, Mode, Param};
+use safecross_tensor::{Tensor, TensorRng};
+
+/// A dense affine map `y = x W^T + b` over a `[N, in]` batch.
+///
+/// Weights are stored `[out, in]` (PyTorch convention) and initialised
+/// with Kaiming-normal scaling for ReLU networks.
+///
+/// ```
+/// use safecross_nn::{Layer, Linear, Mode};
+/// use safecross_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(1);
+/// let mut fc = Linear::new(3, 2, &mut rng);
+/// let y = fc.forward(&Tensor::ones(&[4, 3]), Mode::Eval);
+/// assert_eq!(y.dims(), &[4, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer mapping `in_features` to `out_features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut TensorRng) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        Linear {
+            weight: Param::new(
+                "weight",
+                rng.kaiming(&[out_features, in_features], in_features),
+            ),
+            bias: Param::new("bias", Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().ndim(), 2, "Linear expects a [N, in] batch");
+        assert_eq!(x.shape().dim(1), self.in_features, "Linear input width mismatch");
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        let mut y = x.matmul(&self.weight.value.transpose());
+        let n = y.shape().dim(0);
+        let out = self.out_features;
+        let b = self.bias.value.data();
+        let data = y.data_mut();
+        for i in 0..n {
+            for (j, &bj) in b.iter().enumerate() {
+                data[i * out + j] += bj;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before a training forward");
+        // dW = dy^T x ; db = column sums of dy ; dx = dy W
+        let dw = grad_out.transpose().matmul(x);
+        self.weight.grad.add_scaled(&dw, 1.0);
+        let n = grad_out.shape().dim(0);
+        let out = self.out_features;
+        let g = grad_out.data();
+        let db = self.bias.grad.data_mut();
+        for i in 0..n {
+            for (j, dbj) in db.iter_mut().enumerate() {
+                *dbj += g[i * out + j];
+            }
+        }
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        fc.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        fc.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = fc.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_manual() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fc = Linear::new(2, 1, &mut rng);
+        fc.weight.value = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+        fc.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        fc.forward(&x, Mode::Train);
+        let dx = fc.backward(&Tensor::ones(&[1, 1]));
+        assert_eq!(fc.weight.grad.data(), &[2.0, 3.0]);
+        assert_eq!(fc.bias.grad.data(), &[1.0]);
+        assert_eq!(dx.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fc = Linear::new(1, 1, &mut rng);
+        let x = Tensor::ones(&[1, 1]);
+        fc.forward(&x, Mode::Train);
+        fc.backward(&Tensor::ones(&[1, 1]));
+        let g1 = fc.bias.grad.data()[0];
+        fc.forward(&x, Mode::Train);
+        fc.backward(&Tensor::ones(&[1, 1]));
+        assert_eq!(fc.bias.grad.data()[0], 2.0 * g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before a training forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = TensorRng::seed_from(0);
+        let mut fc = Linear::new(1, 1, &mut rng);
+        fc.backward(&Tensor::ones(&[1, 1]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Learnable parameters.
+
+use safecross_tensor::Tensor;
+
+/// A learnable tensor together with its accumulated gradient.
+///
+/// Layers own their parameters; optimizers mutate them through
+/// [`crate::Layer::params_mut`]. The `name` is used for weight
+/// serialisation and debugging.
+///
+/// ```
+/// use safecross_nn::Param;
+/// use safecross_tensor::Tensor;
+///
+/// let p = Param::new("fc.weight", Tensor::ones(&[2, 2]));
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Identifier used in state dictionaries (e.g. `"conv1.weight"`).
+    pub name: String,
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient; same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Parameters always hold at least one weight.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones(&[3]));
+        assert_eq!(p.grad.dims(), &[3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.name, "w");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.grad = Tensor::full(&[2], 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

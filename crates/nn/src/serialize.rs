@@ -1,0 +1,196 @@
+//! Weight serialisation: a simple binary state-dictionary format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "SCNN" | u32 version | u32 entry count
+//! per entry: u32 name len | name bytes | u32 ndim | u32 dims... | f32 data...
+//! ```
+//!
+//! The model-switching crate also uses the serialised byte size as the
+//! transmission payload size in its PCIe model.
+
+use safecross_tensor::Tensor;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SCNN";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading a weight file.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a SafeCross weight file or is corrupted.
+    Format(String),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Format(m) => write!(f, "invalid weight file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            SerializeError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SerializeError {
+    fn from(e: io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes named tensors to `path` in the SafeCross weight format.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_tensors(path: &Path, named: &[(String, Tensor)]) -> Result<(), SerializeError> {
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&VERSION.to_le_bytes())?;
+    f.write_all(&(named.len() as u32).to_le_bytes())?;
+    for (name, tensor) in named {
+        let bytes = name.as_bytes();
+        f.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        f.write_all(bytes)?;
+        f.write_all(&(tensor.shape().ndim() as u32).to_le_bytes())?;
+        for &d in tensor.dims() {
+            f.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            f.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads named tensors from a file written by [`save_tensors`].
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Format`] on magic/version mismatch or
+/// truncated data, and [`SerializeError::Io`] on read failures.
+pub fn load_tensors(path: &Path) -> Result<Vec<(String, Tensor)>, SerializeError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let mut cursor = 0usize;
+
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], SerializeError> {
+        if *cursor + n > buf.len() {
+            return Err(SerializeError::Format("unexpected end of file".into()));
+        }
+        let s = &buf[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(s)
+    };
+    let take_u32 = |cursor: &mut usize| -> Result<u32, SerializeError> {
+        let b = take(cursor, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    };
+
+    if take(&mut cursor, 4)? != MAGIC {
+        return Err(SerializeError::Format("bad magic".into()));
+    }
+    let version = take_u32(&mut cursor)?;
+    if version != VERSION {
+        return Err(SerializeError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = take_u32(&mut cursor)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = take_u32(&mut cursor)? as usize;
+        let name = String::from_utf8(take(&mut cursor, name_len)?.to_vec())
+            .map_err(|_| SerializeError::Format("non-utf8 tensor name".into()))?;
+        let ndim = take_u32(&mut cursor)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(take_u32(&mut cursor)? as usize);
+        }
+        let len: usize = dims.iter().product::<usize>().max(1);
+        let raw = take(&mut cursor, len * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        out.push((name, Tensor::from_vec(data, &dims)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_tensor::TensorRng;
+    use std::env;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        env::temp_dir().join(format!("safecross_nn_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_names_shapes_values() {
+        let mut rng = TensorRng::seed_from(0);
+        let named = vec![
+            ("fc.weight".to_owned(), rng.uniform(&[3, 4], -1.0, 1.0)),
+            ("fc.bias".to_owned(), rng.uniform(&[4], -1.0, 1.0)),
+            ("scalar".to_owned(), Tensor::scalar(7.5)),
+        ];
+        let path = tmp("roundtrip");
+        save_tensors(&path, &named).unwrap();
+        let loaded = load_tensors(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        for ((n0, t0), (n1, t1)) in named.iter().zip(&loaded) {
+            assert_eq!(n0, n1);
+            assert_eq!(t0, t1);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        match load_tensors(&path) {
+            Err(SerializeError::Format(m)) => assert!(m.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut rng = TensorRng::seed_from(0);
+        let named = vec![("w".to_owned(), rng.uniform(&[10, 10], -1.0, 1.0))];
+        let path = tmp("truncated");
+        save_tensors(&path, &named).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            load_tensors(&path),
+            Err(SerializeError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SerializeError>();
+    }
+}

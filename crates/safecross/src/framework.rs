@@ -1,0 +1,365 @@
+//! The SafeCross orchestrator.
+
+use crate::scene::SceneDetector;
+use safecross_dataset::Class;
+use safecross_modelswitch::{
+    GpuSpec, ModelDesc, ModelSwitcher, SwitchOutcome, SwitchReport, SwitchStrategy,
+};
+use safecross_nn::Mode;
+use safecross_tensor::Tensor;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::{SlowFastLite, VideoClassifier};
+use safecross_vision::{GrayFrame, PreprocessConfig, Preprocessor, SegmentBuffer};
+use std::collections::HashMap;
+
+/// Orchestrator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SafeCrossConfig {
+    /// Camera frame width.
+    pub frame_width: usize,
+    /// Camera frame height.
+    pub frame_height: usize,
+    /// VP pipeline settings.
+    pub preprocess: PreprocessConfig,
+    /// Frames per classified segment (paper: 32).
+    pub segment_frames: usize,
+    /// Scene-detector voting window.
+    pub scene_window: usize,
+    /// Minimum softmax confidence to emit a verdict at all.
+    pub min_confidence: f32,
+}
+
+impl Default for SafeCrossConfig {
+    fn default() -> Self {
+        SafeCrossConfig {
+            frame_width: 320,
+            frame_height: 240,
+            preprocess: PreprocessConfig::default(),
+            segment_frames: 32,
+            scene_window: 8,
+            min_confidence: 0.0,
+        }
+    }
+}
+
+/// A turn/no-turn verdict for the waiting left-turner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Predicted class at the decision keyframe.
+    pub class: Class,
+    /// Softmax confidence of that class.
+    pub confidence: f32,
+    /// Scene model that produced the verdict.
+    pub weather: Weather,
+}
+
+impl Verdict {
+    /// Whether the verdict warns against turning.
+    pub fn is_warning(&self) -> bool {
+        self.class == Class::Danger
+    }
+}
+
+/// Everything one camera frame produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameOutcome {
+    /// A classification verdict, once the segment buffer is full.
+    pub verdict: Option<Verdict>,
+    /// A model switch triggered by a scene change, with its simulated
+    /// latency report.
+    pub scene_switch: Option<(Weather, SwitchReport)>,
+}
+
+/// The deployed SafeCross system: VP -> VC with FL-produced per-scene
+/// models and MS-managed switching.
+pub struct SafeCross {
+    config: SafeCrossConfig,
+    vp: Preprocessor,
+    buffer: SegmentBuffer,
+    scene: SceneDetector,
+    models: HashMap<Weather, SlowFastLite>,
+    switcher: ModelSwitcher,
+    verdicts: Vec<Verdict>,
+    frames_seen: usize,
+}
+
+impl SafeCross {
+    /// Creates a system with no registered models (register at least the
+    /// daytime model before expecting verdicts).
+    pub fn new(config: SafeCrossConfig) -> Self {
+        let switcher = ModelSwitcher::new(
+            GpuSpec::rtx_2080_ti(),
+            11_000_000_000,
+            SwitchStrategy::PipelinedOptimal,
+        );
+        SafeCross {
+            config,
+            vp: Preprocessor::new(config.frame_width, config.frame_height, config.preprocess),
+            buffer: SegmentBuffer::new(config.segment_frames),
+            scene: SceneDetector::new(config.scene_window),
+            models: HashMap::new(),
+            switcher,
+            verdicts: Vec::new(),
+            frames_seen: 0,
+        }
+    }
+
+    /// Registers the classifier for one weather scene (the FL module's
+    /// output). The first registered model becomes active.
+    pub fn register_model(&mut self, weather: Weather, model: SlowFastLite) {
+        let desc = ModelDesc::from_state_sizes(
+            weather.label(),
+            &model
+                .state_dict()
+                .iter()
+                .map(|(n, t)| (n.clone(), t.len()))
+                .collect::<Vec<_>>(),
+            36.0e9,
+        );
+        self.switcher.register(weather.label(), desc);
+        if self.models.is_empty() {
+            self.switcher.switch_to(weather.label());
+        }
+        self.models.insert(weather, model);
+    }
+
+    /// Scenes with a registered model.
+    pub fn registered_scenes(&self) -> Vec<Weather> {
+        let mut scenes: Vec<Weather> = self.models.keys().copied().collect();
+        scenes.sort_by_key(|w| w.label());
+        scenes
+    }
+
+    /// The scene the detector currently believes in.
+    pub fn current_scene(&self) -> Weather {
+        self.scene.current()
+    }
+
+    /// Total frames processed.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// All verdicts emitted so far.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The simulated switch log `(model, latency_ms)`.
+    pub fn switch_log(&self) -> Vec<(String, f64)> {
+        self.switcher.switch_log()
+    }
+
+    /// Consumes one camera frame: scene detection (and model switch if
+    /// the scene flipped), VP, and — once a full segment is buffered — a
+    /// VC verdict.
+    pub fn process_frame(&mut self, frame: &GrayFrame) -> FrameOutcome {
+        self.frames_seen += 1;
+        let mut scene_switch = None;
+        if let Some(new_scene) = self.scene.observe(frame) {
+            if self.models.contains_key(&new_scene) {
+                if let SwitchOutcome::Switched(report) =
+                    self.switcher.switch_to(new_scene.label())
+                {
+                    scene_switch = Some((new_scene, report));
+                }
+            }
+        }
+        let grid = self.vp.process(frame);
+        self.buffer.push(grid);
+        let verdict = self.classify_buffer();
+        if let Some(v) = verdict {
+            self.verdicts.push(v);
+        }
+        FrameOutcome {
+            verdict,
+            scene_switch,
+        }
+    }
+
+    /// Classifies the current buffer if full and a model is available.
+    fn classify_buffer(&mut self) -> Option<Verdict> {
+        let clip = self.buffer.as_clip()?;
+        let weather = self.effective_scene()?;
+        let model = self.models.get_mut(&weather)?;
+        let dims = clip.dims().to_vec();
+        let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
+        let logits = model.forward(&batch, Mode::Eval);
+        let probs = logits.softmax_rows();
+        let class_idx = probs.argmax_rows()[0];
+        let confidence = probs.at(&[0, class_idx]);
+        if confidence < self.config.min_confidence {
+            return None;
+        }
+        Some(Verdict {
+            class: Class::from_index(class_idx),
+            confidence,
+            weather,
+        })
+    }
+
+    /// The scene whose model should run: the detected scene when a model
+    /// exists for it, else the daytime fallback.
+    fn effective_scene(&self) -> Option<Weather> {
+        let detected = self.scene.current();
+        if self.models.contains_key(&detected) {
+            Some(detected)
+        } else if self.models.contains_key(&Weather::Daytime) {
+            Some(Weather::Daytime)
+        } else {
+            self.models.keys().next().copied()
+        }
+    }
+
+    /// Classifies one externally-prepared clip (`[1, T, H, W]`) with the
+    /// model for `weather` — the batch path used by the evaluation
+    /// harnesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is registered for `weather`.
+    pub fn classify_clip(&mut self, clip: &Tensor, weather: Weather) -> Verdict {
+        let model = self
+            .models
+            .get_mut(&weather)
+            .unwrap_or_else(|| panic!("no model registered for {weather}"));
+        let dims = clip.dims().to_vec();
+        let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
+        let logits = model.forward(&batch, Mode::Eval);
+        let probs = logits.softmax_rows();
+        let class_idx = probs.argmax_rows()[0];
+        Verdict {
+            class: Class::from_index(class_idx),
+            confidence: probs.at(&[0, class_idx]),
+            weather,
+        }
+    }
+}
+
+impl std::fmt::Debug for SafeCross {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SafeCross(scene {}, {} models, {} frames seen, {} verdicts)",
+            self.scene.current(),
+            self.models.len(),
+            self.frames_seen,
+            self.verdicts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_tensor::TensorRng;
+    use safecross_trafficsim::{Renderer, RenderConfig, Scenario, Simulator};
+
+    fn system_with_models() -> SafeCross {
+        let mut rng = TensorRng::seed_from(0);
+        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        sc.register_model(Weather::Snow, SlowFastLite::new(2, &mut rng));
+        sc.register_model(Weather::Rain, SlowFastLite::new(2, &mut rng));
+        sc
+    }
+
+    #[test]
+    fn needs_full_buffer_for_verdict() {
+        let mut sc = system_with_models();
+        let frame = GrayFrame::filled(320, 240, 90);
+        for i in 0..31 {
+            let out = sc.process_frame(&frame);
+            assert!(out.verdict.is_none(), "frame {i} produced early verdict");
+        }
+        let out = sc.process_frame(&frame);
+        assert!(out.verdict.is_some());
+        assert_eq!(sc.frames_seen(), 32);
+        assert_eq!(sc.verdicts().len(), 1);
+    }
+
+    #[test]
+    fn scene_change_triggers_model_switch() {
+        let mut sc = system_with_models();
+        let mut sim = Simulator::new(Scenario::new(Weather::Snow, true, 0.2), 1);
+        let mut renderer = Renderer::new(RenderConfig::default(), Weather::Snow, 1);
+        let mut switched = None;
+        for _ in 0..20 {
+            sim.step(1.0 / 30.0);
+            let frame = renderer.render(&sim);
+            let out = sc.process_frame(&frame);
+            if let Some((scene, report)) = out.scene_switch {
+                switched = Some((scene, report));
+            }
+        }
+        let (scene, report) = switched.expect("snow frames should switch the model");
+        assert_eq!(scene, Weather::Snow);
+        assert!(report.switch_overhead_ms < 10.0);
+        assert_eq!(sc.current_scene(), Weather::Snow);
+        // The switch log recorded daytime (initial) then snow.
+        let log = sc.switch_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].0, "snow");
+    }
+
+    #[test]
+    fn classify_clip_batches() {
+        let mut sc = system_with_models();
+        let clip = Tensor::zeros(&[1, 32, 20, 20]);
+        let v = sc.classify_clip(&clip, Weather::Daytime);
+        assert!(v.confidence >= 0.5);
+        assert_eq!(v.weather, Weather::Daytime);
+    }
+
+    #[test]
+    fn fallback_to_daytime_model() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        // Snow frames but no snow model: the daytime model still answers.
+        let bright = GrayFrame::filled(320, 240, 150);
+        for _ in 0..32 {
+            sc.process_frame(&bright);
+        }
+        assert!(!sc.verdicts().is_empty());
+        assert_eq!(sc.verdicts()[0].weather, Weather::Daytime);
+    }
+
+    #[test]
+    #[should_panic(expected = "no model registered")]
+    fn classify_without_model_panics() {
+        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        sc.classify_clip(&Tensor::zeros(&[1, 32, 20, 20]), Weather::Rain);
+    }
+
+    #[test]
+    fn verdict_warning_semantics() {
+        let warn = Verdict { class: Class::Danger, confidence: 0.9, weather: Weather::Daytime };
+        let clear = Verdict { class: Class::Safe, confidence: 0.9, weather: Weather::Daytime };
+        assert!(warn.is_warning());
+        assert!(!clear.is_warning());
+    }
+
+    #[test]
+    fn min_confidence_gates_verdicts() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut sc = SafeCross::new(SafeCrossConfig {
+            min_confidence: 0.999, // an untrained model never reaches this
+            ..SafeCrossConfig::default()
+        });
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let frame = GrayFrame::filled(320, 240, 90);
+        for _ in 0..35 {
+            sc.process_frame(&frame);
+        }
+        assert!(sc.verdicts().is_empty(), "low-confidence verdicts leaked");
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let sc = system_with_models();
+        let s = format!("{sc:?}");
+        assert!(s.contains("SafeCross"));
+        assert!(s.contains("3 models"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Weather-scene detection from frame statistics.
+//!
+//! The MS module needs a trigger: *which* scene model should be active?
+//! SafeCross infers the scene from cheap photometric statistics of the
+//! raw frame — no learned model required — and debounces the decision
+//! over a voting window so a single odd frame cannot thrash the GPU with
+//! switches.
+
+use safecross_trafficsim::Weather;
+use safecross_vision::GrayFrame;
+use std::collections::VecDeque;
+
+/// Photometric features of one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneFeatures {
+    /// Mean intensity (snow scenes are bright, rain scenes dark).
+    pub mean: f32,
+    /// Intensity standard deviation (contrast collapses in bad weather).
+    pub stddev: f32,
+    /// Fraction of isolated bright pixels (snowflake speckle).
+    pub speckle: f32,
+    /// Fraction of bright short vertical runs (rain streaks).
+    pub streaks: f32,
+}
+
+impl SceneFeatures {
+    /// Measures a frame.
+    pub fn measure(frame: &GrayFrame) -> Self {
+        let mean = frame.mean();
+        let stddev = frame.stddev();
+        let (w, h) = (frame.width(), frame.height());
+        let bright = (mean + 2.5 * stddev).min(235.0) as i32;
+        let mut speckle = 0usize;
+        let mut streaks = 0usize;
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let v = frame.at(x, y) as i32;
+                if v < bright {
+                    continue;
+                }
+                let above = frame.at(x, y - 1) as i32 >= bright;
+                let below = frame.at(x, y + 1) as i32 >= bright;
+                let left = frame.at(x - 1, y) as i32 >= bright;
+                let right = frame.at(x + 1, y) as i32 >= bright;
+                if !above && !below && !left && !right {
+                    speckle += 1;
+                } else if (above || below) && !left && !right {
+                    streaks += 1;
+                }
+            }
+        }
+        let n = (w * h) as f32;
+        SceneFeatures {
+            mean,
+            stddev,
+            speckle: speckle as f32 / n,
+            streaks: streaks as f32 / n,
+        }
+    }
+
+    /// Classifies the features into a weather scene.
+    pub fn classify(&self) -> Weather {
+        // Snow: bright ambient and/or heavy isolated speckle.
+        if self.mean > 115.0 || self.speckle > 0.004 {
+            return Weather::Snow;
+        }
+        // Rain: darker ambient with vertical streak energy.
+        if self.streaks > 0.0015 || self.mean < 80.0 {
+            return Weather::Rain;
+        }
+        Weather::Daytime
+    }
+}
+
+/// Debounced scene detector: majority vote over a sliding window.
+#[derive(Debug, Clone)]
+pub struct SceneDetector {
+    window: VecDeque<Weather>,
+    capacity: usize,
+    current: Weather,
+}
+
+impl SceneDetector {
+    /// Creates a detector voting over `window` frames, starting in
+    /// daytime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "voting window must be positive");
+        SceneDetector {
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            current: Weather::Daytime,
+        }
+    }
+
+    /// The currently agreed scene.
+    pub fn current(&self) -> Weather {
+        self.current
+    }
+
+    /// Feeds one frame; returns `Some(new_scene)` when the vote flips.
+    pub fn observe(&mut self, frame: &GrayFrame) -> Option<Weather> {
+        let vote = SceneFeatures::measure(frame).classify();
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(vote);
+        let winner = Weather::ALL
+            .iter()
+            .copied()
+            .max_by_key(|w| self.window.iter().filter(|&&v| v == *w).count())
+            .expect("ALL is non-empty");
+        // Require a strict majority of the full window to switch.
+        let count = self.window.iter().filter(|&&v| v == winner).count();
+        if winner != self.current && self.window.len() == self.capacity && 2 * count > self.capacity
+        {
+            self.current = winner;
+            Some(winner)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_trafficsim::{Renderer, RenderConfig, Scenario, Simulator};
+
+    fn rendered_frame(weather: Weather, seed: u64) -> GrayFrame {
+        let mut sim = Simulator::new(Scenario::new(weather, true, 0.2), seed);
+        sim.run(1.0);
+        let mut renderer = Renderer::new(RenderConfig::default(), weather, seed);
+        renderer.render(&sim)
+    }
+
+    #[test]
+    fn classifies_rendered_scenes() {
+        for (weather, seed) in [
+            (Weather::Daytime, 1),
+            (Weather::Rain, 2),
+            (Weather::Snow, 3),
+        ] {
+            let frame = rendered_frame(weather, seed);
+            let features = SceneFeatures::measure(&frame);
+            assert_eq!(
+                features.classify(),
+                weather,
+                "misclassified {weather}: {features:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_needs_majority_to_switch() {
+        let mut det = SceneDetector::new(5);
+        assert_eq!(det.current(), Weather::Daytime);
+        // Two snow frames in a window of five: no switch yet.
+        let snow = rendered_frame(Weather::Snow, 4);
+        let day = rendered_frame(Weather::Daytime, 5);
+        det.observe(&day);
+        det.observe(&day);
+        det.observe(&day);
+        assert_eq!(det.observe(&snow), None);
+        assert_eq!(det.observe(&snow), None);
+        assert_eq!(det.current(), Weather::Daytime);
+        // Third snow frame gives snow 3/5: switch fires exactly once.
+        assert_eq!(det.observe(&snow), Some(Weather::Snow));
+        assert_eq!(det.observe(&snow), None);
+        assert_eq!(det.current(), Weather::Snow);
+    }
+
+    #[test]
+    fn detector_is_stable_within_a_scene() {
+        let mut det = SceneDetector::new(5);
+        let mut switches = 0;
+        for seed in 0..30 {
+            let frame = rendered_frame(Weather::Rain, 100 + seed);
+            if det.observe(&frame).is_some() {
+                switches += 1;
+            }
+        }
+        assert_eq!(switches, 1, "rain should be detected exactly once");
+        assert_eq!(det.current(), Weather::Rain);
+    }
+}

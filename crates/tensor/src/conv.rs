@@ -1,0 +1,468 @@
+//! `im2col`/`vol2col` lowering for 2-D and 3-D convolutions.
+//!
+//! Convolutions in `safecross-nn` are computed as matrix products between a
+//! reshaped weight matrix and a patch matrix produced here, which is the
+//! standard CPU lowering (and what cuDNN's GEMM algorithms do internally).
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution over a `[C, H, W]` input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on all four sides.
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Output height after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_height(&self) -> usize {
+        out_extent(self.height, self.kernel, self.stride, self.padding)
+    }
+
+    /// Output width after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_width(&self) -> usize {
+        out_extent(self.width, self.kernel, self.stride, self.padding)
+    }
+
+    /// Rows of the patch matrix (`C * k * k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Geometry of a 3-D convolution over a `[C, T, H, W]` input.
+///
+/// Temporal and spatial kernel/stride are independent, which is what the
+/// SlowFast pathways need (e.g. temporal kernel 1 on the Slow pathway,
+/// larger on Fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv3dGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Number of frames.
+    pub frames: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Frame width.
+    pub width: usize,
+    /// Temporal kernel extent.
+    pub kernel_t: usize,
+    /// Spatial (square) kernel side.
+    pub kernel_s: usize,
+    /// Temporal stride.
+    pub stride_t: usize,
+    /// Spatial stride.
+    pub stride_s: usize,
+    /// Temporal zero padding.
+    pub pad_t: usize,
+    /// Spatial zero padding.
+    pub pad_s: usize,
+}
+
+impl Conv3dGeom {
+    /// Output frame count.
+    pub fn out_frames(&self) -> usize {
+        out_extent(self.frames, self.kernel_t, self.stride_t, self.pad_t)
+    }
+
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        out_extent(self.height, self.kernel_s, self.stride_s, self.pad_s)
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        out_extent(self.width, self.kernel_s, self.stride_s, self.pad_s)
+    }
+
+    /// Rows of the patch matrix (`C * kt * ks * ks`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_t * self.kernel_s * self.kernel_s
+    }
+}
+
+fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Lowers a `[C, H, W]` image into a `[C*k*k, outH*outW]` patch matrix.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the geometry.
+pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[g.in_channels, g.height, g.width],
+        "im2col input shape mismatch"
+    );
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
+    let rows = g.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let hw = g.height * g.width;
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        let v = if iy >= 0
+                            && iy < g.height as isize
+                            && ix >= 0
+                            && ix < g.width as isize
+                        {
+                            data[c * hw + iy as usize * g.width + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[base + oy * ow + ox] = v;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatters a `[C*k*k, outH*outW]` patch-gradient matrix back to `[C, H, W]`.
+///
+/// This is the adjoint of [`im2col`] and accumulates overlapping patches.
+///
+/// # Panics
+///
+/// Panics if `cols` does not match the geometry.
+pub fn col2im(cols_t: &Tensor, g: &Conv2dGeom) -> Tensor {
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
+    assert_eq!(
+        cols_t.dims(),
+        &[g.patch_len(), cols],
+        "col2im input shape mismatch"
+    );
+    let mut out = Tensor::zeros(&[g.in_channels, g.height, g.width]);
+    let hw = g.height * g.width;
+    let src = cols_t.data();
+    let dst = out.data_mut();
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.height as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix >= g.width as isize {
+                            continue;
+                        }
+                        dst[c * hw + iy as usize * g.width + ix as usize] +=
+                            src[base + oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lowers a `[C, T, H, W]` clip into a `[C*kt*ks*ks, oT*oH*oW]` patch matrix.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the geometry.
+pub fn vol2col(input: &Tensor, g: &Conv3dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[g.in_channels, g.frames, g.height, g.width],
+        "vol2col input shape mismatch"
+    );
+    let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
+    let cols = ot * oh * ow;
+    let rows = g.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let hw = g.height * g.width;
+    let thw = g.frames * hw;
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        for kt in 0..g.kernel_t {
+            for ky in 0..g.kernel_s {
+                for kx in 0..g.kernel_s {
+                    let base = row * cols;
+                    for oti in 0..ot {
+                        let it = (oti * g.stride_t + kt) as isize - g.pad_t as isize;
+                        let t_ok = it >= 0 && it < g.frames as isize;
+                        for oy in 0..oh {
+                            let iy = (oy * g.stride_s + ky) as isize - g.pad_s as isize;
+                            let y_ok = iy >= 0 && iy < g.height as isize;
+                            for ox in 0..ow {
+                                let ix = (ox * g.stride_s + kx) as isize - g.pad_s as isize;
+                                let v = if t_ok
+                                    && y_ok
+                                    && ix >= 0
+                                    && ix < g.width as isize
+                                {
+                                    data[c * thw
+                                        + it as usize * hw
+                                        + iy as usize * g.width
+                                        + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                out[base + oti * oh * ow + oy * ow + ox] = v;
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Adjoint of [`vol2col`]: scatters patch gradients back to `[C, T, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `cols_t` does not match the geometry.
+pub fn col2vol(cols_t: &Tensor, g: &Conv3dGeom) -> Tensor {
+    let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
+    let cols = ot * oh * ow;
+    assert_eq!(
+        cols_t.dims(),
+        &[g.patch_len(), cols],
+        "col2vol input shape mismatch"
+    );
+    let mut out = Tensor::zeros(&[g.in_channels, g.frames, g.height, g.width]);
+    let hw = g.height * g.width;
+    let thw = g.frames * hw;
+    let src = cols_t.data();
+    let dst = out.data_mut();
+    let mut row = 0;
+    for c in 0..g.in_channels {
+        for kt in 0..g.kernel_t {
+            for ky in 0..g.kernel_s {
+                for kx in 0..g.kernel_s {
+                    let base = row * cols;
+                    for oti in 0..ot {
+                        let it = (oti * g.stride_t + kt) as isize - g.pad_t as isize;
+                        if it < 0 || it >= g.frames as isize {
+                            continue;
+                        }
+                        for oy in 0..oh {
+                            let iy = (oy * g.stride_s + ky) as isize - g.pad_s as isize;
+                            if iy < 0 || iy >= g.height as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * g.stride_s + kx) as isize - g.pad_s as isize;
+                                if ix < 0 || ix >= g.width as isize {
+                                    continue;
+                                }
+                                dst[c * thw
+                                    + it as usize * hw
+                                    + iy as usize * g.width
+                                    + ix as usize] += src[base + oti * oh * ow + oy * ow + ox];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_extent_formula() {
+        assert_eq!(out_extent(5, 3, 1, 0), 3);
+        assert_eq!(out_extent(5, 3, 1, 1), 5);
+        assert_eq!(out_extent(8, 3, 2, 1), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: patch matrix equals the flattened image.
+        let g = Conv2dGeom {
+            in_channels: 1,
+            height: 2,
+            width: 3,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let img = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[1, 2, 3]);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[1, 6]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_3x3_single_patch() {
+        let g = Conv2dGeom {
+            in_channels: 1,
+            height: 3,
+            width: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let img = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[1, 3, 3]);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[9, 1]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_padding_produces_zeros() {
+        let g = Conv2dGeom {
+            in_channels: 1,
+            height: 1,
+            width: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let img = Tensor::from_vec(vec![7.0], &[1, 1, 1]);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[9, 1]);
+        // The centre tap sees the pixel, everything else is padding.
+        assert_eq!(cols.data().iter().filter(|&&v| v == 7.0).count(), 1);
+        assert_eq!(cols.data()[4], 7.0);
+        assert_eq!(cols.sum(), 7.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y.
+        let g = Conv2dGeom {
+            in_channels: 2,
+            height: 5,
+            width: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(
+            (0..2 * 5 * 4).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[2, 5, 4],
+        );
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| (i as f32 * 0.11).cos()).collect(),
+            cols.dims(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, &g);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn vol2col_identity_kernel() {
+        let g = Conv3dGeom {
+            in_channels: 1,
+            frames: 2,
+            height: 2,
+            width: 2,
+            kernel_t: 1,
+            kernel_s: 1,
+            stride_t: 1,
+            stride_s: 1,
+            pad_t: 0,
+            pad_s: 0,
+        };
+        let clip = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[1, 2, 2, 2]);
+        let cols = vol2col(&clip, &g);
+        assert_eq!(cols.dims(), &[1, 8]);
+        assert_eq!(cols.data(), clip.data());
+    }
+
+    #[test]
+    fn col2vol_is_adjoint_of_vol2col() {
+        let g = Conv3dGeom {
+            in_channels: 2,
+            frames: 4,
+            height: 3,
+            width: 3,
+            kernel_t: 3,
+            kernel_s: 2,
+            stride_t: 1,
+            stride_s: 1,
+            pad_t: 1,
+            pad_s: 0,
+        };
+        let x = Tensor::from_vec(
+            (0..2 * 4 * 3 * 3).map(|i| (i as f32 * 0.21).sin()).collect(),
+            &[2, 4, 3, 3],
+        );
+        let cols = vol2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| (i as f32 * 0.07).cos()).collect(),
+            cols.dims(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2vol(&y, &g);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv3d_geometry() {
+        let g = Conv3dGeom {
+            in_channels: 3,
+            frames: 8,
+            height: 16,
+            width: 16,
+            kernel_t: 3,
+            kernel_s: 3,
+            stride_t: 1,
+            stride_s: 2,
+            pad_t: 1,
+            pad_s: 1,
+        };
+        assert_eq!(g.out_frames(), 8);
+        assert_eq!(g.out_height(), 8);
+        assert_eq!(g.out_width(), 8);
+        assert_eq!(g.patch_len(), 3 * 3 * 3 * 3);
+    }
+}

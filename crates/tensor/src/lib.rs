@@ -1,0 +1,45 @@
+//! # safecross-tensor
+//!
+//! A small, dependency-light N-dimensional `f32` tensor library that serves
+//! as the numeric substrate for the SafeCross reproduction. It provides
+//! exactly the operations the neural-network crate ([`safecross-nn`]) needs:
+//! row-major dense storage, broadcast-free elementwise arithmetic, 2-D
+//! matrix multiplication, axis reductions, and the `im2col`/`vol2col`
+//! lowering used by 2-D and 3-D convolutions.
+//!
+//! The paper's original system runs on PyTorch/CUDA; this crate is the
+//! CPU substitution documented in `DESIGN.md`. It favours clarity and
+//! testability over raw throughput, while keeping the hot paths (matmul,
+//! im2col) cache-friendly enough to train the miniature video classifiers
+//! on a laptop-class CPU.
+//!
+//! ## Example
+//!
+//! ```
+//! use safecross_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+//!
+//! [`safecross-nn`]: ../safecross_nn/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod linalg;
+mod ops;
+mod random;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, col2vol, im2col, vol2col, Conv2dGeom, Conv3dGeom};
+pub use random::TensorRng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

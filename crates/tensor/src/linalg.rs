@@ -1,0 +1,151 @@
+//! Dense 2-D linear algebra: matmul and transposes.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// The loop order (i, k, j) keeps the innermost loop streaming over
+    /// contiguous rows of both the output and `rhs`, which is the single
+    /// most important optimisation for the im2col-based convolutions built
+    /// on top of this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "transpose requires a 2-D tensor");
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Matrix–vector product: `[m, k] x [k] -> [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matvec lhs must be 2-D");
+        assert_eq!(v.shape().ndim(), 1, "matvec rhs must be 1-D");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        assert_eq!(k, v.len(), "matvec dimension mismatch");
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            out[i] = self.data()[i * k..(i + 1) * k]
+                .iter()
+                .zip(v.data())
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Dot product of two 1-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or length mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape().ndim(), 1, "dot lhs must be 1-D");
+        assert_eq!(other.shape().ndim(), 1, "dot rhs must be 1-D");
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[3, 3]);
+        let c = a.matmul(&Tensor::eye(3));
+        assert_eq!(c, a);
+        let c = Tensor::eye(3).matmul(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]);
+        let v = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(m.matvec(&v).data(), &[3.0, 8.0]);
+        assert_eq!(v.dot(&v), 25.0);
+    }
+
+    #[test]
+    fn matmul_transpose_identity_property() {
+        // (A B)^T == B^T A^T on a modest random-ish case
+        let a = Tensor::from_vec((0..12).map(|x| (x as f32).sin()).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|x| (x as f32).cos()).collect(), &[4, 5]);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert!(lhs.allclose(&rhs, 1e-5));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests over the tensor core.
+
+use crate::{col2im, im2col, Conv2dGeom, Tensor};
+use proptest::prelude::*;
+
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_tensor()) {
+        let b = a.map(|x| x * 0.5 + 1.0);
+        prop_assert!((&a + &b).allclose(&(&b + &a), 1e-5));
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in small_tensor()) {
+        let z = Tensor::zeros(a.dims());
+        prop_assert_eq!(&a + &z, a);
+    }
+
+    #[test]
+    fn double_negation_is_identity(a in small_tensor()) {
+        prop_assert_eq!(-(-&a), a);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in small_tensor()) {
+        let n = a.len();
+        let flat = a.reshape(&[n]);
+        prop_assert!((a.sum() - flat.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_involution(a in small_tensor()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        seed in 0u64..1000,
+        m in 1usize..4, k in 1usize..4, n in 1usize..4,
+    ) {
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let c = rng.uniform(&[k, n], -1.0, 1.0);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = a.matmul(&b) + a.matmul(&c);
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        seed in 0u64..1000, r in 1usize..4, c in 1usize..6,
+    ) {
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let logits = rng.uniform(&[r, c], -10.0, 10.0);
+        let p = logits.softmax_rows();
+        for row in 0..r {
+            let s: f32 = p.data()[row * c..(row + 1) * c].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+        }
+        prop_assert!(p.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..500,
+        c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        k in 1usize..4, s in 1usize..3, p in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+        let g = Conv2dGeom { in_channels: c, height: h, width: w, kernel: k, stride: s, padding: p };
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let x = rng.uniform(&[c, h, w], -1.0, 1.0);
+        let cols = im2col(&x, &g);
+        let y = rng.uniform(cols.dims(), -1.0, 1.0);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, &g);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn stack_then_index_roundtrip(a in small_tensor(), n in 1usize..4) {
+        let parts: Vec<Tensor> = (0..n).map(|i| a.map(|x| x + i as f32)).collect();
+        let stacked = Tensor::stack(&parts);
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert_eq!(&stacked.index_axis0(i), p);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The dense tensor type.
+
+use crate::Shape;
+use std::fmt;
+
+/// A dense, row-major, owned `f32` tensor.
+///
+/// All SafeCross numeric state — images, network activations, weights,
+/// gradients — flows through this type. Storage is always contiguous, so
+/// `reshape` is free and elementwise kernels are simple loops over the
+/// backing `Vec<f32>`.
+///
+/// ```
+/// use safecross_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    ///
+    /// ```
+    /// use safecross_tensor::Tensor;
+    /// let i = Tensor::eye(3);
+    /// assert_eq!(i.at(&[1, 1]), 1.0);
+    /// assert_eq!(i.at(&[1, 2]), 0.0);
+    /// ```
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Tensors always contain at least one element; this mirrors the
+    /// standard `len`/`is_empty` pairing and is always `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds or of the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds or of the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} elements into {shape}",
+            self.len()
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place reshape (free: storage is contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.len(), self.len());
+        self.shape = shape;
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Extracts the `i`-th slice along axis 0 (e.g. one sample of a batch).
+    ///
+    /// The result drops the leading axis: slicing `[N, C, H, W]` yields
+    /// `[C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is a scalar or `i` is out of bounds.
+    pub fn index_axis0(&self, i: usize) -> Tensor {
+        assert!(!self.shape.is_empty(), "cannot slice a scalar");
+        let n = self.shape.dim(0);
+        assert!(i < n, "index {i} out of bounds for axis 0 (extent {n})");
+        let chunk = self.len() / n;
+        let dims = self.shape.dims()[1..].to_vec();
+        Tensor::from_vec(self.data[i * chunk..(i + 1) * chunk].to_vec(), &dims)
+    }
+
+    /// Writes `src` into the `i`-th slice along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or `i` is out of bounds.
+    pub fn set_axis0(&mut self, i: usize, src: &Tensor) {
+        let n = self.shape.dim(0);
+        assert!(i < n, "index {i} out of bounds for axis 0 (extent {n})");
+        let chunk = self.len() / n;
+        assert_eq!(src.len(), chunk, "slice length mismatch");
+        self.data[i * chunk..(i + 1) * chunk].copy_from_slice(&src.data);
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes differ.
+    pub fn stack(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cannot stack zero tensors");
+        let inner = parts[0].shape.clone();
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(inner.dims());
+        let mut data = Vec::with_capacity(parts.len() * inner.len());
+        for p in parts {
+            assert_eq!(p.shape, inner, "stack shape mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(data, &dims)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", [{:.4}, {:.4}, .. {:.4}] n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1],
+                self.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.data()[5], 5.0);
+    }
+
+    #[test]
+    fn from_vec_and_reshape_preserve_order() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.at(&[0, 1]), 1.0);
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert_eq!(t.data(), r.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn index_axis0_extracts_samples() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 2, 2]);
+        let s = t.index_axis0(1);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn set_axis0_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        let row = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        t.set_axis0(1, &row);
+        assert_eq!(t.index_axis0(1), row);
+        assert_eq!(t.index_axis0(0).data(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn stack_builds_batch() {
+        let a = Tensor::full(&[2], 1.0);
+        let b = Tensor::full(&[2], 2.0);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.at(&[]), 3.5);
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[1])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros(&[100])).is_empty());
+    }
+}

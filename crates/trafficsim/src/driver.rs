@@ -1,0 +1,179 @@
+//! Driver behaviour models: IDM car following and gap-acceptance turning.
+
+use crate::weather::WeatherParams;
+
+/// Intelligent Driver Model parameters (Treiber et al.), derated by the
+/// current weather's friction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdmParams {
+    /// Desired (free-flow) speed, m/s.
+    pub desired_speed: f64,
+    /// Maximum acceleration, m/s².
+    pub max_accel: f64,
+    /// Comfortable deceleration, m/s².
+    pub comfort_decel: f64,
+    /// Minimum bumper-to-bumper gap, metres.
+    pub min_gap: f64,
+    /// Desired time headway, seconds.
+    pub time_headway: f64,
+}
+
+impl IdmParams {
+    /// Parameters appropriate for a weather scene: lower friction lowers
+    /// usable acceleration/deceleration and drivers keep longer headways.
+    pub fn for_weather(w: &WeatherParams) -> Self {
+        IdmParams {
+            desired_speed: w.desired_speed,
+            max_accel: (1.5 * w.friction / 0.8).min(1.5),
+            comfort_decel: w.braking_decel(),
+            min_gap: 2.0,
+            time_headway: 1.5 * (0.8 / w.friction).sqrt(),
+        }
+    }
+
+    /// IDM acceleration for a vehicle at `speed` with an optional leader
+    /// `(gap, leader_speed)`; `gap` is bumper-to-bumper metres.
+    ///
+    /// Free road (no leader) reduces to the IDM free-flow term.
+    pub fn acceleration(&self, speed: f64, leader: Option<(f64, f64)>) -> f64 {
+        let free = 1.0 - (speed / self.desired_speed).powi(4);
+        let interaction = match leader {
+            Some((gap, leader_speed)) => {
+                let gap = gap.max(0.01);
+                let dv = speed - leader_speed;
+                let s_star = self.min_gap
+                    + (speed * self.time_headway
+                        + speed * dv / (2.0 * (self.max_accel * self.comfort_decel).sqrt()))
+                    .max(0.0);
+                (s_star / gap).powi(2)
+            }
+            None => 0.0,
+        };
+        self.max_accel * (free - interaction)
+    }
+}
+
+/// Gap-acceptance model for the left-turning driver.
+///
+/// A turn is accepted when every *visible* oncoming vehicle is at least
+/// `safe_gap_seconds` away from the conflict point at its current speed.
+/// Vehicles hidden by the occluder are — by definition — not part of the
+/// decision, which is precisely the hazard SafeCross closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapAcceptance {
+    /// Minimum acceptable time-to-conflict, seconds.
+    pub safe_gap_seconds: f64,
+}
+
+impl GapAcceptance {
+    /// Builds the model from weather parameters.
+    pub fn for_weather(w: &WeatherParams) -> Self {
+        GapAcceptance {
+            safe_gap_seconds: w.safe_gap_seconds,
+        }
+    }
+
+    /// Time for an oncoming vehicle to reach the conflict point.
+    ///
+    /// `distance` is metres before the conflict point (negative = already
+    /// past it); stationary vehicles never arrive.
+    pub fn time_to_conflict(distance: f64, speed: f64) -> f64 {
+        if distance <= 0.0 {
+            0.0
+        } else if speed < 0.1 {
+            f64::INFINITY
+        } else {
+            distance / speed
+        }
+    }
+
+    /// Whether a set of `(distance, speed)` oncoming observations admits
+    /// a safe turn.
+    pub fn accepts<'a, I>(&self, oncoming: I) -> bool
+    where
+        I: IntoIterator<Item = &'a (f64, f64)>,
+    {
+        oncoming.into_iter().all(|&(d, v)| {
+            let t = Self::time_to_conflict(d, v);
+            t > self.safe_gap_seconds
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weather::Weather;
+
+    #[test]
+    fn idm_free_flow_accelerates_to_desired_speed() {
+        let p = IdmParams::for_weather(&Weather::Daytime.params());
+        // Starting from rest: strong acceleration.
+        assert!(p.acceleration(0.0, None) > 1.0);
+        // At desired speed: zero acceleration.
+        assert!(p.acceleration(p.desired_speed, None).abs() < 1e-9);
+        // Above desired speed: deceleration.
+        assert!(p.acceleration(p.desired_speed * 1.2, None) < 0.0);
+    }
+
+    #[test]
+    fn idm_brakes_for_close_leader() {
+        let p = IdmParams::for_weather(&Weather::Daytime.params());
+        let a = p.acceleration(13.0, Some((5.0, 0.0)));
+        assert!(a < -3.0, "expected hard braking, got {a}");
+    }
+
+    #[test]
+    fn idm_ignores_distant_leader() {
+        let p = IdmParams::for_weather(&Weather::Daytime.params());
+        let far = p.acceleration(10.0, Some((500.0, 10.0)));
+        let free = p.acceleration(10.0, None);
+        assert!((far - free).abs() < 0.05);
+    }
+
+    #[test]
+    fn snow_derates_dynamics() {
+        let dry = IdmParams::for_weather(&Weather::Daytime.params());
+        let snow = IdmParams::for_weather(&Weather::Snow.params());
+        assert!(snow.max_accel < dry.max_accel);
+        assert!(snow.comfort_decel < dry.comfort_decel);
+        assert!(snow.time_headway > dry.time_headway);
+        assert!(snow.desired_speed < dry.desired_speed);
+    }
+
+    #[test]
+    fn gap_acceptance_thresholds() {
+        let g = GapAcceptance { safe_gap_seconds: 4.0 };
+        // 50 m away at 10 m/s -> 5 s: safe.
+        assert!(g.accepts(&[(50.0, 10.0)]));
+        // 30 m away at 10 m/s -> 3 s: unsafe.
+        assert!(!g.accepts(&[(30.0, 10.0)]));
+        // One safe + one unsafe -> unsafe.
+        assert!(!g.accepts(&[(50.0, 10.0), (30.0, 10.0)]));
+        // Nothing oncoming -> safe.
+        assert!(g.accepts(&[]));
+    }
+
+    #[test]
+    fn stationary_oncoming_vehicle_is_no_threat() {
+        let g = GapAcceptance { safe_gap_seconds: 4.0 };
+        assert!(g.accepts(&[(20.0, 0.0)]));
+    }
+
+    #[test]
+    fn vehicle_already_past_conflict_blocks() {
+        // Distance <= 0 means it is in the conflict area right now.
+        let g = GapAcceptance { safe_gap_seconds: 4.0 };
+        assert!(!g.accepts(&[(0.0, 5.0)]));
+        assert!(!g.accepts(&[(-2.0, 5.0)]));
+    }
+
+    #[test]
+    fn weather_scales_accepted_gap() {
+        let dry = GapAcceptance::for_weather(&Weather::Daytime.params());
+        let snow = GapAcceptance::for_weather(&Weather::Snow.params());
+        // A 5 s gap is fine on dry roads but rejected on snow.
+        assert!(dry.accepts(&[(50.0, 10.0)]));
+        assert!(!snow.accepts(&[(50.0, 10.0)]));
+    }
+}

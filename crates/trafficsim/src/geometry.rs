@@ -1,0 +1,315 @@
+//! Planar geometry primitives.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2-D vector / point in world metres.
+///
+/// ```
+/// use safecross_trafficsim::Vec2;
+///
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component (east positive).
+    pub x: f64,
+    /// Y component (north positive).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Vec2 { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean length.
+    pub fn length(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Squared length (avoids the square root).
+    pub fn length_squared(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross).
+    pub fn cross(&self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    pub fn normalized(&self) -> Vec2 {
+        let l = self.length();
+        assert!(l > 0.0, "cannot normalise the zero vector");
+        Vec2::new(self.x / l, self.y / l)
+    }
+
+    /// Perpendicular vector (rotated 90° counter-clockwise).
+    pub fn perp(&self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Distance to another point.
+    pub fn distance(&self, other: Vec2) -> f64 {
+        (*self - other).length()
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: Vec2, t: f64) -> Vec2 {
+        *self + (other - *self) * t
+    }
+
+    /// Heading angle in radians (atan2 convention).
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// A rectangle with arbitrary orientation, described by centre, half
+/// extents, and heading. Used for vehicle footprints and occluders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrientedRect {
+    /// Centre in world metres.
+    pub center: Vec2,
+    /// Half length along the heading axis.
+    pub half_length: f64,
+    /// Half width across the heading axis.
+    pub half_width: f64,
+    /// Heading in radians (0 = east).
+    pub heading: f64,
+}
+
+impl OrientedRect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either half extent is non-positive.
+    pub fn new(center: Vec2, half_length: f64, half_width: f64, heading: f64) -> Self {
+        assert!(half_length > 0.0 && half_width > 0.0, "extents must be positive");
+        OrientedRect {
+            center,
+            half_length,
+            half_width,
+            heading,
+        }
+    }
+
+    /// The four corners in counter-clockwise order.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let dir = Vec2::new(self.heading.cos(), self.heading.sin());
+        let side = dir.perp();
+        let l = dir * self.half_length;
+        let w = side * self.half_width;
+        [
+            self.center + l + w,
+            self.center - l + w,
+            self.center - l - w,
+            self.center + l - w,
+        ]
+    }
+
+    /// Whether a point is inside (or on) the rectangle.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let dir = Vec2::new(self.heading.cos(), self.heading.sin());
+        let rel = p - self.center;
+        let along = rel.dot(dir).abs();
+        let across = rel.dot(dir.perp()).abs();
+        along <= self.half_length + 1e-9 && across <= self.half_width + 1e-9
+    }
+
+    /// Whether the segment `a -> b` intersects the rectangle (including
+    /// endpoints inside).
+    pub fn intersects_segment(&self, a: Vec2, b: Vec2) -> bool {
+        if self.contains(a) || self.contains(b) {
+            return true;
+        }
+        let cs = self.corners();
+        for i in 0..4 {
+            if segments_intersect(a, b, cs[i], cs[(i + 1) % 4]) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Whether segments `a1->a2` and `b1->b2` intersect (proper or touching).
+pub fn segments_intersect(a1: Vec2, a2: Vec2, b1: Vec2, b2: Vec2) -> bool {
+    let d1 = direction(b1, b2, a1);
+    let d2 = direction(b1, b2, a2);
+    let d3 = direction(a1, a2, b1);
+    let d4 = direction(a1, a2, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(b1, b2, a1))
+        || (d2 == 0.0 && on_segment(b1, b2, a2))
+        || (d3 == 0.0 && on_segment(a1, a2, b1))
+        || (d4 == 0.0 && on_segment(a1, a2, b2))
+}
+
+fn direction(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+fn on_segment(a: Vec2, b: Vec2, p: Vec2) -> bool {
+    p.x >= a.x.min(b.x) - 1e-9
+        && p.x <= a.x.max(b.x) + 1e-9
+        && p.y >= a.y.min(b.y) - 1e-9
+        && p.y <= a.y.max(b.y) + 1e-9
+}
+
+/// Intersection parameter of ray `origin + t*dir` with segment `a->b`,
+/// returning `t >= 0` if they meet (smallest such `t`).
+pub fn ray_segment_intersection(origin: Vec2, dir: Vec2, a: Vec2, b: Vec2) -> Option<f64> {
+    let v1 = origin - a;
+    let v2 = b - a;
+    let v3 = dir.perp();
+    let denom = v2.dot(v3);
+    if denom.abs() < 1e-12 {
+        return None; // parallel
+    }
+    let t = v2.cross(v1) / denom;
+    let s = v1.dot(v3) / denom;
+    if t >= 0.0 && (0.0..=1.0).contains(&s) {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+        assert_eq!(a.perp(), Vec2::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn rect_corners_and_contains() {
+        let r = OrientedRect::new(Vec2::zero(), 2.0, 1.0, 0.0);
+        assert!(r.contains(Vec2::new(1.9, 0.9)));
+        assert!(!r.contains(Vec2::new(2.1, 0.0)));
+        let cs = r.corners();
+        assert!((cs[0].x - 2.0).abs() < 1e-9 && (cs[0].y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_rect_contains() {
+        // 45° rotated square of half extents 1: the point (1.2, 0) is
+        // inside (diagonal reaches sqrt(2)).
+        let r = OrientedRect::new(Vec2::zero(), 1.0, 1.0, std::f64::consts::FRAC_PI_4);
+        assert!(r.contains(Vec2::new(1.2, 0.0)));
+        assert!(!r.contains(Vec2::new(1.2, 1.2)));
+    }
+
+    #[test]
+    fn segment_rect_intersection() {
+        let r = OrientedRect::new(Vec2::new(5.0, 0.0), 1.0, 1.0, 0.0);
+        assert!(r.intersects_segment(Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)));
+        assert!(!r.intersects_segment(Vec2::new(0.0, 5.0), Vec2::new(10.0, 5.0)));
+        // Segment ending inside.
+        assert!(r.intersects_segment(Vec2::new(0.0, 0.0), Vec2::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn segments_crossing() {
+        assert!(segments_intersect(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+            Vec2::new(2.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn ray_hits_segment() {
+        let t = ray_segment_intersection(
+            Vec2::zero(),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(5.0, -1.0),
+            Vec2::new(5.0, 1.0),
+        );
+        assert!((t.unwrap() - 5.0).abs() < 1e-9);
+        // Ray pointing away misses.
+        assert!(ray_segment_intersection(
+            Vec2::zero(),
+            Vec2::new(-1.0, 0.0),
+            Vec2::new(5.0, -1.0),
+            Vec2::new(5.0, 1.0)
+        )
+        .is_none());
+    }
+}

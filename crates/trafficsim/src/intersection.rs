@@ -1,0 +1,324 @@
+//! The paper's Fig. 2 intersection scene.
+//!
+//! World frame: metres, origin at the intersection centre, x east,
+//! y north. Right-hand driving. The actors:
+//!
+//! - **Turner** ("green vehicle"): eastbound in the left-turn lane
+//!   (y = -1.75), waiting at the stop line (x = -9) to turn north.
+//! - **Occluder** ("grey van"): westbound in the opposing left-turn lane
+//!   (y = +1.75), waiting at its own stop line (x = +9). Its body hides a
+//!   stretch of the oncoming through lane from the turner.
+//! - **Oncoming traffic**: westbound through lane (y = +5.25), crossing
+//!   the turner's path at the conflict point.
+//! - **Eastbound through traffic** (y = -5.25): scene clutter only.
+
+use crate::geometry::{OrientedRect, Vec2};
+use crate::occlusion::shadow_interval;
+use crate::route::Route;
+use crate::vehicle::VehicleKind;
+use std::f64::consts::FRAC_PI_2;
+
+/// Lane width in metres.
+pub const LANE_WIDTH: f64 = 3.5;
+/// Half extent of the simulated world (square) in metres. Larger than
+/// the camera view (55 m) so freshly spawned vehicles are still far
+/// enough from the conflict point to constitute acceptable gaps.
+pub const WORLD_HALF: f64 = 80.0;
+/// Stop-line distance from the intersection centre.
+pub const STOP_LINE: f64 = 9.0;
+
+/// Static geometry of the intersection and derived safety quantities.
+#[derive(Debug, Clone)]
+pub struct Intersection {
+    oncoming: Route,
+    eastbound: Route,
+    turner: Route,
+    occluder_approach: Route,
+    conflict_s: f64,
+    turner_eye: Vec2,
+    turn_start_s: f64,
+}
+
+impl Default for Intersection {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Intersection {
+    /// Builds the canonical scene.
+    pub fn new() -> Self {
+        let inner = LANE_WIDTH / 2.0; // 1.75: left-turn lane centre offset
+        let outer = LANE_WIDTH * 1.5; // 5.25: through lane centre offset
+
+        // Westbound through lane: east edge to west edge.
+        let oncoming = Route::straight(
+            Vec2::new(WORLD_HALF, outer),
+            Vec2::new(-WORLD_HALF, outer),
+        );
+        // Eastbound through lane (clutter).
+        let eastbound = Route::straight(
+            Vec2::new(-WORLD_HALF, -outer),
+            Vec2::new(WORLD_HALF, -outer),
+        );
+        // Turner: eastbound left-turn lane, arc onto the northbound lane
+        // (x = +1.75), then exit north.
+        let radius = STOP_LINE + inner; // lands exactly on x = +inner
+        let turner = Route::with_turn(
+            Vec2::new(-WORLD_HALF, -inner),
+            Vec2::new(-STOP_LINE, -inner),
+            0.0,
+            FRAC_PI_2,
+            radius,
+            WORLD_HALF - STOP_LINE,
+        );
+        let turn_start_s = WORLD_HALF - STOP_LINE;
+        // Occluder approach: westbound left-turn lane up to its stop line.
+        let occluder_approach = Route::straight(
+            Vec2::new(WORLD_HALF, inner),
+            Vec2::new(STOP_LINE, inner),
+        );
+        // Conflict point: where the turner's exit (x = +inner) crosses the
+        // oncoming lane (y = +outer).
+        let conflict_s = oncoming.project(Vec2::new(inner, outer));
+        let turner_eye = Vec2::new(-STOP_LINE, -inner);
+        Intersection {
+            oncoming,
+            eastbound,
+            turner,
+            occluder_approach,
+            conflict_s,
+            turner_eye,
+            turn_start_s,
+        }
+    }
+
+    /// The westbound through (oncoming) lane.
+    pub fn oncoming_route(&self) -> &Route {
+        &self.oncoming
+    }
+
+    /// The eastbound through lane (visual clutter).
+    pub fn eastbound_route(&self) -> &Route {
+        &self.eastbound
+    }
+
+    /// The turner's full path (approach, arc, exit).
+    pub fn turner_route(&self) -> &Route {
+        &self.turner
+    }
+
+    /// The occluder's approach lane (ends at its stop line).
+    pub fn occluder_approach(&self) -> &Route {
+        &self.occluder_approach
+    }
+
+    /// Arc length on the oncoming route of the turner-path conflict point.
+    pub fn conflict_s(&self) -> f64 {
+        self.conflict_s
+    }
+
+    /// Arc length on the turner route where the stop line sits.
+    pub fn turn_start_s(&self) -> f64 {
+        self.turn_start_s
+    }
+
+    /// The turning driver's eye position while waiting at the stop line.
+    pub fn turner_eye(&self) -> Vec2 {
+        self.turner_eye
+    }
+
+    /// Footprint of an occluder of the given kind parked at its stop
+    /// line, facing west.
+    pub fn occluder_pose(&self, kind: VehicleKind) -> OrientedRect {
+        let center = self
+            .occluder_approach
+            .point_at(self.occluder_approach.length())
+            + Vec2::new(kind.length() / 2.0, 0.0);
+        OrientedRect::new(
+            center,
+            kind.length() / 2.0,
+            kind.width() / 2.0,
+            std::f64::consts::PI,
+        )
+    }
+
+    /// The blind interval (arc lengths on the oncoming route) cast by an
+    /// occluder of `kind`, or `None` for non-occluding bodies.
+    pub fn blind_interval(&self, kind: VehicleKind) -> Option<(f64, f64)> {
+        shadow_interval(self.turner_eye, &self.occluder_pose(kind), &self.oncoming, 0.5)
+    }
+
+    /// Assesses the oncoming traffic from the turner's point of view.
+    ///
+    /// `oncoming` holds `(arc_length, speed)` pairs on the oncoming
+    /// route; `occluder` is the parked occluder kind, if present;
+    /// `safe_gap` is the weather's accepted time gap in seconds.
+    pub fn assess(
+        &self,
+        oncoming: &[(f64, f64)],
+        occluder: Option<VehicleKind>,
+        safe_gap: f64,
+    ) -> DangerAssessment {
+        let blind = occluder.and_then(|k| self.blind_interval(k));
+        let mut min_ttc = f64::INFINITY;
+        let mut hidden_vehicles = 0usize;
+        let mut visible_threat = false;
+        let mut hidden_threat = false;
+        for &(s, v) in oncoming {
+            let dist = self.conflict_s - s;
+            if dist < -2.0 {
+                continue; // already through the conflict area
+            }
+            let ttc = if dist <= 0.0 {
+                0.0
+            } else if v < 0.1 {
+                f64::INFINITY
+            } else {
+                dist / v
+            };
+            min_ttc = min_ttc.min(ttc);
+            let hidden = blind.map(|(lo, hi)| s >= lo && s <= hi).unwrap_or(false);
+            if hidden {
+                hidden_vehicles += 1;
+            }
+            if ttc <= safe_gap {
+                if hidden {
+                    hidden_threat = true;
+                } else {
+                    visible_threat = true;
+                }
+            }
+        }
+        DangerAssessment {
+            min_ttc,
+            hidden_vehicles,
+            visible_threat,
+            hidden_threat,
+            blind_interval: blind,
+        }
+    }
+}
+
+/// The turner-perspective safety picture at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DangerAssessment {
+    /// Smallest time-to-conflict among oncoming vehicles (s).
+    pub min_ttc: f64,
+    /// Number of oncoming vehicles currently inside the blind interval.
+    pub hidden_vehicles: usize,
+    /// A threatening vehicle the driver can see (ordinary waiting case).
+    pub visible_threat: bool,
+    /// A threatening vehicle the driver **cannot** see — the collision
+    /// case SafeCross exists to prevent.
+    pub hidden_threat: bool,
+    /// The blind interval on the oncoming route, if an occluder exists.
+    pub blind_interval: Option<(f64, f64)>,
+}
+
+impl DangerAssessment {
+    /// Whether the ground truth says turning now is dangerous.
+    pub fn dangerous(&self) -> bool {
+        self.visible_threat || self.hidden_threat
+    }
+
+    /// Whether the scene has a blind area at all.
+    pub fn has_blind_area(&self) -> bool {
+        self.blind_interval.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_point_is_past_the_centre() {
+        let ix = Intersection::new();
+        // The conflict sits near x = +1.75 on the oncoming lane, i.e.
+        // slightly more than WORLD_HALF metres of travel from the east.
+        let p = ix.oncoming_route().point_at(ix.conflict_s());
+        assert!((p.x - LANE_WIDTH / 2.0).abs() < 0.5, "{p:?}");
+        assert!((p.y - LANE_WIDTH * 1.5).abs() < 0.5, "{p:?}");
+    }
+
+    #[test]
+    fn van_casts_blind_interval_upstream_of_conflict() {
+        let ix = Intersection::new();
+        let (lo, hi) = ix.blind_interval(VehicleKind::Van).expect("van must occlude");
+        // Convert to x positions: the blind stretch must lie east of the
+        // conflict point (vehicles approach from the east).
+        let x_lo = ix.oncoming_route().point_at(lo).x;
+        let x_hi = ix.oncoming_route().point_at(hi).x;
+        assert!(x_lo > x_hi, "oncoming route runs east->west");
+        assert!(x_hi > LANE_WIDTH / 2.0, "shadow ends before the conflict: {x_hi}");
+        assert!(x_lo > 10.0, "shadow starts well upstream: {x_lo}");
+        // The blind stretch is tens of metres long (projective widening).
+        assert!(hi - lo > 10.0, "blind length {}", hi - lo);
+    }
+
+    #[test]
+    fn truck_shadow_wider_than_van() {
+        let ix = Intersection::new();
+        let (v0, v1) = ix.blind_interval(VehicleKind::Van).unwrap();
+        let (t0, t1) = ix.blind_interval(VehicleKind::Truck).unwrap();
+        assert!(t1 - t0 > v1 - v0);
+    }
+
+    #[test]
+    fn assessment_flags_hidden_threat() {
+        let ix = Intersection::new();
+        let (lo, hi) = ix.blind_interval(VehicleKind::Van).unwrap();
+        let mid = (lo + hi) / 2.0;
+        // A fast vehicle inside the blind interval.
+        let a = ix.assess(&[(mid, 13.9)], Some(VehicleKind::Van), 4.0);
+        assert!(a.hidden_threat, "{a:?}");
+        assert!(!a.visible_threat);
+        assert_eq!(a.hidden_vehicles, 1);
+        assert!(a.dangerous());
+        assert!(a.has_blind_area());
+    }
+
+    #[test]
+    fn assessment_flags_visible_threat_without_occluder() {
+        let ix = Intersection::new();
+        let s = ix.conflict_s() - 20.0; // 20 m before conflict at 10 m/s -> 2 s
+        let a = ix.assess(&[(s, 10.0)], None, 4.0);
+        assert!(a.visible_threat);
+        assert!(!a.hidden_threat);
+        assert!(!a.has_blind_area());
+    }
+
+    #[test]
+    fn distant_vehicle_is_safe() {
+        let ix = Intersection::new();
+        let a = ix.assess(&[(5.0, 13.9)], Some(VehicleKind::Van), 4.0);
+        assert!(!a.dangerous(), "{a:?}");
+        assert!(a.min_ttc > 4.0);
+    }
+
+    #[test]
+    fn vehicle_past_conflict_ignored() {
+        let ix = Intersection::new();
+        let a = ix.assess(&[(ix.conflict_s() + 10.0, 13.9)], None, 4.0);
+        assert!(!a.dangerous());
+        assert_eq!(a.min_ttc, f64::INFINITY);
+    }
+
+    #[test]
+    fn turner_route_passes_through_conflict_point() {
+        let ix = Intersection::new();
+        let conflict = ix.oncoming_route().point_at(ix.conflict_s());
+        // Some point on the turner route comes close to the conflict.
+        let s = ix.turner_route().project(conflict);
+        let p = ix.turner_route().point_at(s);
+        assert!(p.distance(conflict) < 1.5, "distance {}", p.distance(conflict));
+    }
+
+    #[test]
+    fn stop_line_matches_turn_start() {
+        let ix = Intersection::new();
+        let p = ix.turner_route().point_at(ix.turn_start_s());
+        assert!(p.distance(ix.turner_eye()) < 1e-6);
+    }
+}

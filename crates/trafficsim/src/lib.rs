@@ -1,0 +1,60 @@
+//! # safecross-trafficsim
+//!
+//! A kinematic intersection traffic simulator plus a synthetic
+//! surveillance-camera renderer. Together they substitute for the closed
+//! Belarus live-stream dataset the SafeCross paper was built on (see
+//! `DESIGN.md`): the simulator reproduces the paper's left-turn scenario
+//! — a turner whose view of the oncoming through lane is occluded by an
+//! opposing vehicle waiting to turn — with weather-dependent vehicle
+//! dynamics, and the renderer produces the noisy grayscale frames the
+//! vision pipeline consumes.
+//!
+//! The module split mirrors the physical decomposition:
+//!
+//! - [`geometry`]: vectors, oriented rectangles, ray casting.
+//! - [`weather`]: friction / visibility / noise per scene type.
+//! - [`route`]: arc-length-parameterised vehicle paths.
+//! - [`vehicle`]: vehicle kinds and state.
+//! - [`driver`]: IDM car-following and gap-acceptance turning.
+//! - [`intersection`]: the paper's Fig. 2 scene and its danger zone.
+//! - [`occlusion`]: shadow-interval computation behind the occluder.
+//! - [`sim`]: the discrete-time simulator and its event log.
+//! - [`render`]: the orthographic camera with weather artefacts.
+//!
+//! ## Example
+//!
+//! ```
+//! use safecross_trafficsim::{Scenario, Simulator, Weather};
+//!
+//! let scenario = Scenario::new(Weather::Daytime, true, 0.25);
+//! let mut sim = Simulator::new(scenario, 42);
+//! sim.run(5.0); // five simulated seconds
+//! assert!(sim.time() >= 4.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+#[cfg(test)]
+mod proptests;
+pub mod geometry;
+pub mod intersection;
+pub mod mirror;
+pub mod occlusion;
+pub mod render;
+pub mod route;
+pub mod sim;
+pub mod vehicle;
+pub mod weather;
+
+pub use driver::{GapAcceptance, IdmParams};
+pub use geometry::{OrientedRect, Vec2};
+pub use intersection::{DangerAssessment, Intersection};
+pub use mirror::MirroredScene;
+pub use occlusion::shadow_interval;
+pub use render::{Camera, RenderConfig, Renderer};
+pub use route::Route;
+pub use sim::{Scenario, SimEvent, Simulator, TurnPolicy};
+pub use vehicle::{Vehicle, VehicleId, VehicleKind};
+pub use weather::{Weather, WeatherParams};

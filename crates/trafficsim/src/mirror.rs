@@ -1,0 +1,156 @@
+//! Opposite-direction support (paper future work: "expand the research
+//! scope... simultaneous warning in four directions").
+//!
+//! The canonical [`Intersection`] describes the eastbound left-turner
+//! whose view is blocked by the westbound waiting vehicle. By the scene's
+//! point symmetry, the *westbound* left-turner faces the mirrored
+//! problem: the eastbound waiting vehicle hides a stretch of the
+//! eastbound through lane. This module derives that mirrored geometry so
+//! one SafeCross deployment can serve both left-turn movements — the
+//! first half of the paper's "four directions" roadmap (the north/south
+//! pair is the same construction rotated 90°).
+
+use crate::geometry::{OrientedRect, Vec2};
+use crate::intersection::Intersection;
+use crate::occlusion::shadow_interval;
+use crate::route::Route;
+use crate::vehicle::VehicleKind;
+
+/// The mirrored (westbound-turner) view of an intersection.
+///
+/// All quantities are expressed in the same world frame as the original
+/// intersection; only the roles are reflected through the origin.
+#[derive(Debug, Clone)]
+pub struct MirroredScene {
+    /// The westbound turner's eye position at its stop line.
+    pub turner_eye: Vec2,
+    /// The oncoming lane for the westbound turner: the *eastbound*
+    /// through lane, re-parameterised to run towards its conflict point.
+    pub oncoming: Route,
+    /// Arc length of the conflict point on [`MirroredScene::oncoming`].
+    pub conflict_s: f64,
+}
+
+/// Reflects a point through the intersection centre.
+fn reflect(p: Vec2) -> Vec2 {
+    Vec2::new(-p.x, -p.y)
+}
+
+impl MirroredScene {
+    /// Derives the westbound-turner scene from the canonical geometry.
+    pub fn of(intersection: &Intersection) -> Self {
+        let turner_eye = reflect(intersection.turner_eye());
+        // The eastbound through lane carries the westbound turner's
+        // oncoming traffic. Reflect the canonical oncoming route so the
+        // parameterisation again runs from far side towards the conflict.
+        let points: Vec<Vec2> = intersection
+            .oncoming_route()
+            .points()
+            .iter()
+            .map(|&p| reflect(p))
+            .collect();
+        let oncoming = Route::new(points);
+        let conflict_world = reflect(
+            intersection
+                .oncoming_route()
+                .point_at(intersection.conflict_s()),
+        );
+        let conflict_s = oncoming.project(conflict_world);
+        MirroredScene {
+            turner_eye,
+            oncoming,
+            conflict_s,
+        }
+    }
+
+    /// Footprint of the occluder blocking the westbound turner's view:
+    /// a vehicle of `kind` waiting at the *eastbound* left-turn stop
+    /// line (the mirror image of the canonical occluder pose).
+    pub fn occluder_pose(&self, intersection: &Intersection, kind: VehicleKind) -> OrientedRect {
+        let canonical = intersection.occluder_pose(kind);
+        OrientedRect::new(
+            reflect(canonical.center),
+            canonical.half_length,
+            canonical.half_width,
+            canonical.heading + std::f64::consts::PI,
+        )
+    }
+
+    /// The blind interval on the mirrored oncoming lane, or `None` if
+    /// `kind` casts no shadow.
+    pub fn blind_interval(
+        &self,
+        intersection: &Intersection,
+        kind: VehicleKind,
+    ) -> Option<(f64, f64)> {
+        let occ = self.occluder_pose(intersection, kind);
+        shadow_interval(self.turner_eye, &occ, &self.oncoming, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrored_eye_is_the_reflection() {
+        let ix = Intersection::new();
+        let m = MirroredScene::of(&ix);
+        let e = ix.turner_eye();
+        assert!((m.turner_eye.x + e.x).abs() < 1e-9);
+        assert!((m.turner_eye.y + e.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mirrored_oncoming_is_the_eastbound_lane() {
+        let ix = Intersection::new();
+        let m = MirroredScene::of(&ix);
+        // The mirrored oncoming lane lies south of the centre (y < 0),
+        // i.e. the eastbound through lane, and runs west -> east.
+        let start = m.oncoming.point_at(0.0);
+        let end = m.oncoming.point_at(m.oncoming.length());
+        assert!(start.y < 0.0 && end.y < 0.0);
+        assert!(start.x < end.x, "runs west to east: {start:?} -> {end:?}");
+    }
+
+    #[test]
+    fn blind_interval_matches_canonical_by_symmetry() {
+        let ix = Intersection::new();
+        let m = MirroredScene::of(&ix);
+        let (c_lo, c_hi) = ix.blind_interval(VehicleKind::Van).expect("canonical");
+        let (m_lo, m_hi) = m.blind_interval(&ix, VehicleKind::Van).expect("mirrored");
+        // Point symmetry preserves arc lengths exactly (up to sampling).
+        assert!((c_lo - m_lo).abs() < 1.0, "{c_lo} vs {m_lo}");
+        assert!((c_hi - m_hi).abs() < 1.0, "{c_hi} vs {m_hi}");
+    }
+
+    #[test]
+    fn conflict_point_reflects() {
+        let ix = Intersection::new();
+        let m = MirroredScene::of(&ix);
+        let canonical = ix.oncoming_route().point_at(ix.conflict_s());
+        let mirrored = m.oncoming.point_at(m.conflict_s);
+        assert!((canonical.x + mirrored.x).abs() < 0.5);
+        assert!((canonical.y + mirrored.y).abs() < 0.5);
+    }
+
+    #[test]
+    fn both_directions_assess_independently() {
+        // A vehicle threatening the canonical turner sits on the
+        // westbound lane and is irrelevant to the mirrored turner's lane
+        // (and vice versa) — the deployments are independent.
+        let ix = Intersection::new();
+        let m = MirroredScene::of(&ix);
+        let threat_canonical = ix.oncoming_route().point_at(ix.conflict_s() - 20.0);
+        // That point is on the north (westbound) lane; the mirrored
+        // oncoming lane is south.
+        assert!(threat_canonical.y > 0.0);
+        let nearest_on_mirror = m
+            .oncoming
+            .point_at(m.oncoming.project(threat_canonical));
+        assert!(
+            nearest_on_mirror.distance(threat_canonical) > 5.0,
+            "lanes must be distinct"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the simulator's geometric and kinematic
+//! invariants.
+
+use crate::driver::{GapAcceptance, IdmParams};
+use crate::geometry::{OrientedRect, Vec2};
+use crate::route::Route;
+use crate::weather::Weather;
+use proptest::prelude::*;
+
+fn arb_vec2() -> impl Strategy<Value = Vec2> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn route_point_at_is_monotone_along_arc(
+        ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0, by in -50.0f64..50.0,
+        t1 in 0.0f64..1.0, t2 in 0.0f64..1.0,
+    ) {
+        prop_assume!(Vec2::new(ax, ay).distance(Vec2::new(bx, by)) > 1.0);
+        let r = Route::straight(Vec2::new(ax, ay), Vec2::new(bx, by));
+        let (s1, s2) = (t1 * r.length(), t2 * r.length());
+        let d1 = r.point_at(s1).distance(r.point_at(0.0));
+        let d2 = r.point_at(s2).distance(r.point_at(0.0));
+        // Arc length order implies distance-from-start order on a line.
+        if s1 <= s2 {
+            prop_assert!(d1 <= d2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_project_inverts_point_at(
+        ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0, by in -50.0f64..50.0,
+        t in 0.0f64..1.0,
+    ) {
+        prop_assume!(Vec2::new(ax, ay).distance(Vec2::new(bx, by)) > 1.0);
+        let r = Route::straight(Vec2::new(ax, ay), Vec2::new(bx, by));
+        let s = t * r.length();
+        let back = r.project(r.point_at(s));
+        prop_assert!((back - s).abs() < 1e-6, "{back} vs {s}");
+    }
+
+    #[test]
+    fn rect_contains_its_center_and_corners(center in arb_vec2(),
+        hl in 0.5f64..10.0, hw in 0.5f64..10.0, heading in -3.2f64..3.2,
+    ) {
+        let rect = OrientedRect::new(center, hl, hw, heading);
+        prop_assert!(rect.contains(center));
+        for c in rect.corners() {
+            prop_assert!(rect.contains(c), "corner {c:?} outside");
+        }
+        // A point far outside along the heading axis is excluded.
+        let dir = Vec2::new(heading.cos(), heading.sin());
+        prop_assert!(!rect.contains(center + dir * (hl + hw + 1.0)));
+    }
+
+    #[test]
+    fn segment_through_rect_center_always_intersects(
+        center in arb_vec2(), hl in 0.5f64..10.0, hw in 0.5f64..10.0,
+        heading in -3.2f64..3.2, dx in -50.0f64..50.0, dy in -50.0f64..50.0,
+    ) {
+        prop_assume!(dx.abs() + dy.abs() > 0.1);
+        let rect = OrientedRect::new(center, hl, hw, heading);
+        let offset = Vec2::new(dx, dy);
+        prop_assert!(rect.intersects_segment(center - offset, center + offset));
+    }
+
+    #[test]
+    fn idm_never_exceeds_comfortable_braking_on_free_road(
+        speed in 0.0f64..40.0,
+    ) {
+        for w in Weather::ALL {
+            let p = IdmParams::for_weather(&w.params());
+            let a = p.acceleration(speed, None);
+            prop_assert!(a <= p.max_accel + 1e-9);
+        }
+    }
+
+    #[test]
+    fn idm_closer_leader_never_increases_acceleration(
+        speed in 1.0f64..20.0, leader_speed in 0.0f64..20.0,
+        gap in 5.0f64..100.0, delta in 0.5f64..4.9,
+    ) {
+        let p = IdmParams::for_weather(&Weather::Daytime.params());
+        let far = p.acceleration(speed, Some((gap, leader_speed)));
+        let near = p.acceleration(speed, Some((gap - delta, leader_speed)));
+        prop_assert!(near <= far + 1e-9, "near {near} > far {far}");
+    }
+
+    #[test]
+    fn gap_acceptance_is_monotone_in_distance(
+        speed in 1.0f64..20.0, d1 in 1.0f64..200.0, extra in 1.0f64..100.0,
+    ) {
+        let g = GapAcceptance { safe_gap_seconds: 4.0 };
+        // If the nearer vehicle is acceptable, the farther one must be too.
+        if g.accepts(&[(d1, speed)]) {
+            prop_assert!(g.accepts(&[(d1 + extra, speed)]));
+        }
+    }
+
+    #[test]
+    fn stopping_distance_monotone_in_friction(speed in 1.0f64..30.0) {
+        let dry = Weather::Daytime.params().stopping_distance(speed);
+        let wet = Weather::Rain.params().stopping_distance(speed);
+        let icy = Weather::Snow.params().stopping_distance(speed);
+        prop_assert!(dry <= wet && wet <= icy);
+    }
+}

@@ -1,0 +1,319 @@
+//! The synthetic surveillance camera.
+//!
+//! An orthographic top-down camera (the paper's footage is near-aerial)
+//! that rasterises the simulator state into 8-bit grayscale frames, then
+//! applies the weather's photometric degradations: global contrast loss,
+//! Gaussian sensor noise, rain streaks, and snow speckles. The camera is
+//! deliberately low-fidelity — the paper's whole point is that decades-old
+//! cameras defeat appearance-based detectors but not motion-based ones.
+
+use crate::geometry::Vec2;
+use crate::intersection::LANE_WIDTH;
+use crate::sim::Simulator;
+use crate::weather::Weather;
+use safecross_tensor::TensorRng;
+use safecross_vision::GrayFrame;
+
+/// Camera resolution and world coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Half extent of the square world window, metres.
+    pub world_half: f64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            width: 320,
+            height: 240,
+            world_half: 55.0,
+        }
+    }
+}
+
+/// World <-> pixel mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    config: RenderConfig,
+    scale: f64, // pixels per metre
+}
+
+impl Camera {
+    /// Creates a camera from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or non-positive world extent.
+    pub fn new(config: RenderConfig) -> Self {
+        assert!(config.width > 0 && config.height > 0, "resolution must be positive");
+        assert!(config.world_half > 0.0, "world extent must be positive");
+        let scale = config.height.min(config.width) as f64 / (2.0 * config.world_half);
+        Camera { config, scale }
+    }
+
+    /// The configuration this camera was built with.
+    pub fn config(&self) -> &RenderConfig {
+        &self.config
+    }
+
+    /// Pixels per metre.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Maps a world point to pixel coordinates, if on screen.
+    /// World +y (north) maps to smaller pixel y (up on screen).
+    pub fn world_to_pixel(&self, p: Vec2) -> Option<(usize, usize)> {
+        let px = self.config.width as f64 / 2.0 + p.x * self.scale;
+        let py = self.config.height as f64 / 2.0 - p.y * self.scale;
+        if px < 0.0 || py < 0.0 || px >= self.config.width as f64 || py >= self.config.height as f64
+        {
+            None
+        } else {
+            Some((px as usize, py as usize))
+        }
+    }
+
+    /// Maps the centre of pixel `(x, y)` back to world coordinates.
+    pub fn pixel_to_world(&self, x: usize, y: usize) -> Vec2 {
+        Vec2::new(
+            (x as f64 + 0.5 - self.config.width as f64 / 2.0) / self.scale,
+            (self.config.height as f64 / 2.0 - y as f64 - 0.5) / self.scale,
+        )
+    }
+}
+
+/// The renderer: camera plus weather-artefact state.
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    camera: Camera,
+    weather: Weather,
+    rng: TensorRng,
+}
+
+impl Renderer {
+    /// Creates a renderer for a weather scene with a deterministic seed.
+    pub fn new(config: RenderConfig, weather: Weather, seed: u64) -> Self {
+        Renderer {
+            camera: Camera::new(config),
+            weather,
+            rng: TensorRng::seed_from(seed),
+        }
+    }
+
+    /// The camera used by this renderer.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Rasterises the current simulator state into a frame.
+    pub fn render(&mut self, sim: &Simulator) -> GrayFrame {
+        let p = self.weather.params();
+        let (w, h) = (self.camera.config.width, self.camera.config.height);
+        let mut frame = GrayFrame::filled(w, h, p.ambient);
+
+        // Roads: two crossing bands of asphalt.
+        let road_half = LANE_WIDTH * 2.0;
+        for y in 0..h {
+            for x in 0..w {
+                let wp = self.camera.pixel_to_world(x, y);
+                if wp.y.abs() <= road_half || wp.x.abs() <= road_half {
+                    frame.set(x, y, 55);
+                }
+            }
+        }
+        // Dashed centre lines.
+        self.draw_centerlines(&mut frame, road_half);
+
+        // Vehicles.
+        for (rect, intensity) in sim.render_footprints() {
+            let corners = rect.corners();
+            let xs: Vec<f64> = corners.iter().map(|c| c.x).collect();
+            let ys: Vec<f64> = corners.iter().map(|c| c.y).collect();
+            let min = Vec2::new(
+                xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                ys.iter().cloned().fold(f64::INFINITY, f64::min),
+            );
+            let max = Vec2::new(
+                xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            );
+            // Pixel bounding box, clamped to the frame; skip bodies
+            // entirely outside the camera window. Note the y inversion.
+            let scale = self.camera.scale;
+            let fx0 = w as f64 / 2.0 + min.x * scale;
+            let fx1 = w as f64 / 2.0 + max.x * scale;
+            let fy0 = h as f64 / 2.0 - max.y * scale;
+            let fy1 = h as f64 / 2.0 - min.y * scale;
+            if fx1 < 0.0 || fy1 < 0.0 || fx0 >= w as f64 || fy0 >= h as f64 {
+                continue;
+            }
+            let x0 = fx0.max(0.0) as usize;
+            let y0 = fy0.max(0.0) as usize;
+            let x1 = fx1.min(w as f64 - 1.0) as usize;
+            let y1 = fy1.min(h as f64 - 1.0) as usize;
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    if rect.contains(self.camera.pixel_to_world(x, y)) {
+                        frame.set(x, y, intensity);
+                    }
+                }
+            }
+        }
+
+        self.apply_weather(&mut frame, &p);
+        frame
+    }
+
+    fn draw_centerlines(&self, frame: &mut GrayFrame, road_half: f64) {
+        let (w, h) = (frame.width(), frame.height());
+        for y in 0..h {
+            for x in 0..w {
+                let wp = self.camera.pixel_to_world(x, y);
+                let dash = ((wp.x.abs() + wp.y.abs()) / 2.0) as i64 % 2 == 0;
+                if !dash {
+                    continue;
+                }
+                let on_h_line = wp.y.abs() < 0.3 && wp.x.abs() > road_half;
+                let on_v_line = wp.x.abs() < 0.3 && wp.y.abs() > road_half;
+                if on_h_line || on_v_line {
+                    frame.set(x, y, 170);
+                }
+            }
+        }
+    }
+
+    fn apply_weather(&mut self, frame: &mut GrayFrame, p: &crate::weather::WeatherParams) {
+        let (w, h) = (frame.width(), frame.height());
+        // Contrast compression around the mean.
+        if p.contrast < 1.0 {
+            let mean = frame.mean();
+            for px in frame.pixels_mut() {
+                let v = mean + (*px as f32 - mean) * p.contrast as f32;
+                *px = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        // Rain streaks: short bright strokes, two pixels wide so they
+        // survive the VP's morphological opening (heavy rain is exactly
+        // the degradation the paper says defeats naive cleaning).
+        let n_streaks = (p.streak_density * (w * h) as f64) as usize;
+        for _ in 0..n_streaks {
+            let x = self.rng.index(w.saturating_sub(1).max(1));
+            let y = self.rng.index(h.saturating_sub(6).max(1));
+            let len = 3 + self.rng.index(3);
+            for dy in 0..len {
+                if y + dy < h {
+                    frame.set(x, y + dy, 205);
+                    frame.set(x + 1, y + dy, 195);
+                }
+            }
+        }
+        // Snow: mostly isolated flakes, occasionally a 2x2 clump that
+        // the opening cannot erase.
+        let n_speckles = (p.speckle_density * (w * h) as f64) as usize;
+        for _ in 0..n_speckles {
+            let x = self.rng.index(w.saturating_sub(1).max(1));
+            let y = self.rng.index(h.saturating_sub(1).max(1));
+            frame.set(x, y, 235);
+            if self.rng.unit() < 0.35 {
+                frame.set(x + 1, y, 228);
+                frame.set(x, y + 1, 228);
+                frame.set(x + 1, y + 1, 222);
+            }
+        }
+        // Gaussian sensor noise.
+        if p.noise_sigma > 0.0 {
+            let noise = self.rng.normal(&[w * h], p.noise_sigma as f32);
+            for (px, &n) in frame.pixels_mut().iter_mut().zip(noise.data()) {
+                *px = (*px as f32 + n).clamp(0.0, 255.0) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Scenario;
+    use crate::vehicle::VehicleKind;
+
+    #[test]
+    fn camera_roundtrip_center() {
+        let cam = Camera::new(RenderConfig::default());
+        let (px, py) = cam.world_to_pixel(Vec2::zero()).unwrap();
+        assert_eq!((px, py), (160, 120));
+        let back = cam.pixel_to_world(px, py);
+        assert!(back.length() < 1.0, "{back:?}");
+    }
+
+    #[test]
+    fn north_is_up() {
+        let cam = Camera::new(RenderConfig::default());
+        let (_, y_north) = cam.world_to_pixel(Vec2::new(0.0, 20.0)).unwrap();
+        let (_, y_south) = cam.world_to_pixel(Vec2::new(0.0, -20.0)).unwrap();
+        assert!(y_north < y_south);
+    }
+
+    #[test]
+    fn offscreen_points_rejected() {
+        let cam = Camera::new(RenderConfig::default());
+        assert!(cam.world_to_pixel(Vec2::new(1000.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn daytime_frame_shows_vehicle() {
+        let mut sim = Simulator::new(Scenario::new(Weather::Daytime, false, 0.0), 1);
+        sim.inject_oncoming(
+            VehicleKind::Truck,
+            crate::intersection::WORLD_HALF,
+            0.0,
+        ); // mid scene
+        let mut r = Renderer::new(RenderConfig::default(), Weather::Daytime, 1);
+        let frame = r.render(&sim);
+        // The truck is at world (0, 5.25): a bright blob near mid-frame.
+        let cam = r.camera();
+        let (cx, cy) = cam.world_to_pixel(Vec2::new(0.0, LANE_WIDTH * 1.5)).unwrap();
+        let mut bright = 0;
+        for y in cy.saturating_sub(3)..cy + 3 {
+            for x in cx.saturating_sub(6)..cx + 6 {
+                if frame.at(x, y) > 200 {
+                    bright += 1;
+                }
+            }
+        }
+        assert!(bright >= 4, "expected a bright truck blob, got {bright}");
+    }
+
+    #[test]
+    fn weather_degrades_frames() {
+        let sim = Simulator::new(Scenario::new(Weather::Snow, false, 0.0), 2);
+        let mut day = Renderer::new(RenderConfig::default(), Weather::Daytime, 3);
+        let mut snow = Renderer::new(RenderConfig::default(), Weather::Snow, 3);
+        let f_day = day.render(&sim);
+        let f_snow = snow.render(&sim);
+        // Snow frames are brighter overall (ambient + flakes) and noisier
+        // relative to their structure.
+        assert!(f_snow.mean() > f_day.mean());
+    }
+
+    #[test]
+    fn rain_adds_streaks() {
+        let sim = Simulator::new(Scenario::new(Weather::Rain, false, 0.0), 4);
+        let mut a = Renderer::new(RenderConfig::default(), Weather::Rain, 5);
+        let mut b = Renderer::new(RenderConfig::default(), Weather::Rain, 6);
+        // Different seeds put streaks in different places.
+        assert_ne!(a.render(&sim).pixels(), b.render(&sim).pixels());
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let sim = Simulator::new(Scenario::new(Weather::Rain, true, 0.0), 7);
+        let mut a = Renderer::new(RenderConfig::default(), Weather::Rain, 9);
+        let mut b = Renderer::new(RenderConfig::default(), Weather::Rain, 9);
+        assert_eq!(a.render(&sim).pixels(), b.render(&sim).pixels());
+    }
+}

@@ -1,0 +1,237 @@
+//! Arc-length-parameterised vehicle paths.
+
+use crate::geometry::Vec2;
+
+/// A polyline path a vehicle follows, parameterised by arc length.
+///
+/// Left-turn trajectories are built as straight approach + circular-arc
+/// turn + straight exit, discretised into short segments so one code path
+/// handles every manoeuvre.
+///
+/// ```
+/// use safecross_trafficsim::{Route, Vec2};
+///
+/// let r = Route::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)]);
+/// assert_eq!(r.length(), 10.0);
+/// assert_eq!(r.point_at(4.0), Vec2::new(4.0, 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    points: Vec<Vec2>,
+    cumulative: Vec<f64>,
+}
+
+impl Route {
+    /// Builds a route through `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two points or zero-length segments.
+    pub fn new(points: Vec<Vec2>) -> Self {
+        assert!(points.len() >= 2, "a route needs at least two points");
+        let mut cumulative = Vec::with_capacity(points.len());
+        cumulative.push(0.0);
+        for i in 1..points.len() {
+            let seg = points[i].distance(points[i - 1]);
+            assert!(seg > 1e-9, "zero-length route segment at index {i}");
+            cumulative.push(cumulative[i - 1] + seg);
+        }
+        Route { points, cumulative }
+    }
+
+    /// A straight route from `a` to `b`.
+    pub fn straight(a: Vec2, b: Vec2) -> Self {
+        Route::new(vec![a, b])
+    }
+
+    /// Approach + circular left-turn arc + exit, discretised.
+    ///
+    /// `approach_end` is where the arc begins; the arc sweeps from heading
+    /// `h0` to `h1` (radians, counter-clockwise positive) around radius
+    /// `radius`, then the route continues straight for `exit_len` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` or `exit_len` is non-positive.
+    pub fn with_turn(
+        approach_start: Vec2,
+        approach_end: Vec2,
+        h0: f64,
+        h1: f64,
+        radius: f64,
+        exit_len: f64,
+    ) -> Self {
+        assert!(radius > 0.0 && exit_len > 0.0, "radius and exit must be positive");
+        let mut pts = vec![approach_start, approach_end];
+        // Arc centre is 90° left of the initial heading.
+        let center = approach_end + Vec2::new(h0.cos(), h0.sin()).perp() * radius;
+        let steps = 12usize;
+        for i in 1..=steps {
+            let t = i as f64 / steps as f64;
+            let h = h0 + (h1 - h0) * t;
+            // Point on circle: centre + radius * direction from centre.
+            let radial = Vec2::new(h.cos(), h.sin()).perp() * -radius;
+            pts.push(center + radial);
+        }
+        let last_heading = Vec2::new(h1.cos(), h1.sin());
+        let last = *pts.last().expect("non-empty");
+        pts.push(last + last_heading * exit_len);
+        Route::new(pts)
+    }
+
+    /// Total length in metres.
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    /// Position at arc length `s` (clamped to the route ends).
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let s = s.clamp(0.0, self.length());
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => (i - 1).min(self.points.len() - 2),
+        };
+        let seg_len = self.cumulative[i + 1] - self.cumulative[i];
+        let t = (s - self.cumulative[i]) / seg_len;
+        self.points[i].lerp(self.points[i + 1], t)
+    }
+
+    /// Unit heading at arc length `s`.
+    pub fn heading_at(&self, s: f64) -> Vec2 {
+        let s = s.clamp(0.0, self.length());
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => (i - 1).min(self.points.len() - 2),
+        };
+        (self.points[i + 1] - self.points[i]).normalized()
+    }
+
+    /// Arc length of the route point nearest to `p` (coarse search over
+    /// vertices, refined within the winning segment).
+    pub fn project(&self, p: Vec2) -> f64 {
+        let mut best_s = 0.0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..self.points.len() - 1 {
+            let a = self.points[i];
+            let b = self.points[i + 1];
+            let ab = b - a;
+            let t = ((p - a).dot(ab) / ab.length_squared()).clamp(0.0, 1.0);
+            let q = a.lerp(b, t);
+            let d = p.distance(q);
+            if d < best_d {
+                best_d = d;
+                best_s = self.cumulative[i] + ab.length() * t;
+            }
+        }
+        best_s
+    }
+
+    /// The route's waypoints.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn straight_route_parameterisation() {
+        let r = Route::straight(Vec2::zero(), Vec2::new(0.0, 20.0));
+        assert_eq!(r.length(), 20.0);
+        assert_eq!(r.point_at(5.0), Vec2::new(0.0, 5.0));
+        assert_eq!(r.heading_at(5.0), Vec2::new(0.0, 1.0));
+        // Clamping.
+        assert_eq!(r.point_at(-3.0), Vec2::zero());
+        assert_eq!(r.point_at(99.0), Vec2::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn polyline_length_accumulates() {
+        let r = Route::new(vec![
+            Vec2::zero(),
+            Vec2::new(3.0, 0.0),
+            Vec2::new(3.0, 4.0),
+        ]);
+        assert_eq!(r.length(), 7.0);
+        assert_eq!(r.point_at(3.0), Vec2::new(3.0, 0.0));
+        assert_eq!(r.point_at(5.0), Vec2::new(3.0, 2.0));
+        assert_eq!(r.heading_at(6.0), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn left_turn_route_ends_heading_north() {
+        // Eastbound approach turning left (to north): heading 0 -> pi/2.
+        let r = Route::with_turn(
+            Vec2::new(-20.0, -2.0),
+            Vec2::new(-5.0, -2.0),
+            0.0,
+            FRAC_PI_2,
+            7.0,
+            15.0,
+        );
+        let end_heading = r.heading_at(r.length() - 0.1);
+        assert!(end_heading.y > 0.99, "end heading {end_heading:?}");
+        // The exit is north-east of the turn start for a left turn with
+        // the arc centre on the left.
+        let end = r.point_at(r.length());
+        assert!(end.y > 10.0, "end {end:?}");
+    }
+
+    #[test]
+    fn turn_route_is_continuous() {
+        let r = Route::with_turn(
+            Vec2::new(-20.0, -2.0),
+            Vec2::new(-5.0, -2.0),
+            0.0,
+            FRAC_PI_2,
+            7.0,
+            10.0,
+        );
+        // No jumps: consecutive samples are close.
+        let mut prev = r.point_at(0.0);
+        let mut s = 0.5;
+        while s < r.length() {
+            let p = r.point_at(s);
+            assert!(p.distance(prev) < 1.0, "jump at s={s}");
+            prev = p;
+            s += 0.5;
+        }
+    }
+
+    #[test]
+    fn u_turn_heading_sweep() {
+        let r = Route::with_turn(
+            Vec2::new(-10.0, 0.0),
+            Vec2::new(0.0, 0.0),
+            0.0,
+            PI,
+            5.0,
+            10.0,
+        );
+        let end_heading = r.heading_at(r.length() - 0.1);
+        assert!(end_heading.x < -0.99);
+    }
+
+    #[test]
+    fn project_finds_nearest_arc_length() {
+        let r = Route::straight(Vec2::zero(), Vec2::new(10.0, 0.0));
+        assert!((r.project(Vec2::new(4.0, 3.0)) - 4.0).abs() < 1e-9);
+        assert_eq!(r.project(Vec2::new(-5.0, 0.0)), 0.0);
+        assert_eq!(r.project(Vec2::new(50.0, 1.0)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_route_panics() {
+        Route::new(vec![Vec2::zero()]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Vehicle kinds and kinematic state.
+
+use crate::geometry::{OrientedRect, Vec2};
+use crate::route::Route;
+
+/// Opaque vehicle identifier, unique within a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VehicleId(pub u64);
+
+/// Vehicle body classes with distinct footprints and render intensities.
+///
+/// The paper's occluder is "a van" / "a big car"; the distinction matters
+/// because only tall/long bodies produce a blind area worth warning
+/// about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VehicleKind {
+    /// Passenger car (4.5 m x 1.8 m).
+    Car,
+    /// Delivery van (6.0 m x 2.2 m) — the canonical occluder.
+    Van,
+    /// Truck (9.0 m x 2.5 m).
+    Truck,
+}
+
+impl VehicleKind {
+    /// Body length in metres.
+    pub fn length(&self) -> f64 {
+        match self {
+            VehicleKind::Car => 4.5,
+            VehicleKind::Van => 6.0,
+            VehicleKind::Truck => 9.0,
+        }
+    }
+
+    /// Body width in metres.
+    pub fn width(&self) -> f64 {
+        match self {
+            VehicleKind::Car => 1.8,
+            VehicleKind::Van => 2.2,
+            VehicleKind::Truck => 2.5,
+        }
+    }
+
+    /// Render intensity (trucks/vans read brighter on the synthetic
+    /// camera, cars mid-gray).
+    pub fn intensity(&self) -> u8 {
+        match self {
+            VehicleKind::Car => 190,
+            VehicleKind::Van => 225,
+            VehicleKind::Truck => 245,
+        }
+    }
+
+    /// Whether this body is large enough to create a blind area behind it
+    /// (the paper's "big car on the opposite side" labelling rule).
+    pub fn is_occluder(&self) -> bool {
+        !matches!(self, VehicleKind::Car)
+    }
+}
+
+/// A vehicle travelling along a [`Route`].
+#[derive(Debug, Clone)]
+pub struct Vehicle {
+    /// Unique identifier.
+    pub id: VehicleId,
+    /// Body class.
+    pub kind: VehicleKind,
+    /// Path being followed.
+    pub route: Route,
+    /// Arc-length position along the route, metres.
+    pub s: f64,
+    /// Current speed, m/s (non-negative).
+    pub speed: f64,
+    /// The driver's personal free-flow cruise speed, m/s. Car-following
+    /// converges to this on an open road, so scripted vehicles hold the
+    /// speed they were injected with.
+    pub desired_speed: f64,
+}
+
+impl Vehicle {
+    /// Creates a vehicle at the start of `route`, cruising at `speed`.
+    pub fn new(id: VehicleId, kind: VehicleKind, route: Route, speed: f64) -> Self {
+        Vehicle {
+            id,
+            kind,
+            route,
+            s: 0.0,
+            speed: speed.max(0.0),
+            desired_speed: speed.max(0.1),
+        }
+    }
+
+    /// World position of the vehicle centre.
+    pub fn position(&self) -> Vec2 {
+        self.route.point_at(self.s)
+    }
+
+    /// Unit heading vector.
+    pub fn heading(&self) -> Vec2 {
+        self.route.heading_at(self.s)
+    }
+
+    /// Oriented body footprint for rendering and occlusion.
+    pub fn footprint(&self) -> OrientedRect {
+        OrientedRect::new(
+            self.position(),
+            self.kind.length() / 2.0,
+            self.kind.width() / 2.0,
+            self.heading().angle(),
+        )
+    }
+
+    /// Advances the vehicle by `dt` seconds with acceleration `accel`,
+    /// clamping speed at zero.
+    pub fn advance(&mut self, accel: f64, dt: f64) {
+        self.speed = (self.speed + accel * dt).max(0.0);
+        self.s += self.speed * dt;
+    }
+
+    /// Whether the vehicle has reached the end of its route.
+    pub fn finished(&self) -> bool {
+        self.s >= self.route.length()
+    }
+
+    /// Remaining distance to the end of the route.
+    pub fn remaining(&self) -> f64 {
+        (self.route.length() - self.s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_route() -> Route {
+        Route::straight(Vec2::zero(), Vec2::new(100.0, 0.0))
+    }
+
+    #[test]
+    fn kinds_have_distinct_footprints() {
+        assert!(VehicleKind::Truck.length() > VehicleKind::Van.length());
+        assert!(VehicleKind::Van.length() > VehicleKind::Car.length());
+        assert!(VehicleKind::Car.is_occluder() == false);
+        assert!(VehicleKind::Van.is_occluder());
+        assert!(VehicleKind::Truck.is_occluder());
+    }
+
+    #[test]
+    fn advance_integrates_speed() {
+        let mut v = Vehicle::new(VehicleId(1), VehicleKind::Car, test_route(), 10.0);
+        v.advance(0.0, 1.0);
+        assert_eq!(v.s, 10.0);
+        assert_eq!(v.position(), Vec2::new(10.0, 0.0));
+        v.advance(2.0, 1.0); // accelerate
+        assert_eq!(v.speed, 12.0);
+    }
+
+    #[test]
+    fn speed_never_negative() {
+        let mut v = Vehicle::new(VehicleId(1), VehicleKind::Car, test_route(), 1.0);
+        v.advance(-10.0, 1.0);
+        assert_eq!(v.speed, 0.0);
+        let s = v.s;
+        v.advance(-10.0, 1.0);
+        assert_eq!(v.s, s); // fully stopped
+    }
+
+    #[test]
+    fn finished_at_route_end() {
+        let mut v = Vehicle::new(VehicleId(1), VehicleKind::Car, test_route(), 60.0);
+        assert!(!v.finished());
+        v.advance(0.0, 2.0);
+        assert!(v.finished());
+        assert_eq!(v.remaining(), 0.0);
+    }
+
+    #[test]
+    fn footprint_follows_heading() {
+        let v = Vehicle::new(
+            VehicleId(1),
+            VehicleKind::Van,
+            Route::straight(Vec2::zero(), Vec2::new(0.0, 50.0)),
+            5.0,
+        );
+        let fp = v.footprint();
+        // Northbound: the long axis is vertical.
+        assert!((fp.heading - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert!(fp.contains(Vec2::new(0.0, 2.5)));
+        assert!(!fp.contains(Vec2::new(2.5, 0.0)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Weather scenes and their physical / photometric parameters.
+//!
+//! The paper's core argument for scene adaptation is that rain and snow
+//! change the road friction coefficient and therefore stopping distances
+//! and the safe-gap threshold, while also degrading the camera image.
+//! This module is the single source of truth for both effects.
+
+use std::fmt;
+
+/// The three scene types of the paper's dataset (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weather {
+    /// Clear daytime conditions — the abundant-data base scene.
+    Daytime,
+    /// Rain: wet road, moderate visual degradation, few samples.
+    Rain,
+    /// Snow: icy road, strong visual degradation, few samples.
+    Snow,
+}
+
+impl Weather {
+    /// All scenes, in the paper's order.
+    pub const ALL: [Weather; 3] = [Weather::Daytime, Weather::Rain, Weather::Snow];
+
+    /// Physical and photometric parameters for this scene.
+    pub fn params(&self) -> WeatherParams {
+        match self {
+            Weather::Daytime => WeatherParams {
+                friction: 0.80,
+                desired_speed: 13.9, // ~50 km/h
+                safe_gap_seconds: 4.0,
+                noise_sigma: 4.0,
+                streak_density: 0.0,
+                speckle_density: 0.0,
+                contrast: 1.0,
+                ambient: 90,
+            },
+            Weather::Rain => WeatherParams {
+                friction: 0.50,
+                desired_speed: 11.1, // ~40 km/h
+                safe_gap_seconds: 5.5,
+                noise_sigma: 10.0,
+                streak_density: 0.0035,
+                speckle_density: 0.0,
+                contrast: 0.62,
+                ambient: 70,
+            },
+            Weather::Snow => WeatherParams {
+                friction: 0.30,
+                desired_speed: 8.3, // ~30 km/h
+                safe_gap_seconds: 7.0,
+                noise_sigma: 9.0,
+                streak_density: 0.0,
+                speckle_density: 0.016,
+                contrast: 0.55,
+                ambient: 140,
+            },
+        }
+    }
+
+    /// Stable label used in dataset files and model registries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Weather::Daytime => "daytime",
+            Weather::Rain => "rain",
+            Weather::Snow => "snow",
+        }
+    }
+}
+
+impl fmt::Display for Weather {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Numeric parameters derived from a [`Weather`] scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherParams {
+    /// Road/tyre friction coefficient µ (dry ≈ 0.8, ice ≈ 0.3).
+    pub friction: f64,
+    /// Typical free-flow speed drivers adopt, m/s.
+    pub desired_speed: f64,
+    /// Minimum oncoming time gap a turner accepts, seconds.
+    pub safe_gap_seconds: f64,
+    /// Gaussian sensor-noise standard deviation, intensity units.
+    pub noise_sigma: f64,
+    /// Rain-streak artefacts per pixel per frame.
+    pub streak_density: f64,
+    /// Snow-flake artefacts per pixel per frame.
+    pub speckle_density: f64,
+    /// Global contrast multiplier applied at render time.
+    pub contrast: f64,
+    /// Background (road surround) intensity.
+    pub ambient: u8,
+}
+
+impl WeatherParams {
+    /// Comfortable braking deceleration on this surface, m/s²
+    /// (`µ g`, derated for comfort).
+    pub fn braking_decel(&self) -> f64 {
+        0.6 * self.friction * 9.81
+    }
+
+    /// Distance needed to stop from `speed` m/s (kinematic, plus a 1 s
+    /// reaction allowance).
+    pub fn stopping_distance(&self, speed: f64) -> f64 {
+        speed + speed * speed / (2.0 * self.braking_decel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn friction_orders_scenes() {
+        let d = Weather::Daytime.params();
+        let r = Weather::Rain.params();
+        let s = Weather::Snow.params();
+        assert!(d.friction > r.friction && r.friction > s.friction);
+        assert!(d.desired_speed > r.desired_speed && r.desired_speed > s.desired_speed);
+        assert!(d.safe_gap_seconds < r.safe_gap_seconds);
+        assert!(r.safe_gap_seconds < s.safe_gap_seconds);
+    }
+
+    #[test]
+    fn stopping_distance_grows_on_slippery_roads() {
+        let v = 13.9;
+        let dry = Weather::Daytime.params().stopping_distance(v);
+        let wet = Weather::Rain.params().stopping_distance(v);
+        let icy = Weather::Snow.params().stopping_distance(v);
+        assert!(dry < wet && wet < icy);
+        // Order-of-magnitude check: ~35 m dry from 50 km/h.
+        assert!(dry > 25.0 && dry < 50.0, "dry stop {dry}");
+    }
+
+    #[test]
+    fn stopping_distance_is_monotone_in_speed() {
+        let p = Weather::Rain.params();
+        assert!(p.stopping_distance(5.0) < p.stopping_distance(10.0));
+        assert_eq!(p.stopping_distance(0.0), 0.0);
+    }
+
+    #[test]
+    fn visual_degradation_only_in_bad_weather() {
+        assert_eq!(Weather::Daytime.params().streak_density, 0.0);
+        assert!(Weather::Rain.params().streak_density > 0.0);
+        assert!(Weather::Snow.params().speckle_density > 0.0);
+        assert!(Weather::Snow.params().contrast < Weather::Daytime.params().contrast);
+    }
+
+    #[test]
+    fn labels_roundtrip_display() {
+        for w in Weather::ALL {
+            assert_eq!(format!("{w}"), w.label());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The SlowFast-lite classifier.
+
+use crate::model::{
+    concat_channels, dims5, split_channels, temporal_subsample, temporal_upsample_grad,
+    VideoClassifier,
+};
+use safecross_nn::{
+    BatchNorm, Conv3d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Relu, Sequential,
+};
+use safecross_tensor::{Tensor, TensorRng};
+
+/// A miniature SlowFast network (Feichtenhofer et al., ICCV 2019),
+/// preserving the paper's architectural signature:
+///
+/// - **Fast pathway**: all `T` frames, few channels (`β` fraction);
+/// - **Slow pathway**: every `α`-th frame (`α = 8`, the paper's
+///   `slowfast_r50_4x16`: 4 slow frames from a 32-frame clip), more
+///   channels;
+/// - **Lateral connections** after each stage, fusing time-strided Fast
+///   features into the Slow pathway;
+/// - concatenated global-average-pooled features into a linear head.
+///
+/// ```
+/// use safecross_videoclass::{SlowFastLite, VideoClassifier};
+/// use safecross_nn::Mode;
+/// use safecross_tensor::{Tensor, TensorRng};
+///
+/// let mut rng = TensorRng::seed_from(0);
+/// let mut model = SlowFastLite::new(2, &mut rng);
+/// let clips = Tensor::zeros(&[2, 1, 32, 20, 20]);
+/// let logits = model.forward(&clips, Mode::Eval);
+/// assert_eq!(logits.dims(), &[2, 2]);
+/// ```
+#[derive(Clone)]
+pub struct SlowFastLite {
+    alpha: usize,
+    fast1: Sequential,
+    fast2: Sequential,
+    slow1: Sequential,
+    slow2: Sequential,
+    gap_fused: GlobalAvgPool,
+    gap_fast: GlobalAvgPool,
+    head: Sequential,
+    num_classes: usize,
+    cache: Option<FwdCache>,
+}
+
+#[derive(Clone)]
+struct FwdCache {
+    t: usize,
+    t_f2: usize,
+    fused_channels: usize,
+    fast_feat: usize,
+}
+
+const FAST_C1: usize = 4;
+const FAST_C2: usize = 8;
+const SLOW_C1: usize = 8;
+const SLOW_C2: usize = 16;
+
+impl SlowFastLite {
+    /// Builds the model for `num_classes` output classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn new(num_classes: usize, rng: &mut TensorRng) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        let fast1 = Sequential::new(vec![
+            Box::new(Conv3d::new(1, FAST_C1, (3, 3), (1, 2), (1, 1), rng)),
+            Box::new(BatchNorm::new(FAST_C1)),
+            Box::new(Relu::new()),
+        ]);
+        let fast2 = Sequential::new(vec![
+            Box::new(Conv3d::new(FAST_C1, FAST_C2, (3, 3), (2, 2), (1, 1), rng)),
+            Box::new(BatchNorm::new(FAST_C2)),
+            Box::new(Relu::new()),
+        ]);
+        let slow1 = Sequential::new(vec![
+            Box::new(Conv3d::new(1, SLOW_C1, (1, 3), (1, 2), (0, 1), rng)),
+            Box::new(BatchNorm::new(SLOW_C1)),
+            Box::new(Relu::new()),
+        ]);
+        let slow2 = Sequential::new(vec![
+            Box::new(Conv3d::new(
+                SLOW_C1 + FAST_C1,
+                SLOW_C2,
+                (3, 3),
+                (1, 2),
+                (1, 1),
+                rng,
+            )),
+            Box::new(BatchNorm::new(SLOW_C2)),
+            Box::new(Relu::new()),
+        ]);
+        let feat = SLOW_C2 + FAST_C2 + FAST_C2; // fused (slow2+lat2) + fast pool
+        let head = Sequential::new(vec![
+            Box::new(Dropout::new(0.2, rng)),
+            Box::new(Linear::new(feat, num_classes, rng)),
+        ]);
+        SlowFastLite {
+            alpha: 8,
+            fast1,
+            fast2,
+            slow1,
+            slow2,
+            gap_fused: GlobalAvgPool::new(),
+            gap_fast: GlobalAvgPool::new(),
+            head,
+            num_classes,
+            cache: None,
+        }
+    }
+
+    /// The temporal sampling ratio between pathways (paper: `α = 8`).
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Output class count.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn concat_features(a: &Tensor, b: &Tensor) -> Tensor {
+        let (n, ca) = (a.shape().dim(0), a.shape().dim(1));
+        let cb = b.shape().dim(1);
+        let mut out = Tensor::zeros(&[n, ca + cb]);
+        for i in 0..n {
+            out.data_mut()[i * (ca + cb)..i * (ca + cb) + ca]
+                .copy_from_slice(&a.data()[i * ca..(i + 1) * ca]);
+            out.data_mut()[i * (ca + cb) + ca..(i + 1) * (ca + cb)]
+                .copy_from_slice(&b.data()[i * cb..(i + 1) * cb]);
+        }
+        out
+    }
+
+    fn split_features(grad: &Tensor, ca: usize) -> (Tensor, Tensor) {
+        let (n, c) = (grad.shape().dim(0), grad.shape().dim(1));
+        let cb = c - ca;
+        let mut a = Tensor::zeros(&[n, ca]);
+        let mut b = Tensor::zeros(&[n, cb]);
+        for i in 0..n {
+            a.data_mut()[i * ca..(i + 1) * ca]
+                .copy_from_slice(&grad.data()[i * c..i * c + ca]);
+            b.data_mut()[i * cb..(i + 1) * cb]
+                .copy_from_slice(&grad.data()[i * c + ca..(i + 1) * c]);
+        }
+        (a, b)
+    }
+}
+
+impl VideoClassifier for SlowFastLite {
+    fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let (_, c, t, _, _) = dims5(clips);
+        assert_eq!(c, 1, "SlowFastLite expects single-channel occupancy clips");
+        assert_eq!(t % self.alpha, 0, "T={t} must be divisible by alpha={}", self.alpha);
+
+        // Fast pathway over every frame.
+        let f1 = self.fast1.forward(clips, mode);
+        let f2 = self.fast2.forward(&f1, mode);
+        // Slow pathway over every alpha-th frame.
+        let slow_in = temporal_subsample(clips, self.alpha);
+        let s1 = self.slow1.forward(&slow_in, mode);
+        // Lateral 1: time-strided Fast stage-1 features into Slow.
+        let t_slow = t / self.alpha;
+        let lat1 = temporal_subsample(&f1, f1.shape().dim(2) / t_slow);
+        let s_cat = concat_channels(&s1, &lat1);
+        let s2 = self.slow2.forward(&s_cat, mode);
+        // Lateral 2: fuse Fast stage-2 features at the head.
+        let t_f2 = f2.shape().dim(2);
+        assert_eq!(t_f2 % t_slow, 0, "fast/slow frame counts incompatible");
+        let lat2 = temporal_subsample(&f2, t_f2 / t_slow);
+        let fused = concat_channels(&s2, &lat2);
+
+        let pool_fused = self.gap_fused.forward(&fused, mode);
+        let pool_fast = self.gap_fast.forward(&f2, mode);
+        let feat = Self::concat_features(&pool_fused, &pool_fast);
+        if mode == Mode::Train {
+            self.cache = Some(FwdCache {
+                t,
+                t_f2,
+                fused_channels: fused.shape().dim(1),
+                fast_feat: pool_fast.shape().dim(1),
+            });
+        }
+        self.head.forward(&feat, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let cache = self
+            .cache
+            .clone()
+            .expect("SlowFastLite::backward called before a training forward");
+        let t_slow = cache.t / self.alpha;
+        let dfeat = self.head.backward(grad);
+        let fused_feat = cache.fused_channels;
+        let (dpool_fused, dpool_fast) = Self::split_features(&dfeat, fused_feat);
+        debug_assert_eq!(dpool_fast.shape().dim(1), cache.fast_feat);
+        let dfused = self.gap_fused.backward(&dpool_fused);
+        let (ds2, dlat2) = split_channels(&dfused, SLOW_C2);
+        let df2_lateral = temporal_upsample_grad(&dlat2, cache.t_f2 / t_slow, cache.t_f2);
+        let ds_cat = self.slow2.backward(&ds2);
+        let (ds1, dlat1) = split_channels(&ds_cat, SLOW_C1);
+        let df1_lateral = temporal_upsample_grad(&dlat1, cache.t / t_slow, cache.t);
+        self.slow1.backward(&ds1); // input grad not needed further
+        let df2 = self.gap_fast.backward(&dpool_fast) + df2_lateral;
+        let df1 = self.fast2.backward(&df2) + df1_lateral;
+        self.fast1.backward(&df1);
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.fast1.params();
+        p.extend(self.fast2.params());
+        p.extend(self.slow1.params());
+        p.extend(self.slow2.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fast1.params_mut();
+        p.extend(self.fast2.params_mut());
+        p.extend(self.slow1.params_mut());
+        p.extend(self.slow2.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    fn buffers(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for (prefix, stage) in [
+            ("fast1", &self.fast1),
+            ("fast2", &self.fast2),
+            ("slow1", &self.slow1),
+            ("slow2", &self.slow2),
+            ("head", &self.head),
+        ] {
+            out.extend(
+                stage
+                    .buffers()
+                    .into_iter()
+                    .map(|(n, t)| (format!("{prefix}.{n}"), t)),
+            );
+        }
+        out
+    }
+
+    fn set_buffer(&mut self, name: &str, value: Tensor) {
+        if let Some((prefix, rest)) = name.split_once('.') {
+            let stage = match prefix {
+                "fast1" => &mut self.fast1,
+                "fast2" => &mut self.fast2,
+                "slow1" => &mut self.slow1,
+                "slow2" => &mut self.slow2,
+                "head" => &mut self.head,
+                _ => return,
+            };
+            stage.set_buffer(rest, value);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "slowfast_lite_4x16"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SlowFastLite (alpha={}, {} params)\n\
+             Fast : {:?} -> {:?}\n\
+             Slow : {:?} -> lateral concat -> {:?}\n\
+             Head : fused GAP ++ fast GAP -> {:?}",
+            self.alpha,
+            self.num_parameters(),
+            self.fast1,
+            self.fast2,
+            self.slow1,
+            self.slow2,
+            self.head,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_nn::{softmax_cross_entropy, Optimizer, Sgd};
+
+    fn model() -> (SlowFastLite, TensorRng) {
+        let mut rng = TensorRng::seed_from(0);
+        let m = SlowFastLite::new(2, &mut rng);
+        (m, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (mut m, mut rng) = model();
+        let x = rng.uniform(&[3, 1, 32, 20, 20], 0.0, 1.0);
+        let y = m.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[3, 2]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backward_accumulates_all_stage_gradients() {
+        let (mut m, mut rng) = model();
+        let x = rng.uniform(&[2, 1, 32, 20, 20], 0.0, 1.0);
+        let logits = m.forward(&x, Mode::Train);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        m.backward(&grad);
+        // Every stage — including both pathways and the laterally-fed
+        // fast stages — must receive gradient.
+        for p in m.params() {
+            assert!(
+                p.grad.norm() > 0.0 || p.name == "bias",
+                "parameter {} got no gradient",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn learns_a_motion_direction_task() {
+        // Classify whether a bright cell moves left->right or right->left:
+        // exactly the temporal signature SlowFast exists to capture.
+        let (mut m, _rng) = model();
+        let make_clip = |dir: bool, offset: usize| {
+            let mut clip = Tensor::zeros(&[1, 1, 32, 20, 20]);
+            for t in 0..32 {
+                let x = if dir { t * 20 / 32 } else { 19 - t * 20 / 32 };
+                clip.set(&[0, 0, t, 8 + offset % 4, x], 1.0);
+            }
+            clip
+        };
+        let clips: Vec<Tensor> = (0..12)
+            .map(|i| make_clip(i % 2 == 0, i / 2))
+            .collect();
+        let flat: Vec<Tensor> = clips.iter().map(|c| c.index_axis0(0)).collect();
+        let batch = Tensor::stack(&flat);
+        let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let mut opt = Sgd::with_momentum(0.08, 0.9);
+        let mut last = f32::INFINITY;
+        for _ in 0..70 {
+            let logits = m.forward(&batch, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            m.backward(&grad);
+            opt.step(&mut m.params_mut());
+            last = loss;
+        }
+        assert!(last < 0.35, "loss stayed at {last}");
+        let logits = m.forward(&batch, Mode::Eval);
+        assert!(safecross_nn::accuracy(&logits, &labels) > 0.9);
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let (mut a, mut rng) = model();
+        let mut b = SlowFastLite::new(2, &mut rng);
+        let x = rng.uniform(&[1, 1, 32, 20, 20], 0.0, 1.0);
+        // Make A's batch-norm stats non-trivial.
+        a.forward(&x, Mode::Train);
+        let state = a.state_dict();
+        b.load_state_dict(&state);
+        let ya = a.forward(&x, Mode::Eval);
+        let yb = b.forward(&x, Mode::Eval);
+        assert!(ya.allclose(&yb, 1e-5), "{ya:?} vs {yb:?}");
+    }
+
+    #[test]
+    fn clone_decouples_parameters() {
+        let (mut a, mut rng) = model();
+        let b = a.clone();
+        let x = rng.uniform(&[1, 1, 32, 20, 20], 0.0, 1.0);
+        let logits = a.forward(&x, Mode::Train);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        a.backward(&grad);
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut a.params_mut());
+        let pa: f32 = a.params().iter().map(|p| p.value.norm()).sum();
+        let pb: f32 = b.params().iter().map(|p| p.value.norm()).sum();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn describe_mentions_both_pathways() {
+        let (m, _rng) = model();
+        let d = m.describe();
+        assert!(d.contains("Fast"));
+        assert!(d.contains("Slow"));
+        assert!(d.contains("alpha=8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by alpha")]
+    fn indivisible_clip_length_panics() {
+        let (mut m, _) = model();
+        m.forward(&Tensor::zeros(&[1, 1, 30, 20, 20]), Mode::Eval);
+    }
+}

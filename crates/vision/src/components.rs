@@ -1,0 +1,181 @@
+//! Connected-component labelling on binary masks.
+
+use crate::BinaryFrame;
+
+/// A 4-connected foreground region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Bounding-box minimum x.
+    pub min_x: usize,
+    /// Bounding-box minimum y.
+    pub min_y: usize,
+    /// Bounding-box maximum x (inclusive).
+    pub max_x: usize,
+    /// Bounding-box maximum y (inclusive).
+    pub max_y: usize,
+    /// Number of foreground pixels.
+    pub area: usize,
+}
+
+impl Component {
+    /// Bounding-box width in pixels.
+    pub fn width(&self) -> usize {
+        self.max_x - self.min_x + 1
+    }
+
+    /// Bounding-box height in pixels.
+    pub fn height(&self) -> usize {
+        self.max_y - self.min_y + 1
+    }
+
+    /// Bounding-box centre `(x, y)`.
+    pub fn centroid(&self) -> (f32, f32) {
+        (
+            (self.min_x + self.max_x) as f32 / 2.0,
+            (self.min_y + self.max_y) as f32 / 2.0,
+        )
+    }
+
+    /// Whether the bounding box overlaps a rectangle.
+    pub fn intersects_rect(&self, x0: usize, y0: usize, w: usize, h: usize) -> bool {
+        if w == 0 || h == 0 {
+            return false;
+        }
+        self.min_x < x0 + w && self.max_x >= x0 && self.min_y < y0 + h && self.max_y >= y0
+    }
+}
+
+/// Extracts 4-connected components with at least `min_area` pixels, using
+/// an iterative flood fill (no recursion, so arbitrarily large blobs are
+/// safe). Components are returned in raster order of their first pixel.
+///
+/// ```
+/// use safecross_vision::{connected_components, BinaryFrame};
+///
+/// let mut m = BinaryFrame::new(6, 6);
+/// m.put(1, 1, true);
+/// m.put(2, 1, true);
+/// m.put(4, 4, true);
+/// let comps = connected_components(&m, 2);
+/// assert_eq!(comps.len(), 1); // the singleton is below min_area
+/// assert_eq!(comps[0].area, 2);
+/// ```
+pub fn connected_components(mask: &BinaryFrame, min_area: usize) -> Vec<Component> {
+    let (w, h) = (mask.width(), mask.height());
+    let mut visited = vec![false; w * h];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..w * h {
+        if visited[start] || !mask.get(start % w, start / w) {
+            continue;
+        }
+        let mut comp = Component {
+            min_x: usize::MAX,
+            min_y: usize::MAX,
+            max_x: 0,
+            max_y: 0,
+            area: 0,
+        };
+        stack.push(start);
+        visited[start] = true;
+        while let Some(idx) = stack.pop() {
+            let (x, y) = (idx % w, idx / w);
+            comp.area += 1;
+            comp.min_x = comp.min_x.min(x);
+            comp.min_y = comp.min_y.min(y);
+            comp.max_x = comp.max_x.max(x);
+            comp.max_y = comp.max_y.max(y);
+            let mut visit = |nx: usize, ny: usize| {
+                let nidx = ny * w + nx;
+                if !visited[nidx] && mask.get(nx, ny) {
+                    visited[nidx] = true;
+                    stack.push(nidx);
+                }
+            };
+            if x > 0 {
+                visit(x - 1, y);
+            }
+            if x + 1 < w {
+                visit(x + 1, y);
+            }
+            if y > 0 {
+                visit(x, y - 1);
+            }
+            if y + 1 < h {
+                visit(x, y + 1);
+            }
+        }
+        if comp.area >= min_area {
+            out.push(comp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from(rows: &[&str]) -> BinaryFrame {
+        let h = rows.len();
+        let w = rows[0].len();
+        let mut m = BinaryFrame::new(w, h);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                m.put(x, y, c == '#');
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn two_separate_blobs() {
+        let m = mask_from(&["##..", "##..", "...#", "...#"]);
+        let comps = connected_components(&m, 1);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].area, 4);
+        assert_eq!(comps[1].area, 2);
+        assert_eq!(comps[0].centroid(), (0.5, 0.5));
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_under_4_connectivity() {
+        let m = mask_from(&["#.", ".#"]);
+        assert_eq!(connected_components(&m, 1).len(), 2);
+    }
+
+    #[test]
+    fn min_area_filters() {
+        let m = mask_from(&["#..", "...", "..#"]);
+        assert_eq!(connected_components(&m, 2).len(), 0);
+        assert_eq!(connected_components(&m, 1).len(), 2);
+    }
+
+    #[test]
+    fn l_shaped_blob_is_one_component() {
+        let m = mask_from(&["#..", "#..", "###"]);
+        let comps = connected_components(&m, 1);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 5);
+        assert_eq!(comps[0].width(), 3);
+        assert_eq!(comps[0].height(), 3);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let c = Component { min_x: 2, min_y: 2, max_x: 4, max_y: 4, area: 9 };
+        assert!(c.intersects_rect(0, 0, 3, 3)); // touches at (2,2)
+        assert!(!c.intersects_rect(0, 0, 2, 2));
+        assert!(c.intersects_rect(4, 4, 5, 5));
+        assert!(!c.intersects_rect(5, 0, 2, 10));
+        assert!(!c.intersects_rect(0, 0, 0, 10));
+    }
+
+    #[test]
+    fn full_frame_single_component() {
+        let m = mask_from(&["###", "###"]);
+        let comps = connected_components(&m, 1);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 6);
+    }
+}

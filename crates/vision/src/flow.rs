@@ -1,0 +1,402 @@
+//! Optical flow: Shi–Tomasi corners + Lucas–Kanade (sparse) and
+//! Horn–Schunck (dense).
+//!
+//! These are the two optical-flow baselines of the paper's detection
+//! shoot-out (Table II / Fig. 8). Sparse flow only "sees" motion at
+//! trackable corners — which, on noisy low-quality footage, often belong
+//! to the environment rather than to vehicles. Dense flow estimates
+//! motion everywhere but pays a large iterative-solver cost.
+
+use crate::GrayFrame;
+
+/// Motion estimate at a single tracked point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowVector {
+    /// Point x coordinate (pixels).
+    pub x: usize,
+    /// Point y coordinate (pixels).
+    pub y: usize,
+    /// Horizontal displacement (pixels/frame).
+    pub u: f32,
+    /// Vertical displacement (pixels/frame).
+    pub v: f32,
+}
+
+impl FlowVector {
+    /// Motion magnitude in pixels/frame.
+    pub fn magnitude(&self) -> f32 {
+        (self.u * self.u + self.v * self.v).sqrt()
+    }
+}
+
+/// A dense per-pixel flow field.
+#[derive(Debug, Clone)]
+pub struct FlowField {
+    width: usize,
+    height: usize,
+    u: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl FlowField {
+    /// Field width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Field height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Horizontal flow at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn u_at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height);
+        self.u[y * self.width + x]
+    }
+
+    /// Vertical flow at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn v_at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height);
+        self.v[y * self.width + x]
+    }
+
+    /// Flow magnitude at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn magnitude_at(&self, x: usize, y: usize) -> f32 {
+        let (u, v) = (self.u_at(x, y), self.v_at(x, y));
+        (u * u + v * v).sqrt()
+    }
+
+    /// Mean flow magnitude inside a rectangle (clamped to bounds).
+    pub fn mean_magnitude_in(&self, x0: usize, y0: usize, w: usize, h: usize) -> f32 {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        if x0 >= x1 || y0 >= y1 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                sum += self.magnitude_at(x, y);
+            }
+        }
+        sum / ((x1 - x0) * (y1 - y0)) as f32
+    }
+}
+
+/// Parameters for [`sparse_flow`].
+#[derive(Debug, Clone, Copy)]
+pub struct SparseFlowParams {
+    /// Maximum number of corners to track.
+    pub max_corners: usize,
+    /// Minimum Shi–Tomasi eigenvalue for a corner to be accepted.
+    pub quality_threshold: f32,
+    /// Half-width of the Lucas–Kanade window.
+    pub window_radius: usize,
+}
+
+impl Default for SparseFlowParams {
+    fn default() -> Self {
+        SparseFlowParams {
+            max_corners: 64,
+            quality_threshold: 500.0,
+            window_radius: 3,
+        }
+    }
+}
+
+/// Parameters for [`dense_flow`].
+#[derive(Debug, Clone, Copy)]
+pub struct DenseFlowParams {
+    /// Horn–Schunck smoothness weight.
+    pub alpha: f32,
+    /// Number of Jacobi iterations (the dominant cost).
+    pub iterations: usize,
+}
+
+impl Default for DenseFlowParams {
+    fn default() -> Self {
+        DenseFlowParams {
+            alpha: 1.0,
+            iterations: 60,
+        }
+    }
+}
+
+fn gradients(frame: &GrayFrame) -> (Vec<f32>, Vec<f32>) {
+    let (w, h) = (frame.width(), frame.height());
+    let mut ix = vec![0.0f32; w * h];
+    let mut iy = vec![0.0f32; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            ix[y * w + x] = (frame.at(x + 1, y) as f32 - frame.at(x - 1, y) as f32) * 0.5;
+            iy[y * w + x] = (frame.at(x, y + 1) as f32 - frame.at(x, y - 1) as f32) * 0.5;
+        }
+    }
+    (ix, iy)
+}
+
+/// Shi–Tomasi "good features to track": returns up to `max_corners`
+/// corner locations ranked by the minimum eigenvalue of the local
+/// structure tensor, with simple non-maximum suppression.
+///
+/// # Panics
+///
+/// Panics if the frame is smaller than the corner window (5x5).
+pub fn shi_tomasi_corners(
+    frame: &GrayFrame,
+    max_corners: usize,
+    quality_threshold: f32,
+) -> Vec<(usize, usize)> {
+    let (w, h) = (frame.width(), frame.height());
+    assert!(w >= 5 && h >= 5, "frame too small for corner detection");
+    let (ix, iy) = gradients(frame);
+    let r = 2usize;
+    let mut scores = vec![0.0f32; w * h];
+    for y in r..h - r {
+        for x in r..w - r {
+            let (mut sxx, mut sxy, mut syy) = (0.0f32, 0.0f32, 0.0f32);
+            for dy in 0..=2 * r {
+                for dx in 0..=2 * r {
+                    let idx = (y + dy - r) * w + (x + dx - r);
+                    sxx += ix[idx] * ix[idx];
+                    sxy += ix[idx] * iy[idx];
+                    syy += iy[idx] * iy[idx];
+                }
+            }
+            // Minimum eigenvalue of [[sxx, sxy], [sxy, syy]].
+            let trace = sxx + syy;
+            let det = sxx * syy - sxy * sxy;
+            let disc = (trace * trace * 0.25 - det).max(0.0).sqrt();
+            scores[y * w + x] = trace * 0.5 - disc;
+        }
+    }
+    // Rank candidates and apply non-max suppression.
+    let mut candidates: Vec<(usize, usize, f32)> = (0..w * h)
+        .filter(|&i| scores[i] > quality_threshold)
+        .map(|i| (i % w, i / w, scores[i]))
+        .collect();
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut picked: Vec<(usize, usize)> = Vec::new();
+    let min_dist2 = 9isize; // 3px separation
+    for (x, y, _) in candidates {
+        if picked.len() >= max_corners {
+            break;
+        }
+        let ok = picked.iter().all(|&(px, py)| {
+            let dx = px as isize - x as isize;
+            let dy = py as isize - y as isize;
+            dx * dx + dy * dy >= min_dist2
+        });
+        if ok {
+            picked.push((x, y));
+        }
+    }
+    picked
+}
+
+/// Sparse Lucas–Kanade flow at Shi–Tomasi corners of `prev`.
+///
+/// Solves the 2x2 normal equations of the brightness-constancy constraint
+/// inside a window around each corner. Single pyramid level — adequate
+/// for frame-rate motion, and faithful to the method's failure mode on
+/// noisy footage (corners latch onto static background texture).
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or are smaller than 5x5.
+pub fn sparse_flow(
+    prev: &GrayFrame,
+    curr: &GrayFrame,
+    params: &SparseFlowParams,
+) -> Vec<FlowVector> {
+    assert_eq!(prev.width(), curr.width(), "frame width mismatch");
+    assert_eq!(prev.height(), curr.height(), "frame height mismatch");
+    let corners = shi_tomasi_corners(prev, params.max_corners, params.quality_threshold);
+    let (w, h) = (prev.width(), prev.height());
+    let (ix, iy) = gradients(prev);
+    let r = params.window_radius as isize;
+    let mut out = Vec::with_capacity(corners.len());
+    for (cx, cy) in corners {
+        let (mut sxx, mut sxy, mut syy) = (0.0f32, 0.0f32, 0.0f32);
+        let (mut sxt, mut syt) = (0.0f32, 0.0f32);
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let nx = cx as isize + dx;
+                let ny = cy as isize + dy;
+                if nx < 1 || ny < 1 || nx >= w as isize - 1 || ny >= h as isize - 1 {
+                    continue;
+                }
+                let idx = ny as usize * w + nx as usize;
+                let it = curr.at(nx as usize, ny as usize) as f32
+                    - prev.at(nx as usize, ny as usize) as f32;
+                sxx += ix[idx] * ix[idx];
+                sxy += ix[idx] * iy[idx];
+                syy += iy[idx] * iy[idx];
+                sxt += ix[idx] * it;
+                syt += iy[idx] * it;
+            }
+        }
+        let det = sxx * syy - sxy * sxy;
+        if det.abs() < 1e-3 {
+            continue; // aperture problem: skip untrackable point
+        }
+        let u = (-syy * sxt + sxy * syt) / det;
+        let v = (sxy * sxt - sxx * syt) / det;
+        out.push(FlowVector { x: cx, y: cy, u, v });
+    }
+    out
+}
+
+/// Dense Horn–Schunck optical flow.
+///
+/// Minimises the global energy `|∇I·w + I_t|² + α²(|∇u|² + |∇v|²)` with
+/// Jacobi iterations; cost scales with `width * height * iterations`,
+/// which is why this method lands two orders of magnitude above
+/// background subtraction in Table II.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn dense_flow(prev: &GrayFrame, curr: &GrayFrame, params: &DenseFlowParams) -> FlowField {
+    assert_eq!(prev.width(), curr.width(), "frame width mismatch");
+    assert_eq!(prev.height(), curr.height(), "frame height mismatch");
+    let (w, h) = (prev.width(), prev.height());
+    let (ix, iy) = gradients(prev);
+    let it: Vec<f32> = prev
+        .pixels()
+        .iter()
+        .zip(curr.pixels())
+        .map(|(&a, &b)| b as f32 - a as f32)
+        .collect();
+    let mut u = vec![0.0f32; w * h];
+    let mut v = vec![0.0f32; w * h];
+    let a2 = params.alpha * params.alpha;
+    let avg = |f: &[f32], x: usize, y: usize| -> f32 {
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for (dx, dy) in [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)] {
+            let nx = x as isize + dx;
+            let ny = y as isize + dy;
+            if nx >= 0 && ny >= 0 && nx < w as isize && ny < h as isize {
+                sum += f[ny as usize * w + nx as usize];
+                n += 1.0;
+            }
+        }
+        sum / n
+    };
+    for _ in 0..params.iterations {
+        let mut nu = vec![0.0f32; w * h];
+        let mut nv = vec![0.0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let idx = y * w + x;
+                let ubar = avg(&u, x, y);
+                let vbar = avg(&v, x, y);
+                let num = ix[idx] * ubar + iy[idx] * vbar + it[idx];
+                let den = a2 + ix[idx] * ix[idx] + iy[idx] * iy[idx];
+                nu[idx] = ubar - ix[idx] * num / den;
+                nv[idx] = vbar - iy[idx] * num / den;
+            }
+        }
+        u = nu;
+        v = nv;
+    }
+    FlowField {
+        width: w,
+        height: h,
+        u,
+        v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bright square on a dark background at `(x0, y0)`.
+    fn square_frame(w: usize, h: usize, x0: usize, y0: usize, side: usize) -> GrayFrame {
+        let mut f = GrayFrame::filled(w, h, 20);
+        for y in y0..(y0 + side).min(h) {
+            for x in x0..(x0 + side).min(w) {
+                f.set(x, y, 220);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn corners_found_on_square() {
+        let f = square_frame(20, 20, 6, 6, 8);
+        let corners = shi_tomasi_corners(&f, 10, 100.0);
+        assert!(!corners.is_empty());
+        // All corners lie on/near the square's boundary.
+        for (x, y) in corners {
+            assert!((4..=16).contains(&x) && (4..=16).contains(&y), "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn no_corners_on_flat_frame() {
+        let f = GrayFrame::filled(20, 20, 128);
+        assert!(shi_tomasi_corners(&f, 10, 100.0).is_empty());
+    }
+
+    #[test]
+    fn sparse_flow_tracks_translation() {
+        let a = square_frame(24, 24, 8, 8, 6);
+        let b = square_frame(24, 24, 9, 8, 6); // moved +1 in x
+        let flows = sparse_flow(&a, &b, &SparseFlowParams::default());
+        assert!(!flows.is_empty());
+        let mean_u: f32 = flows.iter().map(|f| f.u).sum::<f32>() / flows.len() as f32;
+        let mean_v: f32 = flows.iter().map(|f| f.v).sum::<f32>() / flows.len() as f32;
+        assert!(mean_u > 0.3, "mean u {mean_u}");
+        assert!(mean_v.abs() < 0.3, "mean v {mean_v}");
+    }
+
+    #[test]
+    fn dense_flow_concentrates_on_mover() {
+        let a = square_frame(24, 24, 8, 8, 6);
+        let b = square_frame(24, 24, 9, 8, 6);
+        let field = dense_flow(&a, &b, &DenseFlowParams::default());
+        let moving = field.mean_magnitude_in(7, 7, 9, 8);
+        let still = field.mean_magnitude_in(0, 0, 5, 5);
+        assert!(moving > 4.0 * still + 1e-3, "moving {moving} vs still {still}");
+    }
+
+    #[test]
+    fn dense_flow_zero_for_identical_frames() {
+        let a = square_frame(16, 16, 4, 4, 5);
+        let field = dense_flow(&a, &a, &DenseFlowParams::default());
+        assert!(field.mean_magnitude_in(0, 0, 16, 16) < 1e-4);
+    }
+
+    #[test]
+    fn flow_vector_magnitude() {
+        let f = FlowVector { x: 0, y: 0, u: 3.0, v: 4.0 };
+        assert_eq!(f.magnitude(), 5.0);
+    }
+
+    #[test]
+    fn dense_iterations_scale_cost_not_shape() {
+        // More iterations must not change the qualitative answer.
+        let a = square_frame(20, 20, 6, 6, 5);
+        let b = square_frame(20, 20, 7, 6, 5);
+        let cheap = dense_flow(&a, &b, &DenseFlowParams { alpha: 1.0, iterations: 10 });
+        let costly = dense_flow(&a, &b, &DenseFlowParams { alpha: 1.0, iterations: 80 });
+        assert!(cheap.mean_magnitude_in(5, 5, 8, 7) > 0.0);
+        assert!(costly.mean_magnitude_in(5, 5, 8, 7) > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Two-frame differencing.
+
+use crate::{BinaryFrame, GrayFrame};
+
+/// Classic frame differencing: marks pixels whose intensity changed by
+/// more than `threshold` between two consecutive frames.
+///
+/// Fast but, as the paper's related-work section notes, it struggles to
+/// separate overlapping targets and double-detects fast movers (leading
+/// and trailing edges both change). Provided as a baseline.
+///
+/// ```
+/// use safecross_vision::{frame_difference, GrayFrame};
+///
+/// let a = GrayFrame::filled(3, 3, 50);
+/// let mut b = a.clone();
+/// b.set(1, 1, 200);
+/// let mask = frame_difference(&a, &b, 30.0);
+/// assert_eq!(mask.count(), 1);
+/// assert!(mask.get(1, 1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or `threshold` is negative.
+pub fn frame_difference(prev: &GrayFrame, curr: &GrayFrame, threshold: f32) -> BinaryFrame {
+    assert_eq!(prev.width(), curr.width(), "frame width mismatch");
+    assert_eq!(prev.height(), curr.height(), "frame height mismatch");
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let mut mask = BinaryFrame::new(curr.width(), curr.height());
+    for (i, (&a, &b)) in prev.pixels().iter().zip(curr.pixels()).enumerate() {
+        if (a as f32 - b as f32).abs() > threshold {
+            mask.put(i % curr.width(), i / curr.width(), true);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_empty_mask() {
+        let f = GrayFrame::filled(4, 4, 99);
+        assert_eq!(frame_difference(&f, &f, 10.0).count(), 0);
+    }
+
+    #[test]
+    fn detects_leading_and_trailing_edges() {
+        // An object moving from x=1 to x=2 flags both positions.
+        let mut a = GrayFrame::filled(4, 1, 0);
+        a.set(1, 0, 255);
+        let mut b = GrayFrame::filled(4, 1, 0);
+        b.set(2, 0, 255);
+        let mask = frame_difference(&a, &b, 100.0);
+        assert!(mask.get(1, 0));
+        assert!(mask.get(2, 0));
+        assert_eq!(mask.count(), 2);
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let a = GrayFrame::filled(2, 1, 100);
+        let b = GrayFrame::filled(2, 1, 110);
+        assert_eq!(frame_difference(&a, &b, 10.0).count(), 0);
+        assert_eq!(frame_difference(&a, &b, 9.0).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn size_mismatch_panics() {
+        frame_difference(&GrayFrame::new(2, 2), &GrayFrame::new(3, 2), 1.0);
+    }
+}

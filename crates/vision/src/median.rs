@@ -1,0 +1,108 @@
+//! Median filtering — the classic salt-and-pepper denoiser, provided as
+//! an alternative to morphological opening in the VP pipeline ablations.
+
+use crate::GrayFrame;
+
+/// 3x3 median filter. Border pixels use the median of their in-frame
+/// neighbourhood, so the output has the same size as the input.
+///
+/// ```
+/// use safecross_vision::{median_filter, GrayFrame};
+///
+/// let mut f = GrayFrame::filled(5, 5, 100);
+/// f.set(2, 2, 255); // salt noise
+/// let clean = median_filter(&f);
+/// assert_eq!(clean.at(2, 2), 100);
+/// ```
+pub fn median_filter(frame: &GrayFrame) -> GrayFrame {
+    let (w, h) = (frame.width(), frame.height());
+    let mut out = GrayFrame::new(w, h);
+    let mut window = [0u8; 9];
+    for y in 0..h {
+        for x in 0..w {
+            let mut n = 0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let nx = x as i32 + dx;
+                    let ny = y as i32 + dy;
+                    if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                        window[n] = frame.at(nx as usize, ny as usize);
+                        n += 1;
+                    }
+                }
+            }
+            window[..n].sort_unstable();
+            out.set(x, y, window[n / 2]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_frame_unchanged() {
+        let f = GrayFrame::filled(7, 5, 42);
+        assert_eq!(median_filter(&f), f);
+    }
+
+    #[test]
+    fn removes_salt_and_pepper() {
+        let mut f = GrayFrame::filled(9, 9, 128);
+        f.set(3, 3, 255);
+        f.set(6, 6, 0);
+        let clean = median_filter(&f);
+        assert_eq!(clean.at(3, 3), 128);
+        assert_eq!(clean.at(6, 6), 128);
+    }
+
+    #[test]
+    fn preserves_large_structures() {
+        // A 4x4 bright block survives (its interior median is bright).
+        let mut f = GrayFrame::filled(10, 10, 20);
+        for y in 3..7 {
+            for x in 3..7 {
+                f.set(x, y, 220);
+            }
+        }
+        let clean = median_filter(&f);
+        assert_eq!(clean.at(4, 4), 220);
+        assert_eq!(clean.at(5, 5), 220);
+    }
+
+    #[test]
+    fn edges_are_softened_not_destroyed() {
+        // Vertical step edge: the edge survives within one pixel.
+        let mut f = GrayFrame::filled(8, 8, 10);
+        for y in 0..8 {
+            for x in 4..8 {
+                f.set(x, y, 200);
+            }
+        }
+        let clean = median_filter(&f);
+        assert_eq!(clean.at(1, 4), 10);
+        assert_eq!(clean.at(6, 4), 200);
+    }
+
+    #[test]
+    fn borders_handled_without_panic() {
+        let mut f = GrayFrame::filled(3, 3, 50);
+        f.set(0, 0, 255);
+        let clean = median_filter(&f);
+        // Corner neighbourhood has 4 pixels; the median leans background.
+        assert!(clean.at(0, 0) <= 60);
+    }
+
+    #[test]
+    fn output_range_bounded_by_input_range() {
+        let mut f = GrayFrame::filled(6, 6, 100);
+        f.set(2, 2, 30);
+        f.set(4, 4, 180);
+        let clean = median_filter(&f);
+        for &p in clean.pixels() {
+            assert!((30..=180).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Mathematical morphology on binary masks.
+
+use crate::BinaryFrame;
+
+/// Erosion with a square structuring element of `radius` (so the window is
+/// `(2r+1) x (2r+1)`). A bit survives only if its whole window is set;
+/// pixels whose window leaves the frame are cleared.
+///
+/// ```
+/// use safecross_vision::{erode, BinaryFrame};
+///
+/// let mut m = BinaryFrame::new(5, 5);
+/// m.put(2, 2, true); // isolated noise pixel
+/// assert_eq!(erode(&m, 1).count(), 0);
+/// ```
+pub fn erode(mask: &BinaryFrame, radius: usize) -> BinaryFrame {
+    if radius == 0 {
+        return mask.clone();
+    }
+    let (w, h) = (mask.width(), mask.height());
+    let mut out = BinaryFrame::new(w, h);
+    let r = radius as isize;
+    for y in 0..h as isize {
+        'pix: for x in 0..w as isize {
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                        continue 'pix; // border treated as background
+                    }
+                    if !mask.get(nx as usize, ny as usize) {
+                        continue 'pix;
+                    }
+                }
+            }
+            out.put(x as usize, y as usize, true);
+        }
+    }
+    out
+}
+
+/// Dilation with a square structuring element of `radius`: a bit is set if
+/// any bit in its window is set.
+pub fn dilate(mask: &BinaryFrame, radius: usize) -> BinaryFrame {
+    if radius == 0 {
+        return mask.clone();
+    }
+    let (w, h) = (mask.width(), mask.height());
+    let mut out = BinaryFrame::new(w, h);
+    let r = radius as isize;
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            if !mask.get(x as usize, y as usize) {
+                continue;
+            }
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx >= 0 && ny >= 0 && nx < w as isize && ny < h as isize {
+                        out.put(nx as usize, ny as usize, true);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Morphological opening: erosion followed by dilation.
+///
+/// This is the paper's noise filter (Sec. III-B): single-pixel camera
+/// noise is erased by the erosion and — being gone — cannot be re-grown
+/// by the dilation, while large structures (vehicles) survive with their
+/// shape approximately restored.
+pub fn opening(mask: &BinaryFrame, radius: usize) -> BinaryFrame {
+    dilate(&erode(mask, radius), radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(w: usize, h: usize, x0: usize, y0: usize, bw: usize, bh: usize) -> BinaryFrame {
+        let mut m = BinaryFrame::new(w, h);
+        for y in y0..y0 + bh {
+            for x in x0..x0 + bw {
+                m.put(x, y, true);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn erode_shrinks_blocks() {
+        let m = block(10, 10, 2, 2, 5, 5);
+        let e = erode(&m, 1);
+        assert_eq!(e.count(), 9); // 5x5 -> 3x3
+        assert!(e.get(4, 4));
+        assert!(!e.get(2, 2));
+    }
+
+    #[test]
+    fn dilate_grows_blocks() {
+        let m = block(10, 10, 4, 4, 2, 2);
+        let d = dilate(&m, 1);
+        assert_eq!(d.count(), 16); // 2x2 -> 4x4
+        assert!(d.get(3, 3));
+    }
+
+    #[test]
+    fn opening_removes_speckle_keeps_structure() {
+        let mut m = block(12, 12, 2, 2, 6, 6);
+        m.put(10, 10, true); // isolated noise
+        m.put(0, 11, true); // more noise
+        let o = opening(&m, 1);
+        assert!(!o.get(10, 10));
+        assert!(!o.get(0, 11));
+        // The 6x6 block survives with substantial area.
+        assert!(o.density_in(2, 2, 6, 6) > 0.8);
+    }
+
+    #[test]
+    fn opening_is_idempotent() {
+        let m = block(12, 12, 3, 3, 5, 4);
+        let once = opening(&m, 1);
+        let twice = opening(&once, 1);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let m = block(6, 6, 1, 1, 3, 3);
+        assert_eq!(erode(&m, 0), m);
+        assert_eq!(dilate(&m, 0), m);
+    }
+
+    #[test]
+    fn erosion_dilation_duality_on_full_frame() {
+        // Eroding an all-set mask clears only the border ring;
+        // dilating it back refills everything.
+        let mut m = BinaryFrame::new(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                m.put(x, y, true);
+            }
+        }
+        let e = erode(&m, 1);
+        assert_eq!(e.count(), 16); // interior 4x4
+        assert_eq!(dilate(&e, 1).count(), 36);
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's Fig. 3 video pre-processing (VP) pipeline.
+//!
+//! Raw frame → dynamic background subtraction → morphological opening →
+//! remap onto a coarse 2-D occupancy grid. The grid is what the video
+//! classifier trains on: the paper argues that after this reduction the
+//! model only has to learn *where moving things are*, not appearance.
+
+use crate::{opening, BackgroundSubtractor, BinaryFrame, GrayFrame};
+use safecross_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Configuration of the VP pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessConfig {
+    /// Background adaptation rate.
+    pub bgs_alpha: f32,
+    /// Foreground intensity threshold.
+    pub bgs_threshold: f32,
+    /// Opening structuring-element radius (0 disables morphology — used
+    /// by the Table II ablation).
+    pub morph_radius: usize,
+    /// Occupancy grid width.
+    pub grid_width: usize,
+    /// Occupancy grid height.
+    pub grid_height: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            bgs_alpha: 0.02,
+            bgs_threshold: 35.0,
+            morph_radius: 1,
+            grid_width: 20,
+            grid_height: 20,
+        }
+    }
+}
+
+/// Maps a binary foreground mask onto a coarse occupancy grid.
+///
+/// Each grid cell holds the fraction of its source pixels that are
+/// foreground, so the representation stays differentiable-friendly and
+/// resolution-independent.
+#[derive(Debug, Clone, Copy)]
+pub struct GridMapper {
+    grid_width: usize,
+    grid_height: usize,
+}
+
+impl GridMapper {
+    /// Creates a mapper producing `grid_width x grid_height` grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(grid_width: usize, grid_height: usize) -> Self {
+        assert!(grid_width > 0 && grid_height > 0, "grid dimensions must be positive");
+        GridMapper {
+            grid_width,
+            grid_height,
+        }
+    }
+
+    /// Produces a `[grid_height, grid_width]` occupancy tensor from a
+    /// mask.
+    pub fn map(&self, mask: &BinaryFrame) -> Tensor {
+        let mut grid = Tensor::zeros(&[self.grid_height, self.grid_width]);
+        let (w, h) = (mask.width(), mask.height());
+        for gy in 0..self.grid_height {
+            let y0 = gy * h / self.grid_height;
+            let y1 = ((gy + 1) * h / self.grid_height).max(y0 + 1).min(h);
+            for gx in 0..self.grid_width {
+                let x0 = gx * w / self.grid_width;
+                let x1 = ((gx + 1) * w / self.grid_width).max(x0 + 1).min(w);
+                let mut set = 0usize;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        if mask.get(x, y) {
+                            set += 1;
+                        }
+                    }
+                }
+                grid.set(&[gy, gx], set as f32 / ((x1 - x0) * (y1 - y0)) as f32);
+            }
+        }
+        grid
+    }
+}
+
+/// The complete VP pipeline with persistent background state.
+///
+/// ```
+/// use safecross_vision::{GrayFrame, PreprocessConfig, Preprocessor};
+///
+/// let mut vp = Preprocessor::new(32, 32, PreprocessConfig::default());
+/// let grid = vp.process(&GrayFrame::filled(32, 32, 90));
+/// assert_eq!(grid.dims(), &[20, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    bgs: BackgroundSubtractor,
+    mapper: GridMapper,
+    config: PreprocessConfig,
+}
+
+impl Preprocessor {
+    /// Creates a pipeline for `width x height` input frames.
+    pub fn new(width: usize, height: usize, config: PreprocessConfig) -> Self {
+        Preprocessor {
+            bgs: BackgroundSubtractor::new(width, height, config.bgs_alpha, config.bgs_threshold),
+            mapper: GridMapper::new(config.grid_width, config.grid_height),
+            config,
+        }
+    }
+
+    /// Runs the full pipeline on one frame, returning the occupancy grid.
+    pub fn process(&mut self, frame: &GrayFrame) -> Tensor {
+        self.stages(frame).2
+    }
+
+    /// Runs the pipeline, exposing every intermediate stage (the paper's
+    /// Fig. 3): raw foreground mask, opened mask, occupancy grid.
+    pub fn stages(&mut self, frame: &GrayFrame) -> (BinaryFrame, BinaryFrame, Tensor) {
+        let raw = self.bgs.apply(frame);
+        let opened = opening(&raw, self.config.morph_radius);
+        let grid = self.mapper.map(&opened);
+        (raw, opened, grid)
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PreprocessConfig {
+        &self.config
+    }
+
+    /// Resets the background model (scene change).
+    pub fn reset(&mut self) {
+        self.bgs.reset();
+    }
+}
+
+/// A sliding window that assembles per-frame grids into a
+/// `[1, T, H, W]` clip tensor — the classifier's input format.
+#[derive(Debug, Clone)]
+pub struct SegmentBuffer {
+    frames: VecDeque<Tensor>,
+    capacity: usize,
+}
+
+impl SegmentBuffer {
+    /// Creates a buffer holding `capacity` frames (the paper uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SegmentBuffer {
+            frames: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends a grid, evicting the oldest frame when full.
+    pub fn push(&mut self, grid: Tensor) {
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(grid);
+    }
+
+    /// Number of buffered frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the buffer holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether a full clip is available.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() == self.capacity
+    }
+
+    /// Assembles the clip as `[1, T, H, W]` (channel-leading, ready to be
+    /// stacked into a batch), or `None` until the buffer is full.
+    pub fn as_clip(&self) -> Option<Tensor> {
+        if !self.is_full() {
+            return None;
+        }
+        let parts: Vec<Tensor> = self.frames.iter().cloned().collect();
+        let stacked = Tensor::stack(&parts); // [T, H, W]
+        let dims = stacked.dims().to_vec();
+        Some(stacked.reshape(&[1, dims[0], dims[1], dims[2]]))
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_mapper_localises_mass() {
+        let mut mask = BinaryFrame::new(20, 20);
+        for y in 0..10 {
+            for x in 0..10 {
+                mask.put(x, y, true); // top-left quadrant fully set
+            }
+        }
+        let grid = GridMapper::new(2, 2).map(&mask);
+        assert_eq!(grid.at(&[0, 0]), 1.0);
+        assert_eq!(grid.at(&[0, 1]), 0.0);
+        assert_eq!(grid.at(&[1, 0]), 0.0);
+        assert_eq!(grid.at(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn grid_mapper_handles_non_divisible_sizes() {
+        let mut mask = BinaryFrame::new(7, 5);
+        mask.put(6, 4, true);
+        let grid = GridMapper::new(3, 3).map(&mask);
+        assert!(grid.at(&[2, 2]) > 0.0);
+        assert!((grid.sum() - grid.at(&[2, 2])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preprocessor_detects_motion_in_grid() {
+        let mut vp = Preprocessor::new(40, 40, PreprocessConfig::default());
+        let empty = GrayFrame::filled(40, 40, 90);
+        for _ in 0..10 {
+            vp.process(&empty);
+        }
+        let mut with_car = empty.clone();
+        for y in 4..10 {
+            for x in 4..12 {
+                with_car.set(x, y, 230);
+            }
+        }
+        let (raw, opened, grid) = vp.stages(&with_car);
+        assert!(raw.count() >= opened.count());
+        assert!(opened.count() > 0);
+        // Mass is concentrated in the top-left of the grid.
+        let top_left: f32 = (0..6)
+            .flat_map(|gy| (0..7).map(move |gx| (gy, gx)))
+            .map(|(gy, gx)| grid.at(&[gy, gx]))
+            .sum();
+        assert!((grid.sum() - top_left).abs() < 1e-6);
+    }
+
+    #[test]
+    fn morphology_ablation_changes_noise_handling() {
+        let noisy_cfg = PreprocessConfig { morph_radius: 0, ..Default::default() };
+        let clean_cfg = PreprocessConfig::default();
+        let mut vp_noisy = Preprocessor::new(30, 30, noisy_cfg);
+        let mut vp_clean = Preprocessor::new(30, 30, clean_cfg);
+        let empty = GrayFrame::filled(30, 30, 90);
+        for _ in 0..10 {
+            vp_noisy.process(&empty);
+            vp_clean.process(&empty);
+        }
+        let mut speckled = empty.clone();
+        speckled.set(5, 5, 250); // single-pixel noise
+        let g_noisy = vp_noisy.process(&speckled);
+        let g_clean = vp_clean.process(&speckled);
+        assert!(g_noisy.sum() > 0.0);
+        assert_eq!(g_clean.sum(), 0.0);
+    }
+
+    #[test]
+    fn segment_buffer_slides() {
+        let mut buf = SegmentBuffer::new(3);
+        assert!(buf.as_clip().is_none());
+        for i in 0..5 {
+            buf.push(Tensor::full(&[2, 2], i as f32));
+        }
+        assert!(buf.is_full());
+        let clip = buf.as_clip().unwrap();
+        assert_eq!(clip.dims(), &[1, 3, 2, 2]);
+        // Oldest two frames were evicted: values 2, 3, 4 remain.
+        assert_eq!(clip.at(&[0, 0, 0, 0]), 2.0);
+        assert_eq!(clip.at(&[0, 2, 1, 1]), 4.0);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

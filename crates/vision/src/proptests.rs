@@ -1,0 +1,126 @@
+//! Property-based tests on vision invariants.
+
+use crate::{
+    connected_components, dilate, erode, frame_difference, opening, BinaryFrame, GrayFrame,
+    GridMapper,
+};
+use proptest::prelude::*;
+
+fn arb_mask() -> impl Strategy<Value = BinaryFrame> {
+    (3usize..12, 3usize..12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<bool>(), w * h).prop_map(move |bits| {
+            let mut m = BinaryFrame::new(w, h);
+            for (i, b) in bits.into_iter().enumerate() {
+                m.put(i % w, i / w, b);
+            }
+            m
+        })
+    })
+}
+
+fn arb_frame() -> impl Strategy<Value = GrayFrame> {
+    (3usize..10, 3usize..10).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |px| GrayFrame::from_pixels(w, h, px))
+    })
+}
+
+proptest! {
+    #[test]
+    fn erosion_is_anti_extensive(m in arb_mask()) {
+        let e = erode(&m, 1);
+        // Every set pixel of the erosion was set in the input.
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                if e.get(x, y) {
+                    prop_assert!(m.get(x, y));
+                }
+            }
+        }
+        prop_assert!(e.count() <= m.count());
+    }
+
+    #[test]
+    fn dilation_is_extensive(m in arb_mask()) {
+        let d = dilate(&m, 1);
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                if m.get(x, y) {
+                    prop_assert!(d.get(x, y));
+                }
+            }
+        }
+        prop_assert!(d.count() >= m.count());
+    }
+
+    #[test]
+    fn opening_is_anti_extensive_and_idempotent(m in arb_mask()) {
+        let o = opening(&m, 1);
+        prop_assert!(o.count() <= m.count());
+        prop_assert_eq!(opening(&o, 1), o);
+    }
+
+    #[test]
+    fn morphology_is_monotone(m in arb_mask()) {
+        // Removing pixels never grows the eroded result.
+        let mut smaller = m.clone();
+        'outer: for y in 0..m.height() {
+            for x in 0..m.width() {
+                if smaller.get(x, y) {
+                    smaller.put(x, y, false);
+                    break 'outer;
+                }
+            }
+        }
+        let e_big = erode(&m, 1);
+        let e_small = erode(&smaller, 1);
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                if e_small.get(x, y) {
+                    prop_assert!(e_big.get(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_areas_sum_to_mask_count(m in arb_mask()) {
+        let comps = connected_components(&m, 1);
+        let total: usize = comps.iter().map(|c| c.area).sum();
+        prop_assert_eq!(total, m.count());
+    }
+
+    #[test]
+    fn component_bounding_boxes_contain_area(m in arb_mask()) {
+        for c in connected_components(&m, 1) {
+            prop_assert!(c.area <= c.width() * c.height());
+            prop_assert!(c.min_x <= c.max_x && c.min_y <= c.max_y);
+            prop_assert!(c.max_x < m.width() && c.max_y < m.height());
+        }
+    }
+
+    #[test]
+    fn frame_difference_is_symmetric(a in arb_frame()) {
+        let b = GrayFrame::from_pixels(
+            a.width(), a.height(),
+            a.pixels().iter().map(|&p| p.wrapping_add(40)).collect(),
+        );
+        prop_assert_eq!(
+            frame_difference(&a, &b, 20.0).count(),
+            frame_difference(&b, &a, 20.0).count()
+        );
+    }
+
+    #[test]
+    fn grid_values_are_densities(m in arb_mask()) {
+        let grid = GridMapper::new(3, 3).map(&m);
+        prop_assert!(grid.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Empty mask -> zero grid; full mask -> all-ones grid.
+        if m.count() == 0 {
+            prop_assert_eq!(grid.sum(), 0.0);
+        }
+        if m.count() == m.width() * m.height() {
+            prop_assert!(grid.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        }
+    }
+}

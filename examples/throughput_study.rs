@@ -1,0 +1,66 @@
+//! Throughput study: what SafeCross buys the intersection (Sec. V-D).
+//!
+//! Two parts:
+//!
+//! 1. **Policy simulation** — the same occluded intersection run under
+//!    three turner policies: the maximally cautious always-wait driver,
+//!    the human who trusts only what they can see (risky!), and the
+//!    SafeCross-assisted driver with full knowledge. Completed turns and
+//!    near misses per simulated half hour are compared.
+//! 2. **Classifier study** — the paper's 63-segment blind-zone test set
+//!    classified by a trained model, reporting the throughput gain.
+//!
+//! Run with: `cargo run --release --example throughput_study`
+
+use safecross::experiments::{table1_dataset, table3_scene_accuracy, table7_throughput, ExperimentConfig};
+use safecross_trafficsim::{Scenario, SimEvent, Simulator, TurnPolicy, Weather};
+
+fn main() {
+    println!("=== SafeCross throughput study ===\n");
+
+    // Part 1: policy simulation.
+    println!("--- policy simulation: 30 simulated minutes, occluded intersection ---");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12}",
+        "Policy", "Turns", "Mean wait", "Near misses"
+    );
+    for (label, policy) in [
+        ("always-wait", TurnPolicy::AlwaysWait),
+        ("human (visible only)", TurnPolicy::HumanVisible),
+        ("SafeCross-assisted", TurnPolicy::Omniscient),
+    ] {
+        let scenario = Scenario::new(Weather::Daytime, true, 0.12).with_policy(policy);
+        let mut sim = Simulator::new(scenario, 77);
+        sim.run(1800.0);
+        let near_misses = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::NearMiss { .. }))
+            .count();
+        println!(
+            "{:<22} {:>8} {:>9.1} s {:>12}",
+            label,
+            sim.turns_completed(),
+            sim.mean_wait(),
+            near_misses
+        );
+    }
+    println!(
+        "\nthe human policy turns but risks near misses; always-wait is safe but\n\
+         starves the lane; SafeCross keeps the safety of waiting with the\n\
+         throughput of full knowledge.\n"
+    );
+
+    // Part 2: the paper's classifier-based study at smoke scale.
+    println!("--- classifier study (Sec. V-D, smoke scale) ---");
+    let cfg = ExperimentConfig {
+        dataset_factor: 0.06,
+        ..ExperimentConfig::default()
+    };
+    println!("training scene models (a minute or two)...");
+    let data = table1_dataset(&cfg);
+    let scene = table3_scene_accuracy(&data, &cfg);
+    let report = table7_throughput(&scene.models, &cfg);
+    println!("\n{report}");
+    println!("\npaper: 63 blind-zone segments, accuracy 1.0, +50% throughput (32/63)");
+}

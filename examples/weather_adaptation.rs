@@ -1,0 +1,95 @@
+//! Weather adaptation: the FL + MS modules working together.
+//!
+//! Trains a daytime model, few-shot adapts it to snow from a handful of
+//! labelled segments (the paper's FL module), then replays a
+//! daytime-to-snow scene transition through the deployed system and
+//! shows the scene detector triggering a PipeSwitch-style model swap
+//! with millisecond latency (the MS module).
+//!
+//! Run with: `cargo run --release --example weather_adaptation`
+
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_dataset::{DatasetSpec, SegmentGenerator};
+use safecross_fewshot::adapt;
+use safecross_modelswitch::{simulate_switch, GpuSpec, ModelDesc, SwitchStrategy};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{Renderer, RenderConfig, Scenario, Simulator, Weather};
+use safecross_videoclass::{evaluate, train, SlowFastLite, TrainConfig};
+
+fn main() {
+    println!("=== SafeCross weather adaptation (FL + MS) ===\n");
+
+    // 1. FL: daytime base model, then few-shot snow adaptation.
+    let spec = DatasetSpec {
+        daytime_segments: 40,
+        rain_segments: 0,
+        snow_segments: 16,
+        ..DatasetSpec::tiny()
+    };
+    println!("generating daytime + snow segments...");
+    let data = SegmentGenerator::new(21).generate_dataset(&spec);
+
+    let mut rng = TensorRng::seed_from(2);
+    let mut daytime = SlowFastLite::new(2, &mut rng);
+    let day_idx = data.indices_of_weather(Weather::Daytime);
+    println!("training the daytime base model ({} segments)...", day_idx.len());
+    train(
+        &mut daytime,
+        &data,
+        &day_idx,
+        &TrainConfig {
+            epochs: 14,
+            ..TrainConfig::default()
+        },
+    );
+
+    let snow_idx = data.indices_of_weather(Weather::Snow);
+    let (support, test): (Vec<usize>, Vec<usize>) =
+        (snow_idx[..4].to_vec(), snow_idx[4..].to_vec());
+    println!(
+        "few-shot adapting to snow: {} support segments, {} test segments",
+        support.len(),
+        test.len()
+    );
+    let support_batch = data.batch(&support);
+    let mut snow_model = adapt(&daytime, &support_batch, 10, 0.05);
+
+    let mut day_on_snow = daytime.clone();
+    let before = evaluate(&mut day_on_snow, &data, &test);
+    let after = evaluate(&mut snow_model, &data, &test);
+    println!("daytime model on snow : {before}");
+    println!("adapted model on snow : {after}\n");
+
+    // 2. MS: the simulated GPU switch the scene change will trigger.
+    let gpu = GpuSpec::rtx_2080_ti();
+    let desc = ModelDesc::slowfast_r50();
+    let cold = simulate_switch(&gpu, &desc, &SwitchStrategy::StopAndStart);
+    let pipe = simulate_switch(&gpu, &desc, &SwitchStrategy::PipelinedOptimal);
+    println!("model swap, stop-and-start : {:8.1} ms", cold.switch_overhead_ms);
+    println!("model swap, PipeSwitch     : {:8.2} ms ({} groups)\n", pipe.switch_overhead_ms, pipe.groups);
+
+    // 3. Deployment: daytime scene turns into snow mid-stream.
+    let mut system = SafeCross::new(SafeCrossConfig::default());
+    system.register_model(Weather::Daytime, daytime);
+    system.register_model(Weather::Snow, snow_model);
+
+    println!("replaying a daytime -> snow transition...");
+    for (phase, weather) in [("daytime", Weather::Daytime), ("snow", Weather::Snow)] {
+        let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), 33);
+        let mut renderer = Renderer::new(RenderConfig::default(), weather, 33);
+        for _ in 0..30 {
+            sim.step(DT);
+            let frame = renderer.render(&sim);
+            let outcome = system.process_frame(&frame);
+            if let Some((scene, report)) = outcome.scene_switch {
+                println!(
+                    "  [{phase}] scene detector fired: switch to {scene} model in {:.2} ms overhead",
+                    report.switch_overhead_ms
+                );
+            }
+        }
+    }
+    println!("\nactive scene at the end: {}", system.current_scene());
+    println!("switch log: {:?}", system.switch_log());
+}

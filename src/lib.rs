@@ -1,0 +1,20 @@
+//! # safecross-suite
+//!
+//! Umbrella package hosting the workspace's runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). It
+//! re-exports the member crates under short names so example code can
+//! depend on one package.
+//!
+//! See the repository `README.md` for the full tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use safecross as framework;
+pub use safecross_dataset as dataset;
+pub use safecross_detect as detect;
+pub use safecross_fewshot as fewshot;
+pub use safecross_modelswitch as modelswitch;
+pub use safecross_nn as nn;
+pub use safecross_tensor as tensor;
+pub use safecross_trafficsim as trafficsim;
+pub use safecross_videoclass as videoclass;
+pub use safecross_vision as vision;

@@ -1,0 +1,155 @@
+//! Cross-crate integration: simulator -> camera -> VP -> VC -> warning.
+
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_dataset::{Class, DatasetSpec, SegmentGenerator};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{Renderer, RenderConfig, Scenario, Simulator, VehicleKind, Weather};
+use safecross_videoclass::{train, SlowFastLite, TrainConfig};
+use safecross_vision::{PreprocessConfig, Preprocessor, SegmentBuffer};
+
+/// The full frame path produces a verdict after exactly one segment of
+/// frames, and the verdict stream keeps flowing afterwards.
+#[test]
+fn frames_to_verdicts() {
+    let mut rng = TensorRng::seed_from(0);
+    let mut system = SafeCross::new(SafeCrossConfig::default());
+    system.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+
+    let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.2), 5);
+    let mut renderer = Renderer::new(RenderConfig::default(), Weather::Daytime, 5);
+    let mut first_verdict_at = None;
+    for step in 0..40 {
+        sim.step(DT);
+        let outcome = system.process_frame(&renderer.render(&sim));
+        if outcome.verdict.is_some() && first_verdict_at.is_none() {
+            first_verdict_at = Some(step);
+        }
+    }
+    assert_eq!(first_verdict_at, Some(31), "segment buffer holds 32 frames");
+    assert_eq!(system.verdicts().len(), 40 - 31);
+}
+
+/// The VP pipeline erases the static occluder but keeps the moving
+/// vehicle: exactly the property the paper's architecture relies on.
+#[test]
+fn vp_keeps_movers_drops_parked_occluder() {
+    let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.0), 8);
+    let mut renderer = Renderer::new(RenderConfig::default(), Weather::Daytime, 8);
+    let mut vp = Preprocessor::new(320, 240, PreprocessConfig::default());
+    // Let the background learn the parked occluder.
+    for _ in 0..20 {
+        sim.step(DT);
+        vp.process(&renderer.render(&sim));
+    }
+    // Scene with only the static occluder and a waiting turner: the grid
+    // carries (almost) no energy.
+    sim.step(DT);
+    let quiet = vp.process(&renderer.render(&sim));
+    // Inject a mover through the camera view and let it travel.
+    sim.inject_oncoming(VehicleKind::Car, 40.0, 13.0);
+    let mut moving_energy = 0.0f32;
+    for _ in 0..10 {
+        sim.step(DT);
+        moving_energy = moving_energy.max(vp.process(&renderer.render(&sim)).sum());
+    }
+    assert!(
+        moving_energy > quiet.sum() + 0.05,
+        "moving {moving_energy} vs quiet {}",
+        quiet.sum()
+    );
+}
+
+/// A model trained on generated segments beats chance on fresh segments
+/// from a different generator seed (cross-crate generalisation).
+#[test]
+fn trained_model_generalises_to_fresh_segments() {
+    let spec = DatasetSpec {
+        daytime_segments: 48,
+        rain_segments: 0,
+        snow_segments: 0,
+        ..DatasetSpec::tiny()
+    };
+    let train_data = SegmentGenerator::new(100).generate_dataset(&spec);
+    let mut rng = TensorRng::seed_from(1);
+    let mut model = SlowFastLite::new(2, &mut rng);
+    let all: Vec<usize> = (0..train_data.len()).collect();
+    train(
+        &mut model,
+        &train_data,
+        &all,
+        &TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
+    );
+
+    let fresh = SegmentGenerator::new(999).generate_dataset(&DatasetSpec {
+        daytime_segments: 16,
+        rain_segments: 0,
+        snow_segments: 0,
+        ..DatasetSpec::tiny()
+    });
+    let mut system = SafeCross::new(SafeCrossConfig::default());
+    system.register_model(Weather::Daytime, model);
+    let correct = (0..fresh.len())
+        .filter(|&i| {
+            let seg = fresh.get(i);
+            system.classify_clip(&seg.clip, seg.weather).class == seg.label.class
+        })
+        .count();
+    assert!(
+        correct * 3 >= fresh.len() * 2,
+        "only {correct}/{} fresh segments correct",
+        fresh.len()
+    );
+}
+
+/// The segment buffer and the dataset generator agree on clip geometry,
+/// so a deployed system can consume dataset clips and vice versa.
+#[test]
+fn clip_shapes_are_interchangeable() {
+    let spec = DatasetSpec::tiny();
+    let mut gen = SegmentGenerator::new(3);
+    let seg = gen.generate(Weather::Daytime, true, false, &spec);
+
+    let mut vp = Preprocessor::new(
+        spec.frame_width,
+        spec.frame_height,
+        PreprocessConfig::default(),
+    );
+    let mut buffer = SegmentBuffer::new(spec.frames_per_segment);
+    let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.0), 4);
+    let mut renderer = Renderer::new(RenderConfig::default(), Weather::Daytime, 4);
+    for _ in 0..spec.frames_per_segment {
+        sim.step(DT);
+        buffer.push(vp.process(&renderer.render(&sim)));
+    }
+    let live_clip = buffer.as_clip().expect("buffer full");
+    assert_eq!(live_clip.dims(), seg.clip.dims());
+}
+
+/// Ground-truth blind-zone labels line up with the simulator geometry:
+/// blind occupancy only occurs in blind-area segments, danger scripting
+/// labels danger, and the threat is genuinely hidden in some segments.
+#[test]
+fn labels_respect_blind_zone_geometry() {
+    let spec = DatasetSpec::tiny();
+    let mut gen = SegmentGenerator::new(6);
+    let mut hidden_danger_seen = false;
+    for blind in [false, true] {
+        for _ in 0..6 {
+            let seg = gen.generate(Weather::Daytime, blind, true, &spec);
+            assert_eq!(seg.label.blind_area, blind);
+            if !blind {
+                assert!(
+                    !seg.label.blind_occupied,
+                    "no occluder means nothing can be hidden"
+                );
+            }
+            assert_eq!(seg.label.class, Class::Danger, "danger script drifted");
+            hidden_danger_seen |= seg.label.blind_occupied;
+        }
+    }
+    assert!(hidden_danger_seen, "scripting never hid the threat");
+}
