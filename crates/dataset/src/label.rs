@@ -1,10 +1,9 @@
 //! Segment labels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether the recorded driver behaviour was to take the turn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TurnAction {
     /// The turner proceeds (the segment ends with the left front wheel on
     /// the lane line, per the paper's keyframe convention).
@@ -14,7 +13,7 @@ pub enum TurnAction {
 }
 
 /// The binary training class of a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Class {
     /// Class 0: dangerous to turn left now.
     Danger,
@@ -56,7 +55,7 @@ impl fmt::Display for Class {
 }
 
 /// Full per-segment ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentLabel {
     /// Driver behaviour in the segment.
     pub action: TurnAction,

@@ -1,14 +1,13 @@
 //! Dataset size and format specifications.
 
 use safecross_trafficsim::Weather;
-use serde::{Deserialize, Serialize};
 
 /// Shape and size of a generated dataset.
 ///
 /// [`DatasetSpec::paper`] mirrors Table I of the paper (1966 daytime, 34
 /// rain, 855 snow segments of 32 frames at 30 Hz); scaled-down variants
 /// keep the same class balance and per-scene ratios for fast tests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetSpec {
     /// Daytime segment count.
     pub daytime_segments: usize,

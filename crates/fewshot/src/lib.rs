@@ -9,7 +9,7 @@
 //! - [`Maml`] — first-order Model-Agnostic Meta-Learning with the
 //!   paper's two optimisation loops (Eq. 1 inner task adaptation,
 //!   Eq. 2 outer meta-initialisation update), with meta-batch episodes
-//!   evaluated in parallel via crossbeam;
+//!   evaluated in parallel via scoped threads;
 //! - [`adapt`] — the deployment-time inner loop: clone the meta model
 //!   and take a few gradient steps on the support set;
 //! - [`train_from_scratch`] — the "without few-shot learning" ablation

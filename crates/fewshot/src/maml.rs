@@ -83,7 +83,7 @@ impl Maml {
     /// Meta-trains `model` in place on episodes drawn from
     /// `data[indices]`, returning the query loss per outer iteration.
     ///
-    /// Episodes within a meta-batch run on separate threads (crossbeam
+    /// Episodes within a meta-batch run on separate threads (std::thread
     /// scope); gradients are averaged before the meta update.
     pub fn meta_train<M>(
         &self,
@@ -111,17 +111,16 @@ impl Maml {
                 .collect();
             // Evaluate episodes in parallel; each worker clones the meta
             // model, adapts it, and reports the query gradient.
-            let results: Vec<(Vec<Tensor>, f32)> = crossbeam::scope(|scope| {
+            let results: Vec<(Vec<Tensor>, f32)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = episodes
                     .iter()
                     .map(|ep| {
                         let meta_ref = &*model;
-                        scope.spawn(move |_| self.episode_gradient(meta_ref, ep))
+                        scope.spawn(move || self.episode_gradient(meta_ref, ep))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("crossbeam scope failed");
+            });
 
             // Average gradients and take the meta step (Eq. 2).
             let n = results.len() as f32;

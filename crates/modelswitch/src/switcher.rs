@@ -4,7 +4,7 @@ use crate::gpu::GpuSpec;
 use crate::memory::MemoryPool;
 use crate::model_desc::ModelDesc;
 use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,7 +31,7 @@ impl SwitchOutcome {
 /// the MS module the SafeCross orchestrator drives when the weather
 /// detector reports a scene change.
 ///
-/// Thread safety: the inner state sits behind a `parking_lot::Mutex`, so
+/// Thread safety: the inner state sits behind a `std::sync::Mutex`, so
 /// a camera thread and a control thread can share one switcher.
 #[derive(Debug, Clone)]
 pub struct ModelSwitcher {
@@ -65,19 +65,19 @@ impl ModelSwitcher {
 
     /// Registers a scene model under `name` (e.g. `"daytime"`).
     pub fn register(&self, name: &str, model: ModelDesc) {
-        self.inner.lock().registry.insert(name.to_owned(), model);
+        self.inner.lock().expect("switcher mutex poisoned").registry.insert(name.to_owned(), model);
     }
 
     /// Registered model names, sorted.
     pub fn registered(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.lock().registry.keys().cloned().collect();
+        let mut names: Vec<String> = self.inner.lock().expect("switcher mutex poisoned").registry.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// The active model name, if any.
     pub fn active(&self) -> Option<String> {
-        self.inner.lock().active.clone()
+        self.inner.lock().expect("switcher mutex poisoned").active.clone()
     }
 
     /// Switches to the model registered under `name`, evicting the old
@@ -88,7 +88,7 @@ impl ModelSwitcher {
     /// Panics if `name` was never registered or the model cannot fit in
     /// GPU memory even after evicting the previous one.
     pub fn switch_to(&self, name: &str) -> SwitchOutcome {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("switcher mutex poisoned");
         if inner.active.as_deref() == Some(name) {
             return SwitchOutcome::AlreadyActive;
         }
@@ -114,7 +114,7 @@ impl ModelSwitcher {
 
     /// `(model, latency_ms)` for every switch performed so far.
     pub fn switch_log(&self) -> Vec<(String, f64)> {
-        self.inner.lock().switch_log.clone()
+        self.inner.lock().expect("switcher mutex poisoned").switch_log.clone()
     }
 }
 

@@ -92,6 +92,9 @@ fn check_layer_with_outliers(
     let analytic_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
 
     let param_count = layer.params().len();
+    // `pi` re-borrows `layer.params()` mutably inside the loop, so an
+    // iterator over `analytic_grads` cannot replace the index.
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..param_count {
         let plen = layer.params()[pi].len();
         let stride = (plen / 12).max(1);

@@ -161,6 +161,9 @@ impl Layer for BatchNorm {
         let dy = grad_out.data();
         let xh = cache.xhat.data();
         let g = self.gamma.value.data().to_vec();
+        // The channel index addresses strided slices of four buffers at
+        // once; an iterator over `g` alone would obscure that.
+        #[allow(clippy::needless_range_loop)]
         for ch in 0..c {
             // Per-channel sums needed by the closed-form BN backward.
             let mut sum_dy = 0.0f32;

@@ -461,8 +461,42 @@ pub fn table7_throughput(
     models: &HashMap<Weather, SlowFastLite>,
     cfg: &ExperimentConfig,
 ) -> ThroughputReport {
-    // Dedicated blind-zone test set, fresh seed so it is disjoint from
-    // training data.
+    let test_set = blind_zone_test_set(cfg);
+    let mut system = system_with(models);
+    let all: Vec<usize> = (0..test_set.len()).collect();
+    throughput_study(&mut system, &test_set, &all)
+}
+
+/// Experiment E7, data-parallel: the identical study with the segment
+/// batch sharded across `workers` threads via
+/// [`throughput_study_parallel`] — the bench arm that measures how far
+/// the embarrassingly-parallel evaluation path scales.
+pub fn table7_throughput_parallel(
+    models: &HashMap<Weather, SlowFastLite>,
+    cfg: &ExperimentConfig,
+    workers: usize,
+) -> ThroughputReport {
+    let test_set = blind_zone_test_set(cfg);
+    let system = system_with(models);
+    let all: Vec<usize> = (0..test_set.len()).collect();
+    crate::throughput::throughput_study_parallel(&system, &test_set, &all, workers)
+}
+
+fn system_with(models: &HashMap<Weather, SlowFastLite>) -> SafeCross {
+    let mut system = SafeCross::new(SafeCrossConfig::default());
+    // Sorted registration keeps the switch log and fallback order stable
+    // regardless of HashMap iteration order.
+    let mut entries: Vec<_> = models.iter().collect();
+    entries.sort_by_key(|(w, _)| w.label());
+    for (weather, model) in entries {
+        system.register_model(*weather, model.clone());
+    }
+    system
+}
+
+/// The dedicated blind-zone test set (the paper's 63 segments), built
+/// with a fresh seed so it is disjoint from training data.
+fn blind_zone_test_set(cfg: &ExperimentConfig) -> Dataset {
     let spec = cfg.spec();
     let mut generator = SegmentGenerator::new(cfg.seed + 99);
     let mut segments = Vec::with_capacity(63);
@@ -484,13 +518,7 @@ pub fn table7_throughput(
             segments.push(generator.generate_with_margin(weather, true, true, &spec, 1.2));
         }
     }
-    let test_set = Dataset::new(segments);
-    let mut system = SafeCross::new(SafeCrossConfig::default());
-    for (weather, model) in models {
-        system.register_model(*weather, model.clone());
-    }
-    let all: Vec<usize> = (0..test_set.len()).collect();
-    throughput_study(&mut system, &test_set, &all)
+    Dataset::new(segments)
 }
 
 #[cfg(test)]
@@ -581,6 +609,10 @@ mod tests {
         // Clear-margin scripting keeps the intended 32/31 split within a
         // segment or two.
         assert!((report.truth_safe as i64 - 32).abs() <= 2, "{report:?}");
+        // The data-parallel study tallies the exact same report.
+        for workers in [1, 3, 8] {
+            assert_eq!(table7_throughput_parallel(&models, &cfg, workers), report);
+        }
     }
 
     #[test]

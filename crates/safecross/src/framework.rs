@@ -1,4 +1,14 @@
 //! The SafeCross orchestrator.
+//!
+//! The per-frame work is factored into three *stages* — scene detection
+//! plus model switching ([`SceneStage`]), VP preprocessing plus segment
+//! assembly ([`VpStage`]), and clip classification ([`ClassifyStage`]).
+//! [`SafeCross::process_frame`] drives them back-to-back on the calling
+//! thread; [`SafeCross::run_pipelined`](crate::pipeline) drives the very
+//! same stage code on overlapping worker threads. Because both paths
+//! execute identical stage transitions in identical frame order, their
+//! outputs are bit-identical — the property `tests/pipeline_equivalence.rs`
+//! locks in.
 
 use crate::scene::SceneDetector;
 use safecross_dataset::Class;
@@ -70,35 +80,157 @@ pub struct FrameOutcome {
     pub scene_switch: Option<(Weather, SwitchReport)>,
 }
 
+/// Stage 1: scene detection and model switching.
+///
+/// Owns the voting-window detector and the MS runtime. Sequential per
+/// frame (the voting window is stateful), but independent of the VP and
+/// classification state, so it can run on its own pipeline thread.
+pub(crate) struct SceneStage {
+    scene: SceneDetector,
+    switcher: ModelSwitcher,
+    /// Scenes with a registered model, in registration order. The first
+    /// entry doubles as the deterministic fallback when neither the
+    /// detected scene nor daytime has a model.
+    registered: Vec<Weather>,
+}
+
+impl SceneStage {
+    fn new(scene_window: usize) -> Self {
+        SceneStage {
+            scene: SceneDetector::new(scene_window),
+            switcher: ModelSwitcher::new(
+                GpuSpec::rtx_2080_ti(),
+                11_000_000_000,
+                SwitchStrategy::PipelinedOptimal,
+            ),
+            registered: Vec::new(),
+        }
+    }
+
+    /// Consumes one frame: updates the scene vote, performs a model
+    /// switch when the vote flips onto a registered scene, and reports
+    /// the scene whose model should classify this frame.
+    pub(crate) fn step(
+        &mut self,
+        frame: &GrayFrame,
+    ) -> (Option<(Weather, SwitchReport)>, Option<Weather>) {
+        let mut scene_switch = None;
+        if let Some(new_scene) = self.scene.observe(frame) {
+            if self.registered.contains(&new_scene) {
+                if let SwitchOutcome::Switched(report) = self.switcher.switch_to(new_scene.label())
+                {
+                    scene_switch = Some((new_scene, report));
+                }
+            }
+        }
+        (scene_switch, self.effective_scene())
+    }
+
+    /// The scene whose model should run: the detected scene when a model
+    /// exists for it, else the daytime fallback, else the first
+    /// registered scene.
+    fn effective_scene(&self) -> Option<Weather> {
+        let detected = self.scene.current();
+        if self.registered.contains(&detected) {
+            Some(detected)
+        } else if self.registered.contains(&Weather::Daytime) {
+            Some(Weather::Daytime)
+        } else {
+            self.registered.first().copied()
+        }
+    }
+}
+
+/// Stage 2: VP preprocessing and segment assembly.
+///
+/// Owns the background-subtraction state and the sliding segment buffer;
+/// emits a full `[1, T, H, W]` clip once the buffer fills.
+pub(crate) struct VpStage {
+    vp: Preprocessor,
+    buffer: SegmentBuffer,
+}
+
+impl VpStage {
+    fn new(config: &SafeCrossConfig) -> Self {
+        VpStage {
+            vp: Preprocessor::new(config.frame_width, config.frame_height, config.preprocess),
+            buffer: SegmentBuffer::new(config.segment_frames),
+        }
+    }
+
+    /// Consumes one frame; returns the assembled clip when the segment
+    /// buffer is full.
+    pub(crate) fn step(&mut self, frame: &GrayFrame) -> Option<Tensor> {
+        let grid = self.vp.process(frame);
+        self.buffer.push(grid);
+        self.buffer.as_clip()
+    }
+}
+
+/// Stage 3: clip classification with the per-scene models.
+pub(crate) struct ClassifyStage {
+    pub(crate) models: HashMap<Weather, SlowFastLite>,
+    min_confidence: f32,
+}
+
+impl ClassifyStage {
+    fn new(config: &SafeCrossConfig) -> Self {
+        ClassifyStage {
+            models: HashMap::new(),
+            min_confidence: config.min_confidence,
+        }
+    }
+
+    /// Classifies a clip with the model for `scene`, gating on the
+    /// configured minimum confidence.
+    pub(crate) fn step(&mut self, clip: Option<Tensor>, scene: Option<Weather>) -> Option<Verdict> {
+        let clip = clip?;
+        let weather = scene?;
+        let model = self.models.get_mut(&weather)?;
+        let verdict = classify_with(model, &clip, weather);
+        if verdict.confidence < self.min_confidence {
+            return None;
+        }
+        Some(verdict)
+    }
+}
+
+/// The shared classification kernel: every verdict in the system —
+/// sequential, pipelined, or batch-parallel — goes through this one
+/// function, so the numeric path is identical everywhere.
+pub(crate) fn classify_with(model: &mut SlowFastLite, clip: &Tensor, weather: Weather) -> Verdict {
+    let dims = clip.dims().to_vec();
+    let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
+    let logits = model.forward(&batch, Mode::Eval);
+    let probs = logits.softmax_rows();
+    let class_idx = probs.argmax_rows()[0];
+    Verdict {
+        class: Class::from_index(class_idx),
+        confidence: probs.at(&[0, class_idx]),
+        weather,
+    }
+}
+
 /// The deployed SafeCross system: VP -> VC with FL-produced per-scene
 /// models and MS-managed switching.
 pub struct SafeCross {
-    config: SafeCrossConfig,
-    vp: Preprocessor,
-    buffer: SegmentBuffer,
-    scene: SceneDetector,
-    models: HashMap<Weather, SlowFastLite>,
-    switcher: ModelSwitcher,
-    verdicts: Vec<Verdict>,
-    frames_seen: usize,
+    pub(crate) config: SafeCrossConfig,
+    pub(crate) scene_stage: SceneStage,
+    pub(crate) vp_stage: VpStage,
+    pub(crate) classify_stage: ClassifyStage,
+    pub(crate) verdicts: Vec<Verdict>,
+    pub(crate) frames_seen: usize,
 }
 
 impl SafeCross {
     /// Creates a system with no registered models (register at least the
     /// daytime model before expecting verdicts).
     pub fn new(config: SafeCrossConfig) -> Self {
-        let switcher = ModelSwitcher::new(
-            GpuSpec::rtx_2080_ti(),
-            11_000_000_000,
-            SwitchStrategy::PipelinedOptimal,
-        );
         SafeCross {
             config,
-            vp: Preprocessor::new(config.frame_width, config.frame_height, config.preprocess),
-            buffer: SegmentBuffer::new(config.segment_frames),
-            scene: SceneDetector::new(config.scene_window),
-            models: HashMap::new(),
-            switcher,
+            scene_stage: SceneStage::new(config.scene_window),
+            vp_stage: VpStage::new(&config),
+            classify_stage: ClassifyStage::new(&config),
             verdicts: Vec::new(),
             frames_seen: 0,
         }
@@ -116,23 +248,31 @@ impl SafeCross {
                 .collect::<Vec<_>>(),
             36.0e9,
         );
-        self.switcher.register(weather.label(), desc);
-        if self.models.is_empty() {
-            self.switcher.switch_to(weather.label());
+        self.scene_stage.switcher.register(weather.label(), desc);
+        if self.classify_stage.models.is_empty() {
+            self.scene_stage.switcher.switch_to(weather.label());
         }
-        self.models.insert(weather, model);
+        if !self.scene_stage.registered.contains(&weather) {
+            self.scene_stage.registered.push(weather);
+        }
+        self.classify_stage.models.insert(weather, model);
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SafeCrossConfig {
+        &self.config
     }
 
     /// Scenes with a registered model.
     pub fn registered_scenes(&self) -> Vec<Weather> {
-        let mut scenes: Vec<Weather> = self.models.keys().copied().collect();
+        let mut scenes: Vec<Weather> = self.scene_stage.registered.clone();
         scenes.sort_by_key(|w| w.label());
         scenes
     }
 
     /// The scene the detector currently believes in.
     pub fn current_scene(&self) -> Weather {
-        self.scene.current()
+        self.scene_stage.scene.current()
     }
 
     /// Total frames processed.
@@ -147,7 +287,7 @@ impl SafeCross {
 
     /// The simulated switch log `(model, latency_ms)`.
     pub fn switch_log(&self) -> Vec<(String, f64)> {
-        self.switcher.switch_log()
+        self.scene_stage.switcher.switch_log()
     }
 
     /// Consumes one camera frame: scene detection (and model switch if
@@ -155,59 +295,15 @@ impl SafeCross {
     /// VC verdict.
     pub fn process_frame(&mut self, frame: &GrayFrame) -> FrameOutcome {
         self.frames_seen += 1;
-        let mut scene_switch = None;
-        if let Some(new_scene) = self.scene.observe(frame) {
-            if self.models.contains_key(&new_scene) {
-                if let SwitchOutcome::Switched(report) =
-                    self.switcher.switch_to(new_scene.label())
-                {
-                    scene_switch = Some((new_scene, report));
-                }
-            }
-        }
-        let grid = self.vp.process(frame);
-        self.buffer.push(grid);
-        let verdict = self.classify_buffer();
+        let (scene_switch, effective) = self.scene_stage.step(frame);
+        let clip = self.vp_stage.step(frame);
+        let verdict = self.classify_stage.step(clip, effective);
         if let Some(v) = verdict {
             self.verdicts.push(v);
         }
         FrameOutcome {
             verdict,
             scene_switch,
-        }
-    }
-
-    /// Classifies the current buffer if full and a model is available.
-    fn classify_buffer(&mut self) -> Option<Verdict> {
-        let clip = self.buffer.as_clip()?;
-        let weather = self.effective_scene()?;
-        let model = self.models.get_mut(&weather)?;
-        let dims = clip.dims().to_vec();
-        let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
-        let logits = model.forward(&batch, Mode::Eval);
-        let probs = logits.softmax_rows();
-        let class_idx = probs.argmax_rows()[0];
-        let confidence = probs.at(&[0, class_idx]);
-        if confidence < self.config.min_confidence {
-            return None;
-        }
-        Some(Verdict {
-            class: Class::from_index(class_idx),
-            confidence,
-            weather,
-        })
-    }
-
-    /// The scene whose model should run: the detected scene when a model
-    /// exists for it, else the daytime fallback.
-    fn effective_scene(&self) -> Option<Weather> {
-        let detected = self.scene.current();
-        if self.models.contains_key(&detected) {
-            Some(detected)
-        } else if self.models.contains_key(&Weather::Daytime) {
-            Some(Weather::Daytime)
-        } else {
-            self.models.keys().next().copied()
         }
     }
 
@@ -220,19 +316,11 @@ impl SafeCross {
     /// Panics if no model is registered for `weather`.
     pub fn classify_clip(&mut self, clip: &Tensor, weather: Weather) -> Verdict {
         let model = self
+            .classify_stage
             .models
             .get_mut(&weather)
             .unwrap_or_else(|| panic!("no model registered for {weather}"));
-        let dims = clip.dims().to_vec();
-        let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
-        let logits = model.forward(&batch, Mode::Eval);
-        let probs = logits.softmax_rows();
-        let class_idx = probs.argmax_rows()[0];
-        Verdict {
-            class: Class::from_index(class_idx),
-            confidence: probs.at(&[0, class_idx]),
-            weather,
-        }
+        classify_with(model, clip, weather)
     }
 }
 
@@ -241,8 +329,8 @@ impl std::fmt::Debug for SafeCross {
         write!(
             f,
             "SafeCross(scene {}, {} models, {} frames seen, {} verdicts)",
-            self.scene.current(),
-            self.models.len(),
+            self.scene_stage.scene.current(),
+            self.classify_stage.models.len(),
             self.frames_seen,
             self.verdicts.len()
         )
@@ -323,6 +411,21 @@ mod tests {
         }
         assert!(!sc.verdicts().is_empty());
         assert_eq!(sc.verdicts()[0].weather, Weather::Daytime);
+    }
+
+    #[test]
+    fn fallback_to_first_registered_model() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        // Only a rain model exists; daytime frames must still classify
+        // with it (deterministic first-registered fallback).
+        sc.register_model(Weather::Rain, SlowFastLite::new(2, &mut rng));
+        let frame = GrayFrame::filled(320, 240, 90);
+        for _ in 0..32 {
+            sc.process_frame(&frame);
+        }
+        assert!(!sc.verdicts().is_empty());
+        assert_eq!(sc.verdicts()[0].weather, Weather::Rain);
     }
 
     #[test]

@@ -42,9 +42,14 @@
 
 pub mod experiments;
 mod framework;
+pub mod pipeline;
 mod scene;
 pub mod throughput;
 
+#[cfg(test)]
+mod proptests;
+
 pub use framework::{FrameOutcome, SafeCross, SafeCrossConfig, Verdict};
+pub use pipeline::{PipelineConfig, PipelineRun, PipelineStats, StageStats};
 pub use scene::{SceneDetector, SceneFeatures};
-pub use throughput::{throughput_study, ThroughputReport};
+pub use throughput::{throughput_study, throughput_study_parallel, ThroughputReport};

@@ -1,0 +1,522 @@
+//! Multi-threaded staged execution of the SafeCross frame path.
+//!
+//! [`SafeCross::process_frame`] runs scene detection, VP preprocessing,
+//! and classification back-to-back on one thread, so a slow
+//! classification stalls the whole intersection feed.
+//! [`SafeCross::run_pipelined`] runs the *same stage code* on three
+//! worker threads connected by bounded channels, PipeSwitch-style:
+//! while frame `t` is being classified, frame `t+1` is in VP and frame
+//! `t+2` is in scene detection.
+//!
+//! Guarantees, in order of importance:
+//!
+//! 1. **Bit-identical output.** Each stage is internally sequential (it
+//!    owns its mutable state and consumes frames in feed order over FIFO
+//!    channels), so every stage sees exactly the state it would have seen
+//!    in the sequential loop. `tests/pipeline_equivalence.rs` asserts
+//!    equality of verdict and switch sequences against
+//!    [`SafeCross::process_frame`].
+//! 2. **Frame ordering.** Single-producer FIFO channels preserve feed
+//!    order end-to-end; the collector additionally asserts that outcomes
+//!    arrive in index order.
+//! 3. **Backpressure, no drops.** Channels are bounded
+//!    ([`PipelineConfig::channel_capacity`]); a slow stage blocks its
+//!    upstream instead of queueing unboundedly. Dropping the feed ends
+//!    the run cleanly: every in-flight frame still produces its outcome.
+//!
+//! The module also hosts the data-parallel batch path
+//! ([`SafeCross::classify_clips_parallel`]): independent, already-built
+//! clips sharded across a worker pool — the evaluation/bench shape of
+//! parallelism, complementary to the latency-oriented staged pipeline.
+
+use crate::framework::{classify_with, FrameOutcome, SafeCross, Verdict};
+use safecross_modelswitch::SwitchReport;
+use safecross_tensor::Tensor;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvError, SyncSender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`SafeCross::run_pipelined`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Capacity of each inter-stage channel (minimum 1). Small values
+    /// tighten memory and surface backpressure sooner; large values
+    /// absorb burstier stage-time variance.
+    pub channel_capacity: usize,
+    /// Artificial per-frame delay injected before the classify stage —
+    /// a fault-injection knob for backpressure/stress tests.
+    pub classify_delay: Option<Duration>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            channel_capacity: 8,
+            classify_delay: None,
+        }
+    }
+}
+
+/// Counters one pipeline stage reports after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name (`"scene"`, `"vp"`, `"classify"`).
+    pub name: &'static str,
+    /// Frames received from upstream.
+    pub frames_in: usize,
+    /// Frames handed downstream.
+    pub frames_out: usize,
+    /// High-water mark of this stage's *input* queue depth. Depth is
+    /// gauged outside the channel's own synchronisation, so the mark can
+    /// read up to one above the configured capacity (a frame counted
+    /// mid-handoff) — but never grows past `capacity + 1`, which is the
+    /// boundedness guarantee the stress test pins down.
+    pub queue_high_water: usize,
+    /// Wall time spent inside the stage's compute (excludes channel
+    /// waits).
+    pub busy: Duration,
+}
+
+impl StageStats {
+    fn new(name: &'static str) -> Self {
+        StageStats {
+            name,
+            frames_in: 0,
+            frames_out: 0,
+            queue_high_water: 0,
+            busy: Duration::ZERO,
+        }
+    }
+}
+
+/// Observability record of one pipelined run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-stage counters in pipeline order.
+    pub stages: Vec<StageStats>,
+    /// Frames fed into the pipeline.
+    pub frames: usize,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+}
+
+impl PipelineStats {
+    /// The counters of one stage, by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline: {} frames in {:?}", self.frames, self.wall)?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<9} in {:>6}  out {:>6}  queue high-water {:>3}  busy {:?}",
+                s.name, s.frames_in, s.frames_out, s.queue_high_water, s.busy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a pipelined run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// One outcome per fed frame, in feed order — element `i` is
+    /// bit-identical to what `process_frame` would have returned for
+    /// frame `i`.
+    pub outcomes: Vec<FrameOutcome>,
+    /// Per-stage observability counters.
+    pub stats: PipelineStats,
+}
+
+/// Queue-depth gauge shared by a channel's sender and receiver.
+#[derive(Debug, Default)]
+struct Gauge {
+    depth: AtomicIsize,
+    high: AtomicUsize,
+}
+
+impl Gauge {
+    fn on_send(&self) {
+        let d = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        if d > 0 {
+            self.high.fetch_max(d as usize, Ordering::SeqCst);
+        }
+    }
+
+    fn on_recv(&self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn high_water(&self) -> usize {
+        self.high.load(Ordering::SeqCst)
+    }
+}
+
+struct GaugedSender<T> {
+    tx: SyncSender<T>,
+    gauge: Arc<Gauge>,
+}
+
+impl<T> GaugedSender<T> {
+    /// Sends with backpressure; `false` means the receiver hung up.
+    fn send(&self, value: T) -> bool {
+        if self.tx.send(value).is_ok() {
+            self.gauge.on_send();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct GaugedReceiver<T> {
+    rx: Receiver<T>,
+    gauge: Arc<Gauge>,
+}
+
+impl<T> GaugedReceiver<T> {
+    fn recv(&self) -> Result<T, RecvError> {
+        let value = self.rx.recv()?;
+        self.gauge.on_recv();
+        Ok(value)
+    }
+
+    fn high_water(&self) -> usize {
+        self.gauge.high_water()
+    }
+}
+
+fn gauged_channel<T>(capacity: usize) -> (GaugedSender<T>, GaugedReceiver<T>) {
+    let gauge = Arc::new(Gauge::default());
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    (
+        GaugedSender {
+            tx,
+            gauge: Arc::clone(&gauge),
+        },
+        GaugedReceiver { rx, gauge },
+    )
+}
+
+struct SceneJob {
+    index: usize,
+    frame: GrayFrame,
+}
+
+struct VpJob {
+    index: usize,
+    frame: GrayFrame,
+    scene_switch: Option<(Weather, SwitchReport)>,
+    effective: Option<Weather>,
+}
+
+struct ClassifyJob {
+    index: usize,
+    scene_switch: Option<(Weather, SwitchReport)>,
+    effective: Option<Weather>,
+    clip: Option<Tensor>,
+}
+
+struct OutJob {
+    index: usize,
+    outcome: FrameOutcome,
+}
+
+impl SafeCross {
+    /// Processes a frame stream through the staged pipeline: scene
+    /// detection, VP, and classification run on separate threads with
+    /// bounded channels between them, overlapping the per-frame work of
+    /// consecutive frames.
+    ///
+    /// Output (outcome `i` per frame `i`, the verdict log, the switch
+    /// log, and all stage state afterwards) is bit-identical to calling
+    /// [`SafeCross::process_frame`] on the same frames in the same
+    /// order; see the module docs for why.
+    pub fn run_pipelined<I>(&mut self, frames: I, config: &PipelineConfig) -> PipelineRun
+    where
+        I: IntoIterator<Item = GrayFrame>,
+        I::IntoIter: Send,
+    {
+        let start = Instant::now();
+        let capacity = config.channel_capacity.max(1);
+        let delay = config.classify_delay;
+        let iter = frames.into_iter();
+        let scene_stage = &mut self.scene_stage;
+        let vp_stage = &mut self.vp_stage;
+        let classify_stage = &mut self.classify_stage;
+
+        let (outcomes, fed, stage_stats) = thread::scope(|s| {
+            let (tx_in, rx_in) = gauged_channel::<SceneJob>(capacity);
+            let (tx_scene, rx_scene) = gauged_channel::<VpJob>(capacity);
+            let (tx_vp, rx_vp) = gauged_channel::<ClassifyJob>(capacity);
+            let (tx_out, rx_out) = gauged_channel::<OutJob>(capacity);
+
+            let feeder = s.spawn(move || {
+                let mut fed = 0usize;
+                for frame in iter {
+                    if !tx_in.send(SceneJob { index: fed, frame }) {
+                        break;
+                    }
+                    fed += 1;
+                }
+                fed
+            });
+
+            let scene_worker = s.spawn(move || {
+                let mut stats = StageStats::new("scene");
+                while let Ok(job) = rx_in.recv() {
+                    stats.frames_in += 1;
+                    let t = Instant::now();
+                    let (scene_switch, effective) = scene_stage.step(&job.frame);
+                    stats.busy += t.elapsed();
+                    let sent = tx_scene.send(VpJob {
+                        index: job.index,
+                        frame: job.frame,
+                        scene_switch,
+                        effective,
+                    });
+                    if !sent {
+                        break;
+                    }
+                    stats.frames_out += 1;
+                }
+                stats.queue_high_water = rx_in.high_water();
+                stats
+            });
+
+            let vp_worker = s.spawn(move || {
+                let mut stats = StageStats::new("vp");
+                while let Ok(job) = rx_scene.recv() {
+                    stats.frames_in += 1;
+                    let t = Instant::now();
+                    let clip = vp_stage.step(&job.frame);
+                    stats.busy += t.elapsed();
+                    let sent = tx_vp.send(ClassifyJob {
+                        index: job.index,
+                        scene_switch: job.scene_switch,
+                        effective: job.effective,
+                        clip,
+                    });
+                    if !sent {
+                        break;
+                    }
+                    stats.frames_out += 1;
+                }
+                stats.queue_high_water = rx_scene.high_water();
+                stats
+            });
+
+            let classify_worker = s.spawn(move || {
+                let mut stats = StageStats::new("classify");
+                while let Ok(job) = rx_vp.recv() {
+                    stats.frames_in += 1;
+                    if let Some(d) = delay {
+                        thread::sleep(d);
+                    }
+                    let t = Instant::now();
+                    let verdict = classify_stage.step(job.clip, job.effective);
+                    stats.busy += t.elapsed();
+                    let sent = tx_out.send(OutJob {
+                        index: job.index,
+                        outcome: FrameOutcome {
+                            verdict,
+                            scene_switch: job.scene_switch,
+                        },
+                    });
+                    if !sent {
+                        break;
+                    }
+                    stats.frames_out += 1;
+                }
+                stats.queue_high_water = rx_vp.high_water();
+                stats
+            });
+
+            // Collect on the scope's own thread, asserting the ordering
+            // guarantee as outcomes arrive.
+            let mut outcomes = Vec::new();
+            while let Ok(job) = rx_out.recv() {
+                assert_eq!(
+                    job.index,
+                    outcomes.len(),
+                    "pipeline delivered outcomes out of order"
+                );
+                outcomes.push(job.outcome);
+            }
+            let fed = feeder.join().expect("pipeline feeder panicked");
+            let stage_stats = vec![
+                scene_worker.join().expect("scene stage panicked"),
+                vp_worker.join().expect("vp stage panicked"),
+                classify_worker.join().expect("classify stage panicked"),
+            ];
+            (outcomes, fed, stage_stats)
+        });
+
+        assert_eq!(outcomes.len(), fed, "pipeline dropped frames");
+        self.frames_seen += fed;
+        for outcome in &outcomes {
+            if let Some(v) = outcome.verdict {
+                self.verdicts.push(v);
+            }
+        }
+        PipelineRun {
+            outcomes,
+            stats: PipelineStats {
+                stages: stage_stats,
+                frames: fed,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// Classifies a batch of independent, already-preprocessed clips by
+    /// sharding them across `workers` threads, each with private model
+    /// clones. Returns one verdict per job, in job order — identical to
+    /// calling [`SafeCross::classify_clip`] per job sequentially.
+    ///
+    /// This is the throughput-oriented counterpart of
+    /// [`SafeCross::run_pipelined`]: no cross-clip state exists, so the
+    /// work is embarrassingly parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or any job names a weather without a
+    /// registered model.
+    pub fn classify_clips_parallel(
+        &self,
+        jobs: &[(Tensor, Weather)],
+        workers: usize,
+    ) -> Vec<Verdict> {
+        assert!(workers > 0, "need at least one worker");
+        for (_, weather) in jobs {
+            assert!(
+                self.classify_stage.models.contains_key(weather),
+                "no model registered for {weather}"
+            );
+        }
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let chunk_len = jobs.len().div_ceil(workers);
+        let models = &self.classify_stage.models;
+        thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        // Each worker clones only the models its shard
+                        // needs, lazily.
+                        let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
+                        chunk
+                            .iter()
+                            .map(|(clip, weather)| {
+                                let model = local
+                                    .entry(*weather)
+                                    .or_insert_with(|| models[weather].clone());
+                                classify_with(model, clip, *weather)
+                            })
+                            .collect::<Vec<Verdict>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("classification worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::SafeCrossConfig;
+    use safecross_tensor::TensorRng;
+
+    fn system() -> SafeCross {
+        let mut rng = TensorRng::seed_from(0);
+        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        sc
+    }
+
+    fn frames(n: usize) -> Vec<GrayFrame> {
+        (0..n)
+            .map(|i| GrayFrame::filled(320, 240, 80 + (i % 30) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_on_a_simple_stream() {
+        let stream = frames(40);
+        let mut seq = system();
+        let expected: Vec<FrameOutcome> =
+            stream.iter().map(|f| seq.process_frame(f)).collect();
+
+        let mut par = system();
+        let run = par.run_pipelined(stream, &PipelineConfig::default());
+        assert_eq!(run.outcomes, expected);
+        assert_eq!(par.verdicts(), seq.verdicts());
+        assert_eq!(par.frames_seen(), seq.frames_seen());
+    }
+
+    #[test]
+    fn stats_account_for_every_frame() {
+        let mut sc = system();
+        let run = sc.run_pipelined(frames(37), &PipelineConfig::default());
+        assert_eq!(run.stats.frames, 37);
+        for stage in &run.stats.stages {
+            assert_eq!(stage.frames_in, 37, "{} lost frames", stage.name);
+            assert_eq!(stage.frames_out, 37, "{} lost frames", stage.name);
+        }
+        let printed = format!("{}", run.stats);
+        assert!(printed.contains("classify"));
+        assert!(run.stats.stage("vp").is_some());
+        assert!(run.stats.stage("nonesuch").is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_a_no_op() {
+        let mut sc = system();
+        let run = sc.run_pipelined(Vec::new(), &PipelineConfig::default());
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.stats.frames, 0);
+        assert_eq!(sc.frames_seen(), 0);
+    }
+
+    #[test]
+    fn batch_classification_matches_sequential() {
+        let mut sc = system();
+        let mut rng = TensorRng::seed_from(5);
+        let jobs: Vec<(Tensor, Weather)> = (0..9)
+            .map(|_| (rng.uniform(&[1, 32, 20, 20], 0.0, 1.0), Weather::Daytime))
+            .collect();
+        let sequential: Vec<Verdict> = jobs
+            .iter()
+            .map(|(clip, w)| sc.classify_clip(clip, *w))
+            .collect();
+        for workers in [1, 2, 4, 16] {
+            assert_eq!(sc.classify_clips_parallel(&jobs, workers), sequential);
+        }
+        assert!(sc.classify_clips_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no model registered")]
+    fn batch_classification_checks_models_up_front() {
+        let sc = system();
+        let jobs = vec![(Tensor::zeros(&[1, 32, 20, 20]), Weather::Snow)];
+        sc.classify_clips_parallel(&jobs, 2);
+    }
+}

@@ -67,8 +67,8 @@ impl Tensor {
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
         assert_eq!(k, v.len(), "matvec dimension mismatch");
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            out[i] = self.data()[i * k..(i + 1) * k]
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data()[i * k..(i + 1) * k]
                 .iter()
                 .zip(v.data())
                 .map(|(&a, &b)| a * b)

@@ -140,7 +140,7 @@ mod tests {
     fn kinds_have_distinct_footprints() {
         assert!(VehicleKind::Truck.length() > VehicleKind::Van.length());
         assert!(VehicleKind::Van.length() > VehicleKind::Car.length());
-        assert!(VehicleKind::Car.is_occluder() == false);
+        assert!(!VehicleKind::Car.is_occluder());
         assert!(VehicleKind::Van.is_occluder());
         assert!(VehicleKind::Truck.is_occluder());
     }

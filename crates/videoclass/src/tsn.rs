@@ -68,7 +68,7 @@ impl TsnLite {
             let idx = (2 * s + 1) * t / (2 * SNIPPETS);
             for i in 0..n {
                 let mut frame = Tensor::zeros(&[1, h, w]);
-                let src = ((i * 1) * t + idx) * h * w;
+                let src = (i * t + idx) * h * w;
                 frame
                     .data_mut()
                     .copy_from_slice(&clips.data()[src..src + h * w]);

@@ -174,6 +174,11 @@ impl SegmentBuffer {
         self.frames.len()
     }
 
+    /// Frames per assembled clip (the `T` of the `[1, T, H, W]` output).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the buffer holds no frames.
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
@@ -271,6 +276,26 @@ mod tests {
         let g_clean = vp_clean.process(&speckled);
         assert!(g_noisy.sum() > 0.0);
         assert_eq!(g_clean.sum(), 0.0);
+    }
+
+    /// The safecross staged pipeline moves frames and VP state across
+    /// threads; this pins the Send + Sync guarantee at the type level so
+    /// a non-thread-safe field can never sneak in unnoticed.
+    #[test]
+    fn vp_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GrayFrame>();
+        assert_send_sync::<BinaryFrame>();
+        assert_send_sync::<Preprocessor>();
+        assert_send_sync::<SegmentBuffer>();
+        assert_send_sync::<GridMapper>();
+    }
+
+    #[test]
+    fn segment_buffer_reports_capacity() {
+        let buf = SegmentBuffer::new(7);
+        assert_eq!(buf.capacity(), 7);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::{
     connected_components, dilate, erode, frame_difference, opening, BinaryFrame, GrayFrame,
-    GridMapper,
+    GridMapper, SegmentBuffer,
 };
 use proptest::prelude::*;
+use safecross_tensor::Tensor;
 
 fn arb_mask() -> impl Strategy<Value = BinaryFrame> {
     (3usize..12, 3usize..12).prop_flat_map(|(w, h)| {
@@ -109,6 +110,38 @@ proptest! {
             frame_difference(&a, &b, 20.0).count(),
             frame_difference(&b, &a, 20.0).count()
         );
+    }
+
+    #[test]
+    fn segment_buffer_never_emits_short_segments(
+        capacity in 1usize..12,
+        pushes in 0usize..30,
+    ) {
+        // The classifier must never see a clip shorter than the
+        // configured segment length: `as_clip` is `None` until exactly
+        // `capacity` frames arrived, and full-length forever after.
+        let mut buf = SegmentBuffer::new(capacity);
+        for i in 0..pushes {
+            prop_assert_eq!(buf.len(), i.min(capacity));
+            match buf.as_clip() {
+                Some(clip) => {
+                    prop_assert!(i >= capacity, "clip emitted after only {i} frames");
+                    prop_assert_eq!(clip.dims(), &[1, capacity, 2, 2]);
+                }
+                None => prop_assert!(i < capacity, "full buffer emitted nothing"),
+            }
+            buf.push(Tensor::full(&[2, 2], i as f32));
+        }
+        // After the stream: the buffer slides, keeping the newest frames.
+        if pushes >= capacity {
+            let clip = buf.as_clip().expect("buffer is full");
+            prop_assert_eq!(clip.dims(), &[1, capacity, 2, 2]);
+            // Oldest retained frame is `pushes - capacity`.
+            prop_assert_eq!(clip.at(&[0, 0, 0, 0]), (pushes - capacity) as f32);
+            prop_assert_eq!(clip.at(&[0, capacity - 1, 0, 0]), (pushes - 1) as f32);
+        } else {
+            prop_assert!(buf.as_clip().is_none());
+        }
     }
 
     #[test]

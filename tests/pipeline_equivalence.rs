@@ -1,0 +1,123 @@
+//! The staged pipeline's core contract: for the same frame stream, the
+//! same system state, and any channel capacity, `run_pipelined` must
+//! produce outcomes bit-identical to a sequential `process_frame` loop —
+//! verdicts, confidences, scene switches, and all post-run state.
+//!
+//! Three synthetic streams cover the interesting regimes: steady
+//! daytime (no switches), a daytime-to-rain transition, and a
+//! daytime-to-snow-and-back round trip (two switches, model reuse).
+
+use safecross::{FrameOutcome, PipelineConfig, SafeCross, SafeCrossConfig};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+
+fn system() -> SafeCross {
+    let mut rng = TensorRng::seed_from(0);
+    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    for w in Weather::ALL {
+        sc.register_model(w, SlowFastLite::new(2, &mut rng));
+    }
+    sc
+}
+
+/// Renders `frames` frames of one weather's footage.
+fn rendered(weather: Weather, frames: usize, seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), seed);
+    let mut renderer = Renderer::new(RenderConfig::default(), weather, seed);
+    (0..frames)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+/// Concatenates rendered phases into one stream.
+fn stream(phases: &[(Weather, usize)]) -> Vec<GrayFrame> {
+    phases
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(weather, frames))| rendered(weather, frames, i as u64 + 1))
+        .collect()
+}
+
+/// Runs the same stream sequentially and pipelined (at the given
+/// capacity) on identically-initialised systems and asserts every
+/// observable output matches bit for bit.
+fn assert_equivalent(frames: &[GrayFrame], capacity: usize) {
+    let mut sequential = system();
+    let expected: Vec<FrameOutcome> = frames
+        .iter()
+        .map(|f| sequential.process_frame(f))
+        .collect();
+
+    let mut pipelined = system();
+    let run = pipelined.run_pipelined(
+        frames.to_vec(),
+        &PipelineConfig {
+            channel_capacity: capacity,
+            classify_delay: None,
+        },
+    );
+
+    assert_eq!(run.outcomes.len(), expected.len(), "outcome count");
+    for (i, (got, want)) in run.outcomes.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "frame {i} diverged (capacity {capacity})");
+    }
+    // Post-run system state matches too.
+    assert_eq!(pipelined.verdicts(), sequential.verdicts());
+    assert_eq!(pipelined.frames_seen(), sequential.frames_seen());
+    assert_eq!(pipelined.current_scene(), sequential.current_scene());
+    assert_eq!(pipelined.switch_log(), sequential.switch_log());
+}
+
+#[test]
+fn daytime_stream_is_equivalent() {
+    let frames = stream(&[(Weather::Daytime, 70)]);
+    assert_equivalent(&frames, 8);
+}
+
+#[test]
+fn rain_transition_is_equivalent() {
+    // Daytime footage, then rain: the mid-stream model switch must land
+    // on exactly the same frame in both execution modes.
+    let frames = stream(&[(Weather::Daytime, 40), (Weather::Rain, 40)]);
+    assert_equivalent(&frames, 8);
+}
+
+#[test]
+fn snow_round_trip_is_equivalent() {
+    let frames = stream(&[
+        (Weather::Daytime, 36),
+        (Weather::Snow, 36),
+        (Weather::Daytime, 36),
+    ]);
+    assert_equivalent(&frames, 8);
+}
+
+#[test]
+fn equivalence_is_capacity_independent() {
+    // The channel capacity changes scheduling, never results.
+    let frames = stream(&[(Weather::Daytime, 20), (Weather::Snow, 25)]);
+    for capacity in [1, 2, 32] {
+        assert_equivalent(&frames, capacity);
+    }
+}
+
+#[test]
+fn switch_reports_surface_in_pipelined_outcomes() {
+    let frames = stream(&[(Weather::Daytime, 30), (Weather::Snow, 30)]);
+    let mut sc = system();
+    let run = sc.run_pipelined(frames, &PipelineConfig::default());
+    let switches: Vec<_> = run
+        .outcomes
+        .iter()
+        .filter_map(|o| o.scene_switch.as_ref())
+        .collect();
+    assert_eq!(switches.len(), 1, "exactly one snow switch");
+    assert_eq!(switches[0].0, Weather::Snow);
+    assert!(switches[0].1.switch_overhead_ms < 10.0);
+}
