@@ -4,7 +4,9 @@
 //!
 //! The pipeline's win is bounded by its slowest stage (classification),
 //! so the interesting numbers are the per-stage busy times it reports
-//! and the scaling curve of `classify_clips_parallel`.
+//! and the scaling curve of `classify_clips_parallel`. The
+//! `pipelined_cap8` / `pipelined_cap8_telemetry` pair measures the cost
+//! of live instrumentation itself (budget: <5% on the frame path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safecross::{PipelineConfig, SafeCross, SafeCrossConfig};
@@ -13,9 +15,13 @@ use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather}
 use safecross_videoclass::SlowFastLite;
 use safecross_vision::GrayFrame;
 
-fn system() -> SafeCross {
+fn system(telemetry: bool) -> SafeCross {
     let mut rng = TensorRng::seed_from(0);
-    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    let config = SafeCrossConfig::builder()
+        .telemetry(telemetry)
+        .build()
+        .expect("default-derived config is valid");
+    let mut sc = SafeCross::new(config);
     for weather in Weather::ALL {
         sc.register_model(weather, SlowFastLite::new(2, &mut rng));
     }
@@ -40,7 +46,7 @@ fn pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let mut sc = system();
+            let mut sc = system(false);
             for frame in &frames {
                 sc.process_frame(frame);
             }
@@ -49,20 +55,31 @@ fn pipeline(c: &mut Criterion) {
     });
     group.bench_function("pipelined_cap8", |b| {
         b.iter(|| {
-            let mut sc = system();
+            let mut sc = system(false);
             // Lazy per-frame clone: the feeder thread pays it, overlapped
             // with stage execution, keeping the comparison fair.
             let run = sc.run_pipelined(frames.iter().cloned(), &PipelineConfig::default());
             run.outcomes.len()
         })
     });
+    // The same run with every counter, histogram, and journal live —
+    // the delta against `pipelined_cap8` is the instrumentation tax.
+    group.bench_function("pipelined_cap8_telemetry", |b| {
+        b.iter(|| {
+            let mut sc = system(true);
+            let run = sc.run_pipelined(frames.iter().cloned(), &PipelineConfig::default());
+            run.outcomes.len()
+        })
+    });
     group.finish();
 
-    // Print one run's stage accounting so the bench output shows where
-    // the wall time goes.
-    let mut sc = system();
+    // Print one instrumented run's accounting so the bench output shows
+    // where the wall time goes, in both the legacy per-run form and the
+    // registry snapshot every production consumer would scrape.
+    let mut sc = system(true);
     let run = sc.run_pipelined(frames.iter().cloned(), &PipelineConfig::default());
     println!("\n=== staged pipeline accounting (96 frames) ===\n{}", run.stats);
+    println!("=== telemetry snapshot ===\n{}", sc.telemetry().snapshot());
 
     // Batch classification scaling.
     let mut rng = TensorRng::seed_from(3);
@@ -74,12 +91,16 @@ fn pipeline(c: &mut Criterion) {
             )
         })
         .collect();
-    let sc = system();
+    let sc = system(false);
     let mut group = c.benchmark_group("batch_classify_24clips");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
         group.bench_function(format!("workers_{workers}"), |b| {
-            b.iter(|| sc.classify_clips_parallel(&jobs, workers).len())
+            b.iter(|| {
+                sc.classify_clips_parallel(&jobs, workers)
+                    .expect("all bench scenes have models")
+                    .len()
+            })
         });
     }
     group.finish();

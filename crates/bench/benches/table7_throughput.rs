@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safecross::experiments::{
-    table1_dataset, table3_scene_accuracy, table7_throughput, ExperimentConfig,
+    table1_dataset, table3_scene_accuracy, table7_throughput_instrumented, ExperimentConfig,
 };
 use safecross::{SafeCross, SafeCrossConfig};
 use safecross_trafficsim::Weather;
@@ -19,12 +19,14 @@ fn table7(c: &mut Criterion) {
     println!("[table7] training scene models...");
     let scene = table3_scene_accuracy(&data, &cfg);
 
-    let report = table7_throughput(&scene.models, &cfg);
+    let (report, snapshot) = table7_throughput_instrumented(&scene.models, &cfg);
     println!("\n=== Sec. V-D: left-turn throughput with blind zones ===");
     println!("{report}");
     println!(
         "(paper: 63 segments, accuracy 1.0, 32/63 immediate turns = +~50% throughput)\n"
     );
+    println!("--- telemetry snapshot (throughput study) ---");
+    println!("{snapshot}");
 
     // End-to-end verdict latency.
     let mut system = SafeCross::new(SafeCrossConfig::default());

@@ -43,4 +43,4 @@ pub use model_desc::{LayerDesc, ModelDesc};
 pub use schedule::{
     optimal_groups, simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase,
 };
-pub use switcher::{ModelSwitcher, SwitchOutcome};
+pub use switcher::{ModelSwitcher, SwitchBreakdown, SwitchError, SwitchOutcome, SwitchRecord};

@@ -1,12 +1,97 @@
 //! The model-switching runtime driven by scene changes.
 
 use crate::gpu::GpuSpec;
-use crate::memory::MemoryPool;
+use crate::memory::{MemoryError, MemoryPool};
 use crate::model_desc::ModelDesc;
-use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy};
-use std::sync::Mutex;
+use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase};
+use safecross_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Error returned when a switch request cannot be honoured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchError {
+    /// The requested name was never [`ModelSwitcher::register`]ed.
+    UnknownModel {
+        /// The name that was requested.
+        name: String,
+        /// Every name that *is* registered, sorted.
+        registered: Vec<String>,
+    },
+    /// The model does not fit in GPU memory even after evicting the
+    /// previously active model. The switcher keeps the old model active.
+    OutOfMemory {
+        /// The name that was requested.
+        name: String,
+        /// The underlying pool failure.
+        source: MemoryError,
+    },
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::UnknownModel { name, registered } => {
+                write!(f, "model {name} is not registered (registered: {registered:?})")
+            }
+            SwitchError::OutOfMemory { name, source } => {
+                write!(f, "model {name} does not fit in GPU memory: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwitchError::UnknownModel { .. } => None,
+            SwitchError::OutOfMemory { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Per-phase wall time of one switch, summed from the report timeline.
+/// In the pipelined strategies transmit and compute overlap, so the
+/// parts can add up to more than the end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwitchBreakdown {
+    /// Task-initialisation time (zero under pipelined strategies).
+    pub setup_ms: f64,
+    /// PCIe transmission time across all groups.
+    pub transmit_ms: f64,
+    /// Kernel execution time across all groups.
+    pub compute_ms: f64,
+}
+
+impl SwitchBreakdown {
+    fn from_timeline(timeline: &[TimelineEvent]) -> Self {
+        let mut b = SwitchBreakdown::default();
+        for e in timeline {
+            let dur = e.end_ms - e.start_ms;
+            match e.phase {
+                TimelinePhase::Setup => b.setup_ms += dur,
+                TimelinePhase::Transmit => b.transmit_ms += dur,
+                TimelinePhase::Compute => b.compute_ms += dur,
+            }
+        }
+        b
+    }
+}
+
+/// One completed model swap, as recorded in [`ModelSwitcher::switch_log`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRecord {
+    /// The model switched *to*.
+    pub model: String,
+    /// The frame index the orchestrator attributed the swap to (zero
+    /// when the caller did not supply one).
+    pub frame: u64,
+    /// End-to-end switch latency, ms.
+    pub latency_ms: f64,
+    /// Where that latency went.
+    pub breakdown: SwitchBreakdown,
+}
 
 /// The result of a switch request.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +112,17 @@ impl SwitchOutcome {
     }
 }
 
+/// Pre-fetched switch telemetry handles (see [`ModelSwitcher::instrument`]).
+#[derive(Debug)]
+struct SwitchTelemetry {
+    registry: Registry,
+    switches: Counter,
+    already_active: Counter,
+    latency_ms: Histogram,
+    transmit_ms: Histogram,
+    compute_ms: Histogram,
+}
+
 /// A registry of scene models plus the simulated device state. This is
 /// the MS module the SafeCross orchestrator drives when the weather
 /// detector reports a scene change.
@@ -45,7 +141,8 @@ struct Inner {
     registry: HashMap<String, ModelDesc>,
     pool: MemoryPool,
     active: Option<String>,
-    switch_log: Vec<(String, f64)>,
+    switch_log: Vec<SwitchRecord>,
+    telemetry: Option<SwitchTelemetry>,
 }
 
 impl ModelSwitcher {
@@ -57,10 +154,27 @@ impl ModelSwitcher {
                 pool: MemoryPool::new(gpu_memory),
                 active: None,
                 switch_log: Vec::new(),
+                telemetry: None,
             })),
             gpu,
             strategy,
         }
+    }
+
+    /// Attaches a telemetry registry shared by every clone of this
+    /// switcher. Each completed swap then bumps `ms.switches`, records
+    /// latency/transmit/compute histograms under `ms.*`, and appends a
+    /// `model_switch` journal event.
+    pub fn instrument(&self, registry: &Registry) {
+        let tel = SwitchTelemetry {
+            registry: registry.clone(),
+            switches: registry.counter("ms.switches"),
+            already_active: registry.counter("ms.already_active"),
+            latency_ms: registry.histogram("ms.switch_ms"),
+            transmit_ms: registry.histogram("ms.transmit_ms"),
+            compute_ms: registry.histogram("ms.compute_ms"),
+        };
+        self.inner.lock().expect("switcher mutex poisoned").telemetry = Some(tel);
     }
 
     /// Registers a scene model under `name` (e.g. `"daytime"`).
@@ -82,38 +196,95 @@ impl ModelSwitcher {
 
     /// Switches to the model registered under `name`, evicting the old
     /// active model from the memory pool and simulating the transfer.
+    /// Equivalent to [`ModelSwitcher::switch_to_at`] with frame `0`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` was never registered or the model cannot fit in
-    /// GPU memory even after evicting the previous one.
-    pub fn switch_to(&self, name: &str) -> SwitchOutcome {
+    /// [`SwitchError::UnknownModel`] if `name` was never registered;
+    /// [`SwitchError::OutOfMemory`] if the model cannot fit in GPU
+    /// memory even after evicting the previous one (the previous model
+    /// stays active in that case).
+    pub fn switch_to(&self, name: &str) -> Result<SwitchOutcome, SwitchError> {
+        self.switch_to_at(name, 0)
+    }
+
+    /// Like [`ModelSwitcher::switch_to`], but attributes the swap to
+    /// `frame` in the switch log and journal — the orchestrator passes
+    /// the frame index at which the scene change was detected.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelSwitcher::switch_to`].
+    pub fn switch_to_at(&self, name: &str, frame: u64) -> Result<SwitchOutcome, SwitchError> {
         let mut inner = self.inner.lock().expect("switcher mutex poisoned");
         if inner.active.as_deref() == Some(name) {
-            return SwitchOutcome::AlreadyActive;
+            if let Some(tel) = &inner.telemetry {
+                tel.already_active.inc();
+            }
+            return Ok(SwitchOutcome::AlreadyActive);
         }
         let model = inner
             .registry
             .get(name)
-            .unwrap_or_else(|| panic!("model {name} is not registered"))
+            .ok_or_else(|| SwitchError::UnknownModel {
+                name: name.to_owned(),
+                registered: {
+                    let mut names: Vec<String> = inner.registry.keys().cloned().collect();
+                    names.sort();
+                    names
+                },
+            })?
             .clone();
         // Evict the previous model (PipeSwitch keeps one active model
-        // plus streaming buffers).
-        if let Some(old) = inner.active.take() {
-            inner.pool.release(&old).expect("active model was resident");
+        // plus streaming buffers), remembering enough to roll back.
+        let evicted = match inner.active.take() {
+            Some(old) => {
+                let bytes = inner.pool.release(&old).expect("active model was resident");
+                Some((old, bytes))
+            }
+            None => None,
+        };
+        if let Err(source) = inner.pool.reserve(name, model.total_bytes()) {
+            // Roll back so the switcher keeps serving the old model.
+            if let Some((old, bytes)) = evicted {
+                inner
+                    .pool
+                    .reserve(&old, bytes)
+                    .expect("re-reserving freed bytes cannot fail");
+                inner.active = Some(old);
+            }
+            return Err(SwitchError::OutOfMemory { name: name.to_owned(), source });
         }
-        inner
-            .pool
-            .reserve(name, model.total_bytes())
-            .expect("standby model must fit in GPU memory");
         let report = simulate_switch(&self.gpu, &model, &self.strategy);
+        let breakdown = SwitchBreakdown::from_timeline(&report.timeline);
         inner.active = Some(name.to_owned());
-        inner.switch_log.push((name.to_owned(), report.total_ms));
-        SwitchOutcome::Switched(report)
+        inner.switch_log.push(SwitchRecord {
+            model: name.to_owned(),
+            frame,
+            latency_ms: report.total_ms,
+            breakdown,
+        });
+        if let Some(tel) = &inner.telemetry {
+            tel.switches.inc();
+            tel.latency_ms.observe_ms(report.total_ms);
+            tel.transmit_ms.observe_ms(breakdown.transmit_ms);
+            tel.compute_ms.observe_ms(breakdown.compute_ms);
+            tel.registry.event(
+                "model_switch",
+                vec![
+                    ("model".to_owned(), name.into()),
+                    ("frame".to_owned(), frame.into()),
+                    ("latency_ms".to_owned(), report.total_ms.into()),
+                    ("transmit_ms".to_owned(), breakdown.transmit_ms.into()),
+                    ("compute_ms".to_owned(), breakdown.compute_ms.into()),
+                ],
+            );
+        }
+        Ok(SwitchOutcome::Switched(report))
     }
 
-    /// `(model, latency_ms)` for every switch performed so far.
-    pub fn switch_log(&self) -> Vec<(String, f64)> {
+    /// Every switch performed so far, oldest first.
+    pub fn switch_log(&self) -> Vec<SwitchRecord> {
         self.inner.lock().expect("switcher mutex poisoned").switch_log.clone()
     }
 }
@@ -134,13 +305,13 @@ mod tests {
     fn switching_cycles_scenes() {
         let s = switcher(SwitchStrategy::PipelinedOptimal);
         assert_eq!(s.active(), None);
-        let o1 = s.switch_to("daytime");
+        let o1 = s.switch_to("daytime").unwrap();
         assert!(matches!(o1, SwitchOutcome::Switched(_)));
         assert_eq!(s.active().as_deref(), Some("daytime"));
-        let o2 = s.switch_to("daytime");
+        let o2 = s.switch_to("daytime").unwrap();
         assert_eq!(o2, SwitchOutcome::AlreadyActive);
         assert_eq!(o2.latency_ms(), 0.0);
-        s.switch_to("snow");
+        s.switch_to("snow").unwrap();
         assert_eq!(s.active().as_deref(), Some("snow"));
         assert_eq!(s.switch_log().len(), 2);
     }
@@ -148,8 +319,8 @@ mod tests {
     #[test]
     fn pipelined_switch_is_fast_enough_for_realtime() {
         let s = switcher(SwitchStrategy::PipelinedOptimal);
-        s.switch_to("daytime");
-        let outcome = s.switch_to("rain");
+        s.switch_to("daytime").unwrap();
+        let outcome = s.switch_to("rain").unwrap();
         // Paper headline: scene switches complete in <10 ms beyond the
         // inference itself.
         if let SwitchOutcome::Switched(r) = outcome {
@@ -162,7 +333,7 @@ mod tests {
     #[test]
     fn stop_and_start_is_not_realtime() {
         let s = switcher(SwitchStrategy::StopAndStart);
-        let outcome = s.switch_to("rain");
+        let outcome = s.switch_to("rain").unwrap();
         assert!(outcome.latency_ms() > 1000.0);
     }
 
@@ -173,10 +344,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_model_panics() {
+    fn unknown_model_is_a_typed_error() {
         let s = switcher(SwitchStrategy::PipelinedOptimal);
-        s.switch_to("fog");
+        let err = s.switch_to("fog").unwrap_err();
+        match &err {
+            SwitchError::UnknownModel { name, registered } => {
+                assert_eq!(name, "fog");
+                assert_eq!(registered, &["daytime", "rain", "snow"]);
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        assert!(err.to_string().contains("fog"));
+        assert_eq!(s.active(), None, "failed switch must not activate anything");
+    }
+
+    #[test]
+    fn oversized_model_keeps_previous_active() {
+        // A pool that fits exactly one slowfast_r50 but not the larger
+        // model: the failed switch must leave the old model serving.
+        let small = ModelDesc::slowfast_r50();
+        let s = ModelSwitcher::new(
+            GpuSpec::rtx_2080_ti(),
+            small.total_bytes() + 1024,
+            SwitchStrategy::PipelinedOptimal,
+        );
+        s.register("daytime", small.clone());
+        s.register("huge", ModelDesc::resnet152());
+        s.switch_to("daytime").unwrap();
+        let err = s.switch_to("huge").unwrap_err();
+        assert!(matches!(err, SwitchError::OutOfMemory { .. }));
+        assert_eq!(s.active().as_deref(), Some("daytime"));
+        // The rollback must leave the pool usable: switching back to an
+        // already-active model is still a no-op, and the log holds only
+        // the one successful switch.
+        assert_eq!(s.switch_to("daytime").unwrap(), SwitchOutcome::AlreadyActive);
+        assert_eq!(s.switch_log().len(), 1);
+    }
+
+    #[test]
+    fn switch_log_carries_frame_and_breakdown() {
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        s.switch_to_at("daytime", 7).unwrap();
+        s.switch_to_at("snow", 42).unwrap();
+        let log = s.switch_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].model, "daytime");
+        assert_eq!(log[0].frame, 7);
+        assert_eq!(log[1].model, "snow");
+        assert_eq!(log[1].frame, 42);
+        for rec in &log {
+            assert!(rec.latency_ms > 0.0);
+            assert!(rec.breakdown.transmit_ms > 0.0);
+            assert!(rec.breakdown.compute_ms > 0.0);
+            // Pipelined strategies skip per-task setup entirely.
+            assert_eq!(rec.breakdown.setup_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn instrumented_switcher_records_metrics_and_events() {
+        let registry = Registry::new();
+        let s = switcher(SwitchStrategy::PipelinedOptimal);
+        s.instrument(&registry);
+        s.switch_to_at("daytime", 0).unwrap();
+        s.switch_to_at("daytime", 1).unwrap();
+        s.switch_to_at("rain", 9).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ms.switches"), Some(2));
+        assert_eq!(snap.counter("ms.already_active"), Some(1));
+        let hist = snap.histogram("ms.switch_ms").expect("switch histogram");
+        assert_eq!(hist.count, 2);
+        let events = registry.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].name, "model_switch");
+        assert_eq!(
+            events[1].field("model").map(|v| v.to_string()),
+            Some("rain".to_owned())
+        );
     }
 
     #[test]
@@ -184,7 +428,7 @@ mod tests {
         let s = switcher(SwitchStrategy::PipelinedOptimal);
         let s2 = s.clone();
         let h = std::thread::spawn(move || {
-            s2.switch_to("daytime");
+            s2.switch_to("daytime").unwrap();
         });
         h.join().unwrap();
         assert_eq!(s.active().as_deref(), Some("daytime"));

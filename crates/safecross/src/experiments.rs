@@ -14,6 +14,7 @@ use crate::throughput::{throughput_study, ThroughputReport};
 use safecross_dataset::{Dataset, DatasetSpec, SegmentGenerator};
 use safecross_fewshot::train_from_scratch;
 use safecross_tensor::TensorRng;
+use safecross_telemetry::Snapshot;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{
     evaluate, train, C3dLite, EvalReport, SlowFastLite, TrainConfig, TsnLite,
@@ -462,14 +463,32 @@ pub fn table7_throughput(
     cfg: &ExperimentConfig,
 ) -> ThroughputReport {
     let test_set = blind_zone_test_set(cfg);
-    let mut system = system_with(models);
+    let mut system = system_with(models, false);
     let all: Vec<usize> = (0..test_set.len()).collect();
     throughput_study(&mut system, &test_set, &all)
+        .expect("harness registers a model for every test-set scene")
+}
+
+/// Experiment E7 with telemetry enabled: the same study, returning the
+/// registry [`Snapshot`] alongside the report so benches and downstream
+/// tooling can export per-stage latency distributions and switch events
+/// next to the throughput numbers.
+pub fn table7_throughput_instrumented(
+    models: &HashMap<Weather, SlowFastLite>,
+    cfg: &ExperimentConfig,
+) -> (ThroughputReport, Snapshot) {
+    let test_set = blind_zone_test_set(cfg);
+    let mut system = system_with(models, true);
+    let all: Vec<usize> = (0..test_set.len()).collect();
+    let report = throughput_study(&mut system, &test_set, &all)
+        .expect("harness registers a model for every test-set scene");
+    (report, system.telemetry().snapshot())
 }
 
 /// Experiment E7, data-parallel: the identical study with the segment
 /// batch sharded across `workers` threads via
-/// [`throughput_study_parallel`] — the bench arm that measures how far
+/// [`throughput_study_parallel`](crate::throughput::throughput_study_parallel)
+/// — the bench arm that measures how far
 /// the embarrassingly-parallel evaluation path scales.
 pub fn table7_throughput_parallel(
     models: &HashMap<Weather, SlowFastLite>,
@@ -477,13 +496,18 @@ pub fn table7_throughput_parallel(
     workers: usize,
 ) -> ThroughputReport {
     let test_set = blind_zone_test_set(cfg);
-    let system = system_with(models);
+    let system = system_with(models, false);
     let all: Vec<usize> = (0..test_set.len()).collect();
     crate::throughput::throughput_study_parallel(&system, &test_set, &all, workers)
+        .expect("harness registers a model for every test-set scene")
 }
 
-fn system_with(models: &HashMap<Weather, SlowFastLite>) -> SafeCross {
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+fn system_with(models: &HashMap<Weather, SlowFastLite>, telemetry: bool) -> SafeCross {
+    let config = SafeCrossConfig::builder()
+        .telemetry(telemetry)
+        .build()
+        .expect("default experiment configuration is valid");
+    let mut system = SafeCross::new(config);
     // Sorted registration keeps the switch log and fallback order stable
     // regardless of HashMap iteration order.
     let mut entries: Vec<_> = models.iter().collect();
@@ -613,6 +637,16 @@ mod tests {
         for workers in [1, 3, 8] {
             assert_eq!(table7_throughput_parallel(&models, &cfg, workers), report);
         }
+        // The instrumented study sees the same segments and exports a
+        // snapshot covering every clip it classified: one forward pass
+        // per blind-zone segment.
+        let (timed_report, snapshot) = table7_throughput_instrumented(&models, &cfg);
+        assert_eq!(timed_report, report);
+        assert_eq!(snapshot.counter("vc.slowfast.forwards"), Some(63));
+        let forward_ms = snapshot
+            .histogram("vc.slowfast.forward_ms")
+            .expect("instrumented models time every forward");
+        assert_eq!(forward_ms.count, 63);
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! outputs are bit-identical — the property `tests/pipeline_equivalence.rs`
 //! locks in.
 
+use crate::errors::{ConfigError, SafeCrossError};
 use crate::scene::SceneDetector;
 use safecross_dataset::Class;
 use safecross_modelswitch::{
-    GpuSpec, ModelDesc, ModelSwitcher, SwitchOutcome, SwitchReport, SwitchStrategy,
+    GpuSpec, ModelDesc, ModelSwitcher, SwitchOutcome, SwitchRecord, SwitchReport, SwitchStrategy,
 };
 use safecross_nn::Mode;
+use safecross_telemetry::{Counter, Histogram, Registry};
 use safecross_tensor::Tensor;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
@@ -23,6 +25,10 @@ use safecross_vision::{GrayFrame, PreprocessConfig, Preprocessor, SegmentBuffer}
 use std::collections::HashMap;
 
 /// Orchestrator configuration.
+///
+/// Construct via [`SafeCrossConfig::builder`] to get validation at
+/// build time, or fill the fields directly and let
+/// [`SafeCross::try_new`] validate.
 #[derive(Debug, Clone, Copy)]
 pub struct SafeCrossConfig {
     /// Camera frame width.
@@ -37,6 +43,10 @@ pub struct SafeCrossConfig {
     pub scene_window: usize,
     /// Minimum softmax confidence to emit a verdict at all.
     pub min_confidence: f32,
+    /// Whether the built-in telemetry registry records anything. When
+    /// `false` (the default) every metric handle is inert and the frame
+    /// path never reads the clock for instrumentation.
+    pub telemetry: bool,
 }
 
 impl Default for SafeCrossConfig {
@@ -48,7 +58,113 @@ impl Default for SafeCrossConfig {
             segment_frames: 32,
             scene_window: 8,
             min_confidence: 0.0,
+            telemetry: false,
         }
+    }
+}
+
+impl SafeCrossConfig {
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> SafeCrossConfigBuilder {
+        SafeCrossConfigBuilder {
+            config: SafeCrossConfig::default(),
+        }
+    }
+
+    /// Checks every invariant the orchestrator relies on.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.frame_width == 0 || self.frame_height == 0 {
+            return Err(ConfigError::EmptyFrame {
+                frame_width: self.frame_width,
+                frame_height: self.frame_height,
+            });
+        }
+        if self.segment_frames < 2 {
+            return Err(ConfigError::SegmentTooShort {
+                segment_frames: self.segment_frames,
+            });
+        }
+        if self.scene_window == 0 {
+            return Err(ConfigError::EmptySceneWindow);
+        }
+        if !self.min_confidence.is_finite() || !(0.0..=1.0).contains(&self.min_confidence) {
+            return Err(ConfigError::BadConfidence {
+                min_confidence: self.min_confidence,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fluent, validating constructor for [`SafeCrossConfig`].
+///
+/// ```
+/// use safecross::SafeCrossConfig;
+///
+/// let config = SafeCrossConfig::builder()
+///     .frame_size(320, 240)
+///     .segment_frames(32)
+///     .min_confidence(0.25)
+///     .telemetry(true)
+///     .build()
+///     .expect("valid configuration");
+/// assert!(config.telemetry);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SafeCrossConfigBuilder {
+    config: SafeCrossConfig,
+}
+
+impl SafeCrossConfigBuilder {
+    /// Camera frame dimensions.
+    pub fn frame_size(mut self, width: usize, height: usize) -> Self {
+        self.config.frame_width = width;
+        self.config.frame_height = height;
+        self
+    }
+
+    /// VP pipeline settings.
+    pub fn preprocess(mut self, preprocess: PreprocessConfig) -> Self {
+        self.config.preprocess = preprocess;
+        self
+    }
+
+    /// Frames per classified segment (paper: 32).
+    pub fn segment_frames(mut self, segment_frames: usize) -> Self {
+        self.config.segment_frames = segment_frames;
+        self
+    }
+
+    /// Scene-detector voting window.
+    pub fn scene_window(mut self, scene_window: usize) -> Self {
+        self.config.scene_window = scene_window;
+        self
+    }
+
+    /// Minimum softmax confidence to emit a verdict.
+    pub fn min_confidence(mut self, min_confidence: f32) -> Self {
+        self.config.min_confidence = min_confidence;
+        self
+    }
+
+    /// Enables or disables the telemetry registry.
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn build(self) -> Result<SafeCrossConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -92,18 +208,29 @@ pub(crate) struct SceneStage {
     /// entry doubles as the deterministic fallback when neither the
     /// detected scene nor daytime has a model.
     registered: Vec<Weather>,
+    /// Frames this stage has consumed. Owned by the stage (not the
+    /// orchestrator) so the frame index attributed to a switch is the
+    /// same in sequential and pipelined execution.
+    frames: u64,
+    frames_total: Counter,
+    step_ms: Histogram,
 }
 
 impl SceneStage {
-    fn new(scene_window: usize) -> Self {
+    fn new(scene_window: usize, registry: &Registry) -> Self {
+        let switcher = ModelSwitcher::new(
+            GpuSpec::rtx_2080_ti(),
+            11_000_000_000,
+            SwitchStrategy::PipelinedOptimal,
+        );
+        switcher.instrument(registry);
         SceneStage {
             scene: SceneDetector::new(scene_window),
-            switcher: ModelSwitcher::new(
-                GpuSpec::rtx_2080_ti(),
-                11_000_000_000,
-                SwitchStrategy::PipelinedOptimal,
-            ),
+            switcher,
             registered: Vec::new(),
+            frames: 0,
+            frames_total: registry.counter("stage.scene.frames"),
+            step_ms: registry.histogram("stage.scene.step_ms"),
         }
     }
 
@@ -114,10 +241,17 @@ impl SceneStage {
         &mut self,
         frame: &GrayFrame,
     ) -> (Option<(Weather, SwitchReport)>, Option<Weather>) {
+        let _t = self.step_ms.start_timer();
+        self.frames_total.inc();
+        let frame_index = self.frames;
+        self.frames += 1;
         let mut scene_switch = None;
         if let Some(new_scene) = self.scene.observe(frame) {
             if self.registered.contains(&new_scene) {
-                if let SwitchOutcome::Switched(report) = self.switcher.switch_to(new_scene.label())
+                // The registered-scene guard makes an error here
+                // unreachable; a refused switch just means no swap.
+                if let Ok(SwitchOutcome::Switched(report)) =
+                    self.switcher.switch_to_at(new_scene.label(), frame_index)
                 {
                     scene_switch = Some((new_scene, report));
                 }
@@ -148,19 +282,24 @@ impl SceneStage {
 pub(crate) struct VpStage {
     vp: Preprocessor,
     buffer: SegmentBuffer,
+    step_ms: Histogram,
 }
 
 impl VpStage {
-    fn new(config: &SafeCrossConfig) -> Self {
+    fn new(config: &SafeCrossConfig, registry: &Registry) -> Self {
+        let mut vp = Preprocessor::new(config.frame_width, config.frame_height, config.preprocess);
+        vp.instrument(registry);
         VpStage {
-            vp: Preprocessor::new(config.frame_width, config.frame_height, config.preprocess),
+            vp,
             buffer: SegmentBuffer::new(config.segment_frames),
+            step_ms: registry.histogram("stage.vp.step_ms"),
         }
     }
 
     /// Consumes one frame; returns the assembled clip when the segment
     /// buffer is full.
     pub(crate) fn step(&mut self, frame: &GrayFrame) -> Option<Tensor> {
+        let _t = self.step_ms.start_timer();
         let grid = self.vp.process(frame);
         self.buffer.push(grid);
         self.buffer.as_clip()
@@ -171,19 +310,24 @@ impl VpStage {
 pub(crate) struct ClassifyStage {
     pub(crate) models: HashMap<Weather, SlowFastLite>,
     min_confidence: f32,
+    step_ms: Histogram,
+    verdicts_total: Counter,
 }
 
 impl ClassifyStage {
-    fn new(config: &SafeCrossConfig) -> Self {
+    fn new(config: &SafeCrossConfig, registry: &Registry) -> Self {
         ClassifyStage {
             models: HashMap::new(),
             min_confidence: config.min_confidence,
+            step_ms: registry.histogram("stage.classify.step_ms"),
+            verdicts_total: registry.counter("stage.classify.verdicts"),
         }
     }
 
     /// Classifies a clip with the model for `scene`, gating on the
     /// configured minimum confidence.
     pub(crate) fn step(&mut self, clip: Option<Tensor>, scene: Option<Weather>) -> Option<Verdict> {
+        let _t = self.step_ms.start_timer();
         let clip = clip?;
         let weather = scene?;
         let model = self.models.get_mut(&weather)?;
@@ -191,6 +335,7 @@ impl ClassifyStage {
         if verdict.confidence < self.min_confidence {
             return None;
         }
+        self.verdicts_total.inc();
         Some(verdict)
     }
 }
@@ -215,6 +360,7 @@ pub(crate) fn classify_with(model: &mut SlowFastLite, clip: &Tensor, weather: We
 /// models and MS-managed switching.
 pub struct SafeCross {
     pub(crate) config: SafeCrossConfig,
+    pub(crate) registry: Registry,
     pub(crate) scene_stage: SceneStage,
     pub(crate) vp_stage: VpStage,
     pub(crate) classify_stage: ClassifyStage,
@@ -225,20 +371,47 @@ pub struct SafeCross {
 impl SafeCross {
     /// Creates a system with no registered models (register at least the
     /// daytime model before expecting verdicts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`SafeCross::try_new`] to handle that as a value.
     pub fn new(config: SafeCrossConfig) -> Self {
-        SafeCross {
+        match SafeCross::try_new(config) {
+            Ok(system) => system,
+            Err(e) => panic!("invalid SafeCross configuration: {e}"),
+        }
+    }
+
+    /// Creates a system after validating `config`. When
+    /// `config.telemetry` is set, the system carries a live
+    /// [`Registry`] (see [`SafeCross::telemetry`]); otherwise every
+    /// instrument is inert and costs one branch per use.
+    ///
+    /// # Errors
+    ///
+    /// The first violated configuration invariant.
+    pub fn try_new(config: SafeCrossConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let registry = if config.telemetry {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        Ok(SafeCross {
             config,
-            scene_stage: SceneStage::new(config.scene_window),
-            vp_stage: VpStage::new(&config),
-            classify_stage: ClassifyStage::new(&config),
+            scene_stage: SceneStage::new(config.scene_window, &registry),
+            vp_stage: VpStage::new(&config, &registry),
+            classify_stage: ClassifyStage::new(&config, &registry),
             verdicts: Vec::new(),
             frames_seen: 0,
-        }
+            registry,
+        })
     }
 
     /// Registers the classifier for one weather scene (the FL module's
     /// output). The first registered model becomes active.
-    pub fn register_model(&mut self, weather: Weather, model: SlowFastLite) {
+    pub fn register_model(&mut self, weather: Weather, mut model: SlowFastLite) {
         let desc = ModelDesc::from_state_sizes(
             weather.label(),
             &model
@@ -250,12 +423,23 @@ impl SafeCross {
         );
         self.scene_stage.switcher.register(weather.label(), desc);
         if self.classify_stage.models.is_empty() {
-            self.scene_stage.switcher.switch_to(weather.label());
+            self.scene_stage
+                .switcher
+                .switch_to(weather.label())
+                .expect("first registered model must fit the empty GPU pool");
         }
         if !self.scene_stage.registered.contains(&weather) {
             self.scene_stage.registered.push(weather);
         }
+        model.instrument(&self.registry);
         self.classify_stage.models.insert(weather, model);
+    }
+
+    /// The telemetry registry the frame path records into. Disabled (all
+    /// handles inert) unless the configuration enabled telemetry; call
+    /// [`Registry::snapshot`] on it for a point-in-time export.
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The configuration this system was built with.
@@ -285,8 +469,9 @@ impl SafeCross {
         &self.verdicts
     }
 
-    /// The simulated switch log `(model, latency_ms)`.
-    pub fn switch_log(&self) -> Vec<(String, f64)> {
+    /// Every model swap performed so far, oldest first, with the frame
+    /// index it was attributed to and the per-phase latency breakdown.
+    pub fn switch_log(&self) -> Vec<SwitchRecord> {
         self.scene_stage.switcher.switch_log()
     }
 
@@ -311,16 +496,18 @@ impl SafeCross {
     /// model for `weather` — the batch path used by the evaluation
     /// harnesses.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no model is registered for `weather`.
-    pub fn classify_clip(&mut self, clip: &Tensor, weather: Weather) -> Verdict {
+    /// [`SafeCrossError::NoModel`] if no model is registered for
+    /// `weather`.
+    pub fn classify_clip(&mut self, clip: &Tensor, weather: Weather) -> Result<Verdict, SafeCrossError> {
+        let registered = self.registered_scenes();
         let model = self
             .classify_stage
             .models
             .get_mut(&weather)
-            .unwrap_or_else(|| panic!("no model registered for {weather}"));
-        classify_with(model, clip, weather)
+            .ok_or(SafeCrossError::NoModel { weather, registered })?;
+        Ok(classify_with(model, clip, weather))
     }
 }
 
@@ -384,17 +571,22 @@ mod tests {
         assert_eq!(scene, Weather::Snow);
         assert!(report.switch_overhead_ms < 10.0);
         assert_eq!(sc.current_scene(), Weather::Snow);
-        // The switch log recorded daytime (initial) then snow.
+        // The switch log recorded daytime (initial) then snow, with the
+        // snow switch attributed to a real frame index.
         let log = sc.switch_log();
         assert_eq!(log.len(), 2);
-        assert_eq!(log[1].0, "snow");
+        assert_eq!(log[0].model, "daytime");
+        assert_eq!(log[0].frame, 0);
+        assert_eq!(log[1].model, "snow");
+        assert!(log[1].frame > 0);
+        assert!(log[1].breakdown.transmit_ms > 0.0);
     }
 
     #[test]
     fn classify_clip_batches() {
         let mut sc = system_with_models();
         let clip = Tensor::zeros(&[1, 32, 20, 20]);
-        let v = sc.classify_clip(&clip, Weather::Daytime);
+        let v = sc.classify_clip(&clip, Weather::Daytime).unwrap();
         assert!(v.confidence >= 0.5);
         assert_eq!(v.weather, Weather::Daytime);
     }
@@ -429,10 +621,100 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no model registered")]
-    fn classify_without_model_panics() {
+    fn classify_without_model_is_a_typed_error() {
+        let mut rng = TensorRng::seed_from(3);
         let mut sc = SafeCross::new(SafeCrossConfig::default());
-        sc.classify_clip(&Tensor::zeros(&[1, 32, 20, 20]), Weather::Rain);
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let err = sc
+            .classify_clip(&Tensor::zeros(&[1, 32, 20, 20]), Weather::Rain)
+            .unwrap_err();
+        match err {
+            SafeCrossError::NoModel { weather, registered } => {
+                assert_eq!(weather, Weather::Rain);
+                assert_eq!(registered, vec![Weather::Daytime]);
+            }
+            other => panic!("expected NoModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(SafeCrossConfig::builder().build().is_ok());
+        assert_eq!(
+            SafeCrossConfig::builder().segment_frames(1).build().unwrap_err(),
+            ConfigError::SegmentTooShort { segment_frames: 1 }
+        );
+        assert_eq!(
+            SafeCrossConfig::builder().scene_window(0).build().unwrap_err(),
+            ConfigError::EmptySceneWindow
+        );
+        assert_eq!(
+            SafeCrossConfig::builder().min_confidence(1.5).build().unwrap_err(),
+            ConfigError::BadConfidence { min_confidence: 1.5 }
+        );
+        assert!(SafeCrossConfig::builder()
+            .min_confidence(f32::NAN)
+            .build()
+            .is_err());
+        assert_eq!(
+            SafeCrossConfig::builder().frame_size(0, 240).build().unwrap_err(),
+            ConfigError::EmptyFrame { frame_width: 0, frame_height: 240 }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        let bad = SafeCrossConfig {
+            segment_frames: 0,
+            ..SafeCrossConfig::default()
+        };
+        assert!(SafeCross::try_new(bad).is_err());
+        assert!(SafeCross::try_new(SafeCrossConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SafeCross configuration")]
+    fn new_panics_on_bad_config() {
+        SafeCross::new(SafeCrossConfig {
+            scene_window: 0,
+            ..SafeCrossConfig::default()
+        });
+    }
+
+    #[test]
+    fn telemetry_records_the_sequential_frame_path() {
+        let mut rng = TensorRng::seed_from(4);
+        let config = SafeCrossConfig::builder()
+            .telemetry(true)
+            .build()
+            .unwrap();
+        let mut sc = SafeCross::new(config);
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let frame = GrayFrame::filled(320, 240, 90);
+        for _ in 0..32 {
+            sc.process_frame(&frame);
+        }
+        let snap = sc.telemetry().snapshot();
+        assert_eq!(snap.counter("stage.scene.frames"), Some(32));
+        assert_eq!(snap.counter("vp.frames"), Some(32));
+        assert_eq!(snap.counter("stage.classify.verdicts"), Some(1));
+        assert_eq!(snap.counter("ms.switches"), Some(1)); // initial switch
+        let forwards = snap.counter("vc.slowfast.forwards");
+        assert_eq!(forwards, Some(1));
+        assert!(snap.histogram("stage.vp.step_ms").unwrap().count == 32);
+    }
+
+    #[test]
+    fn disabled_telemetry_stays_at_zero() {
+        let mut sc = system_with_models();
+        assert!(!sc.telemetry().is_enabled());
+        let frame = GrayFrame::filled(320, 240, 90);
+        for _ in 0..5 {
+            sc.process_frame(&frame);
+        }
+        let snap = sc.telemetry().snapshot();
+        assert_eq!(snap.counter("stage.scene.frames"), Some(0));
+        assert!(snap.events.is_empty());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod errors;
 pub mod experiments;
 mod framework;
 pub mod pipeline;
@@ -49,7 +50,15 @@ pub mod throughput;
 #[cfg(test)]
 mod proptests;
 
-pub use framework::{FrameOutcome, SafeCross, SafeCrossConfig, Verdict};
+pub use errors::{ConfigError, SafeCrossError};
+pub use framework::{
+    FrameOutcome, SafeCross, SafeCrossConfig, SafeCrossConfigBuilder, Verdict,
+};
 pub use pipeline::{PipelineConfig, PipelineRun, PipelineStats, StageStats};
 pub use scene::{SceneDetector, SceneFeatures};
 pub use throughput::{throughput_study, throughput_study_parallel, ThroughputReport};
+
+// Re-exports so downstream code can consume the typed switch log and
+// telemetry snapshots without depending on the sub-crates directly.
+pub use safecross_modelswitch::{SwitchBreakdown, SwitchError, SwitchRecord};
+pub use safecross_telemetry::{Registry, Snapshot};

@@ -29,6 +29,7 @@
 //! clips sharded across a worker pool — the evaluation/bench shape of
 //! parallelism, complementary to the latency-oriented staged pipeline.
 
+use crate::errors::SafeCrossError;
 use crate::framework::{classify_with, FrameOutcome, SafeCross, Verdict};
 use safecross_modelswitch::SwitchReport;
 use safecross_tensor::Tensor;
@@ -370,14 +371,44 @@ impl SafeCross {
                 self.verdicts.push(v);
             }
         }
-        PipelineRun {
-            outcomes,
-            stats: PipelineStats {
-                stages: stage_stats,
-                frames: fed,
-                wall: start.elapsed(),
-            },
+        let stats = PipelineStats {
+            stages: stage_stats,
+            frames: fed,
+            wall: start.elapsed(),
+        };
+        self.record_pipeline_run(&stats);
+        PipelineRun { outcomes, stats }
+    }
+
+    /// Mirrors one run's [`PipelineStats`] onto the shared telemetry
+    /// registry, so pipelined runs and the sequential path export
+    /// through the same snapshot.
+    fn record_pipeline_run(&self, stats: &PipelineStats) {
+        let registry = &self.registry;
+        if !registry.is_enabled() {
+            return;
         }
+        registry.counter("pipe.runs").inc();
+        registry.counter("pipe.frames").add(stats.frames as u64);
+        let wall_ms = stats.wall.as_secs_f64() * 1e3;
+        registry.histogram("pipe.wall_ms").observe_ms(wall_ms);
+        let mut fields = vec![
+            ("frames".to_owned(), stats.frames.into()),
+            ("wall_ms".to_owned(), wall_ms.into()),
+        ];
+        for stage in &stats.stages {
+            registry
+                .histogram(&format!("pipe.{}.busy_ms", stage.name))
+                .observe_duration(stage.busy);
+            registry
+                .gauge(&format!("pipe.{}.queue_high_water", stage.name))
+                .set_max(stage.queue_high_water as f64);
+            fields.push((
+                format!("{}_busy_ms", stage.name),
+                (stage.busy.as_secs_f64() * 1e3).into(),
+            ));
+        }
+        registry.event("pipeline_run", fields);
     }
 
     /// Classifies a batch of independent, already-preprocessed clips by
@@ -389,28 +420,33 @@ impl SafeCross {
     /// [`SafeCross::run_pipelined`]: no cross-clip state exists, so the
     /// work is embarrassingly parallel.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `workers == 0` or any job names a weather without a
-    /// registered model.
+    /// [`SafeCrossError::NoWorkers`] if `workers == 0`, and
+    /// [`SafeCrossError::NoModel`] (checked up front, before any work
+    /// runs) if any job names a weather without a registered model.
     pub fn classify_clips_parallel(
         &self,
         jobs: &[(Tensor, Weather)],
         workers: usize,
-    ) -> Vec<Verdict> {
-        assert!(workers > 0, "need at least one worker");
+    ) -> Result<Vec<Verdict>, SafeCrossError> {
+        if workers == 0 {
+            return Err(SafeCrossError::NoWorkers);
+        }
         for (_, weather) in jobs {
-            assert!(
-                self.classify_stage.models.contains_key(weather),
-                "no model registered for {weather}"
-            );
+            if !self.classify_stage.models.contains_key(weather) {
+                return Err(SafeCrossError::NoModel {
+                    weather: *weather,
+                    registered: self.registered_scenes(),
+                });
+            }
         }
         if jobs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let chunk_len = jobs.len().div_ceil(workers);
         let models = &self.classify_stage.models;
-        thread::scope(|s| {
+        Ok(thread::scope(|s| {
             let handles: Vec<_> = jobs
                 .chunks(chunk_len)
                 .map(|chunk| {
@@ -434,7 +470,7 @@ impl SafeCross {
                 .into_iter()
                 .flat_map(|h| h.join().expect("classification worker panicked"))
                 .collect()
-        })
+        }))
     }
 }
 
@@ -504,19 +540,50 @@ mod tests {
             .collect();
         let sequential: Vec<Verdict> = jobs
             .iter()
-            .map(|(clip, w)| sc.classify_clip(clip, *w))
+            .map(|(clip, w)| sc.classify_clip(clip, *w).unwrap())
             .collect();
         for workers in [1, 2, 4, 16] {
-            assert_eq!(sc.classify_clips_parallel(&jobs, workers), sequential);
+            assert_eq!(sc.classify_clips_parallel(&jobs, workers).unwrap(), sequential);
         }
-        assert!(sc.classify_clips_parallel(&[], 4).is_empty());
+        assert!(sc.classify_clips_parallel(&[], 4).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "no model registered")]
     fn batch_classification_checks_models_up_front() {
+        use crate::errors::SafeCrossError;
         let sc = system();
         let jobs = vec![(Tensor::zeros(&[1, 32, 20, 20]), Weather::Snow)];
-        sc.classify_clips_parallel(&jobs, 2);
+        let err = sc.classify_clips_parallel(&jobs, 2).unwrap_err();
+        assert!(matches!(err, SafeCrossError::NoModel { weather: Weather::Snow, .. }));
+        assert_eq!(
+            sc.classify_clips_parallel(&jobs, 0).unwrap_err(),
+            SafeCrossError::NoWorkers
+        );
+    }
+
+    #[test]
+    fn pipelined_run_exports_telemetry() {
+        let mut rng = TensorRng::seed_from(1);
+        let config = crate::framework::SafeCrossConfig::builder()
+            .telemetry(true)
+            .build()
+            .unwrap();
+        let mut sc = SafeCross::new(config);
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let run = sc.run_pipelined(frames(35), &PipelineConfig::default());
+        assert_eq!(run.stats.frames, 35);
+        let snap = sc.telemetry().snapshot();
+        assert_eq!(snap.counter("pipe.runs"), Some(1));
+        assert_eq!(snap.counter("pipe.frames"), Some(35));
+        assert_eq!(snap.counter("stage.scene.frames"), Some(35));
+        assert_eq!(snap.counter("vp.frames"), Some(35));
+        for stage in ["scene", "vp", "classify"] {
+            let h = snap
+                .histogram(&format!("pipe.{stage}.busy_ms"))
+                .unwrap_or_else(|| panic!("missing pipe.{stage}.busy_ms"));
+            assert_eq!(h.count, 1);
+        }
+        let events = sc.telemetry().events();
+        assert!(events.iter().any(|e| e.name == "pipeline_run"));
     }
 }

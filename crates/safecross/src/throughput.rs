@@ -8,6 +8,7 @@
 //! so every correctly-predicted "safe" verdict is throughput gained:
 //! the paper reports 32/63 ≈ +50%.
 
+use crate::errors::SafeCrossError;
 use crate::framework::SafeCross;
 use safecross_dataset::{Class, Dataset};
 use std::fmt;
@@ -85,7 +86,16 @@ impl fmt::Display for ThroughputReport {
 /// Ground truth for a blind-zone segment is *blind-zone occupancy* (the
 /// paper's class definition in Sec. V-D), not general danger: a car in
 /// the blind area means wait.
-pub fn throughput_study(system: &mut SafeCross, data: &Dataset, indices: &[usize]) -> ThroughputReport {
+///
+/// # Errors
+///
+/// [`SafeCrossError::NoModel`] if a segment's weather has no registered
+/// model.
+pub fn throughput_study(
+    system: &mut SafeCross,
+    data: &Dataset,
+    indices: &[usize],
+) -> Result<ThroughputReport, SafeCrossError> {
     let mut report = empty_report();
     for &i in indices {
         let seg = data.get(i);
@@ -93,10 +103,10 @@ pub fn throughput_study(system: &mut SafeCross, data: &Dataset, indices: &[usize
             continue; // the study only concerns blind-zone scenes
         }
         let truth_danger = seg.label.class == Class::Danger;
-        let verdict = system.classify_clip(&seg.clip, seg.weather);
+        let verdict = system.classify_clip(&seg.clip, seg.weather)?;
         tally(&mut report, verdict.class, truth_danger);
     }
-    report
+    Ok(report)
 }
 
 /// The parallel twin of [`throughput_study`]: blind-zone segments are
@@ -105,16 +115,17 @@ pub fn throughput_study(system: &mut SafeCross, data: &Dataset, indices: &[usize
 /// [`SafeCross::classify_clips_parallel`](crate::SafeCross::classify_clips_parallel).
 /// The report is identical to the sequential study's.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `workers` is zero or a segment's weather has no registered
+/// [`SafeCrossError::NoWorkers`] if `workers` is zero, and
+/// [`SafeCrossError::NoModel`] if a segment's weather has no registered
 /// model.
 pub fn throughput_study_parallel(
     system: &SafeCross,
     data: &Dataset,
     indices: &[usize],
     workers: usize,
-) -> ThroughputReport {
+) -> Result<ThroughputReport, SafeCrossError> {
     let mut jobs = Vec::new();
     let mut truths = Vec::new();
     for &i in indices {
@@ -125,12 +136,12 @@ pub fn throughput_study_parallel(
         jobs.push((seg.clip.clone(), seg.weather));
         truths.push(seg.label.class == Class::Danger);
     }
-    let verdicts = system.classify_clips_parallel(&jobs, workers);
+    let verdicts = system.classify_clips_parallel(&jobs, workers)?;
     let mut report = empty_report();
     for (verdict, truth_danger) in verdicts.iter().zip(truths) {
         tally(&mut report, verdict.class, truth_danger);
     }
-    report
+    Ok(report)
 }
 
 fn empty_report() -> ThroughputReport {

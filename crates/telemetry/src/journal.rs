@@ -1,0 +1,180 @@
+//! The bounded structured event journal.
+//!
+//! Metrics aggregate; events narrate. A [`crate::Registry`] keeps a
+//! ring buffer of the most recent structured events (model switches,
+//! pipeline runs, error recoveries) so a snapshot can show *what
+//! happened*, not just how often. The buffer is bounded: when full, the
+//! oldest event is dropped and a drop counter ticks, so truncation is
+//! always visible.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, frame indices).
+    U64(u64),
+    /// Floating point (latencies, ratios).
+    F64(f64),
+    /// Free text (model names, error descriptions).
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value as a JSON fragment (strings quoted/escaped,
+    /// non-finite floats as `null`).
+    pub(crate) fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => format!("{v}"),
+            Value::F64(_) => "null".to_owned(),
+            Value::Str(s) => crate::snapshot::json_string(s),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.3}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One journalled occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number (monotonic per registry, never reused, so
+    /// gaps reveal dropped events).
+    pub seq: u64,
+    /// Event kind, e.g. `"model_switch"`.
+    pub name: String,
+    /// Structured payload in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// The bounded ring of events inside a registry.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl Journal {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Journal {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn record(&self, name: &str, fields: Vec<(String, Value)>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            name: name.to_owned(),
+            fields,
+        };
+        let mut events = match self.events.lock() {
+            Ok(guard) => guard,
+            // A panic while holding the journal lock only loses journal
+            // entries; telemetry must never take the process down.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    pub(crate) fn events(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(guard) => guard.iter().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_is_bounded_and_counts_drops() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.record("e", vec![("i".into(), Value::U64(i))]);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        // Oldest dropped: sequences 2, 3, 4 remain, in order.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(events[0].field("i"), Some(&Value::U64(2)));
+        assert!(events[0].field("nope").is_none());
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(format!("{}", Value::U64(7)), "7");
+        assert_eq!(format!("{}", Value::Str("x".into())), "x");
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::U64(7).to_json(), "7");
+    }
+}

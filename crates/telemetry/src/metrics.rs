@@ -1,0 +1,435 @@
+//! Lock-free metric primitives: counters, gauges, latency histograms,
+//! and the scoped [`Timer`] guard.
+//!
+//! All handles are thin `Arc` wrappers — clone them freely, send them
+//! across threads, and update without taking any lock. Floating-point
+//! cells (gauge values, histogram sum/min/max) are stored as `f64` bit
+//! patterns in `AtomicU64` and updated with compare-exchange loops, so
+//! concurrent updates retry rather than lose increments; the crate's
+//! concurrency tests pin that property.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets (plus an implicit overflow bucket at the
+/// end). Bucket `i` covers values up to `0.001 * 2^i` milliseconds, so
+/// the range spans 1 µs to ~35 minutes — wide enough for microsecond
+/// kernels and multi-second cold-start switches alike.
+pub const BUCKETS: usize = 32;
+
+/// Smallest bucket upper bound, in milliseconds (1 µs).
+const BUCKET0_MS: f64 = 1e-3;
+
+/// Upper bound of bucket `i`, ms.
+fn bucket_bound_ms(i: usize) -> f64 {
+    BUCKET0_MS * (1u64 << i.min(63)) as f64
+}
+
+/// Index of the first bucket whose upper bound is >= `value_ms`.
+fn bucket_index(value_ms: f64) -> usize {
+    if value_ms.is_nan() || value_ms <= BUCKET0_MS {
+        // NaN, negative, zero, and sub-microsecond all land in bucket 0.
+        return 0;
+    }
+    let idx = (value_ms / BUCKET0_MS).log2().ceil();
+    if idx >= BUCKETS as f64 {
+        BUCKETS // overflow bucket
+    } else {
+        idx as usize
+    }
+}
+
+/// Atomically applies `f` to an `f64` stored as bits in `cell`,
+/// retrying on contention so no update is lost.
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct CounterCore {
+    enabled: bool,
+    value: AtomicU64,
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<CounterCore>);
+
+impl Counter {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Counter(Arc::new(CounterCore {
+            enabled,
+            value: AtomicU64::new(0),
+        }))
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if self.0.enabled {
+            self.0.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct GaugeCore {
+    enabled: bool,
+    bits: AtomicU64,
+}
+
+/// A last-value-wins instantaneous measurement (queue depth, high-water
+/// mark, resident bytes, ...).
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCore>);
+
+impl Gauge {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Gauge(Arc::new(GaugeCore {
+            enabled,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    }
+
+    /// Overwrites the gauge.
+    pub fn set(&self, value: f64) {
+        if self.0.enabled {
+            self.0.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative) without losing concurrent updates.
+    pub fn add(&self, delta: f64) {
+        if self.0.enabled {
+            atomic_f64_update(&self.0.bits, |v| v + delta);
+        }
+    }
+
+    /// Raises the gauge to `value` if it is below it — the idiom for
+    /// high-water marks.
+    pub fn set_max(&self, value: f64) {
+        if self.0.enabled {
+            atomic_f64_update(&self.0.bits, |v| v.max(value));
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    enabled: bool,
+    /// `BUCKETS` bounded buckets plus one overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (milliseconds).
+///
+/// Buckets are powers of two starting at 1 µs; count, sum, min, and max
+/// are exact, quantiles are interpolated inside the winning bucket
+/// (error bounded by the bucket's 2x width).
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Histogram {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Histogram(Arc::new(HistogramCore {
+            enabled,
+            buckets: (0..=BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// Records one observation, in milliseconds.
+    pub fn observe_ms(&self, value_ms: f64) {
+        if !self.0.enabled {
+            return;
+        }
+        self.0.buckets[bucket_index(value_ms)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.0.sum_bits, |v| v + value_ms);
+        atomic_f64_update(&self.0.min_bits, |v| v.min(value_ms));
+        atomic_f64_update(&self.0.max_bits, |v| v.max(value_ms));
+    }
+
+    /// Records an elapsed [`Duration`].
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe_ms(d.as_secs_f64() * 1e3);
+    }
+
+    /// Starts a scoped timer that records into this histogram when
+    /// dropped. On a disabled histogram the timer is inert and never
+    /// reads the clock.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            hist: self.clone(),
+            start: if self.0.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Times a closure, recording its wall time.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _t = self.start_timer();
+        f()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time view (each field is read
+    /// atomically; fields may straddle a concurrent observation).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.0.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.0.max_bits.load(Ordering::Relaxed));
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if seen + c >= rank {
+                    let lo = if i == 0 { 0.0 } else { bucket_bound_ms(i - 1) };
+                    let hi = bucket_bound_ms(i).min(max.max(lo));
+                    let frac = (rank - seen) as f64 / c as f64;
+                    return (lo + (hi - lo) * frac).clamp(min.min(hi), max.max(0.0));
+                }
+                seen += c;
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum_ms: sum,
+            min_ms: if count == 0 { 0.0 } else { min },
+            max_ms: if count == 0 { 0.0 } else { max },
+            p50_ms: quantile(0.50),
+            p95_ms: quantile(0.95),
+            p99_ms: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observations, ms.
+    pub sum_ms: f64,
+    /// Exact minimum, ms (0 when empty).
+    pub min_ms: f64,
+    /// Exact maximum, ms (0 when empty).
+    pub max_ms: f64,
+    /// Interpolated median, ms.
+    pub p50_ms: f64,
+    /// Interpolated 95th percentile, ms.
+    pub p95_ms: f64,
+    /// Interpolated 99th percentile, ms.
+    pub p99_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// Exact arithmetic mean, ms (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+}
+
+/// A scoped timer: created by [`Histogram::start_timer`], records the
+/// elapsed wall time into its histogram when dropped (or explicitly via
+/// [`Timer::stop`]).
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the timer now, recording the elapsed time. Equivalent to
+    /// dropping it, but reads better at call sites that end a stage
+    /// mid-function.
+    pub fn stop(mut self) {
+        self.record();
+    }
+
+    /// Discards the timer without recording anything.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
+    fn record(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.observe_duration(start.elapsed());
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_range() {
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.0005), 0);
+        assert_eq!(bucket_index(0.001), 0);
+        assert_eq!(bucket_index(0.0015), 1);
+        assert_eq!(bucket_index(1.0), 10); // 0.001 * 2^10 = 1.024 ms
+        assert_eq!(bucket_index(1e12), BUCKETS); // overflow bucket
+    }
+
+    #[test]
+    fn counter_counts_and_disabled_counter_does_not() {
+        let c = Counter::new(true);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let off = Counter::new(false);
+        off.inc();
+        assert_eq!(off.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_add_max() {
+        let g = Gauge::new(true);
+        g.set(2.0);
+        g.add(0.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn histogram_exact_stats_and_quantile_ordering() {
+        let h = Histogram::new(true);
+        for v in [0.5, 1.0, 2.0, 4.0, 100.0] {
+            h.observe_ms(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert!((s.sum_ms - 107.5).abs() < 1e-9);
+        assert_eq!(s.min_ms, 0.5);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms() - 21.5).abs() < 1e-9);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!(s.p50_ms >= s.min_ms && s.p99_ms <= s.max_ms);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new(true);
+        // 90 fast observations around 1 ms, ten slow 1000 ms outliers.
+        for _ in 0..90 {
+            h.observe_ms(1.0);
+        }
+        for _ in 0..10 {
+            h.observe_ms(1000.0);
+        }
+        let s = h.snapshot();
+        assert!(s.p50_ms < 2.0, "p50 {}", s.p50_ms);
+        assert!(s.p95_ms > 100.0, "p95 {}", s.p95_ms);
+        assert!(s.p99_ms >= s.p95_ms, "p99 {}", s.p99_ms);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new(true).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_ms, 0.0);
+        assert_eq!(s.max_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn timer_records_once() {
+        let h = Histogram::new(true);
+        {
+            let _t = h.start_timer();
+        }
+        h.start_timer().stop();
+        h.start_timer().cancel();
+        assert_eq!(h.count(), 2);
+        assert!(h.snapshot().min_ms >= 0.0);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::new(false);
+        h.observe_ms(5.0);
+        let _t = h.start_timer();
+        drop(_t);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The shared metrics registry.
+
+use crate::journal::{Event, Journal, Value};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default bound of the event journal.
+const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct RegistryInner {
+    enabled: bool,
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    journal: Journal,
+}
+
+/// A thread-safe registry of named metrics plus a bounded event journal.
+///
+/// Cloning a `Registry` clones a handle to the *same* underlying store,
+/// so one registry can be threaded through every layer of a system
+/// (orchestrator, preprocessor, classifier, switcher) and snapshotted in
+/// one place. Metric lookup takes a read lock; hold the returned handle
+/// instead of re-looking-up on hot paths.
+///
+/// A registry built with [`Registry::disabled`] hands out inert handles
+/// whose updates are near-free branches, letting callers measure the
+/// cost of instrumentation itself.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry with the default journal bound.
+    pub fn new() -> Self {
+        Self::build(true, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates a disabled registry: every handle it returns ignores
+    /// updates and timers never read the clock.
+    pub fn disabled() -> Self {
+        Self::build(false, 1)
+    }
+
+    /// Creates an enabled registry whose journal keeps at most
+    /// `capacity` events (oldest dropped first).
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self::build(true, capacity)
+    }
+
+    fn build(enabled: bool, journal_capacity: usize) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled,
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                journal: Journal::new(journal_capacity),
+            }),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.inner.counters, name, || Counter::new(self.inner.enabled))
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.inner.gauges, name, || Gauge::new(self.inner.enabled))
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        get_or_insert(&self.inner.histograms, name, || {
+            Histogram::new(self.inner.enabled)
+        })
+    }
+
+    /// Appends a structured event to the journal (no-op when disabled).
+    pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
+        if self.inner.enabled {
+            self.inner.journal.record(name, fields);
+        }
+    }
+
+    /// The journalled events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.journal.events()
+    }
+
+    /// How many events the bounded journal has discarded.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.journal.dropped()
+    }
+
+    /// Takes a point-in-time snapshot of every metric and the journal.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = read(&self.inner.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = read(&self.inner.gauges)
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = read(&self.inner.histograms)
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events(),
+            events_dropped: self.events_dropped(),
+        }
+    }
+}
+
+fn read<V>(lock: &RwLock<BTreeMap<String, V>>) -> RwLockReadGuard<'_, BTreeMap<String, V>> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write<V>(lock: &RwLock<BTreeMap<String, V>>) -> RwLockWriteGuard<'_, BTreeMap<String, V>> {
+    lock.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn get_or_insert<V: Clone>(
+    lock: &RwLock<BTreeMap<String, V>>,
+    name: &str,
+    make: impl FnOnce() -> V,
+) -> V {
+    if let Some(existing) = read(lock).get(name) {
+        return existing.clone();
+    }
+    write(lock).entry(name.to_owned()).or_insert_with(make).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+        assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("n").add(3);
+        r2.counter("n").inc();
+        assert_eq!(r.snapshot().counter("n"), Some(4));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        r.counter("c").inc();
+        r.gauge("g").set(5.0);
+        r.histogram("h").observe_ms(1.0);
+        r.event("e", vec![]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), Some(0));
+        assert_eq!(snap.gauge("g"), Some(0.0));
+        assert_eq!(snap.histogram("h").map(|h| h.count), Some(0));
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sorts_names() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let names: Vec<_> = r.snapshot().counters.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

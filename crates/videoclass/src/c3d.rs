@@ -1,10 +1,11 @@
 //! The C3D-lite classifier.
 
-use crate::model::VideoClassifier;
+use crate::model::{ForwardTelemetry, VideoClassifier};
 use safecross_nn::{
     BatchNorm, Conv3d, Dropout, GlobalAvgPool, Layer, Linear, MaxPool3d, Mode, Param, Relu,
     Sequential,
 };
+use safecross_telemetry::Registry;
 use safecross_tensor::{Tensor, TensorRng};
 
 /// A miniature C3D network (Tran et al., ICCV 2015): a single stream of
@@ -19,6 +20,7 @@ use safecross_tensor::{Tensor, TensorRng};
 pub struct C3dLite {
     net: Sequential,
     num_classes: usize,
+    telemetry: Option<ForwardTelemetry>,
 }
 
 impl C3dLite {
@@ -45,7 +47,11 @@ impl C3dLite {
             Box::new(Dropout::new(0.2, rng)),
             Box::new(Linear::new(16, num_classes, rng)),
         ]);
-        C3dLite { net, num_classes }
+        C3dLite {
+            net,
+            num_classes,
+            telemetry: None,
+        }
     }
 
     /// Output class count.
@@ -57,7 +63,12 @@ impl C3dLite {
 impl VideoClassifier for C3dLite {
     fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
         self.net.forward(clips, mode)
+    }
+
+    fn instrument(&mut self, registry: &Registry) {
+        self.telemetry = Some(ForwardTelemetry::new(registry, "c3d"));
     }
 
     fn backward(&mut self, grad: &Tensor) {

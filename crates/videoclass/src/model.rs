@@ -1,7 +1,33 @@
 //! The classifier trait and tensor glue shared by the architectures.
 
 use safecross_nn::{Mode, Param};
+use safecross_telemetry::{Counter, Histogram, Registry, Timer};
 use safecross_tensor::Tensor;
+
+/// Pre-fetched forward-pass telemetry handles shared by the three
+/// architectures. Fetched once at [`VideoClassifier::instrument`] time
+/// so the registry lock never sits on the inference hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct ForwardTelemetry {
+    forwards: Counter,
+    forward_ms: Histogram,
+}
+
+impl ForwardTelemetry {
+    /// Handles under `vc.<family>.forwards` / `vc.<family>.forward_ms`.
+    pub(crate) fn new(registry: &Registry, family: &str) -> Self {
+        ForwardTelemetry {
+            forwards: registry.counter(&format!("vc.{family}.forwards")),
+            forward_ms: registry.histogram(&format!("vc.{family}.forward_ms")),
+        }
+    }
+
+    /// Counts one forward pass and returns the scoped timer for it.
+    pub(crate) fn start(&self) -> Timer {
+        self.forwards.inc();
+        self.forward_ms.start_timer()
+    }
+}
 
 /// A trainable clip classifier: `[N, 1, T, H, W]` clips in, `[N, K]`
 /// logits out.
@@ -13,6 +39,12 @@ use safecross_tensor::Tensor;
 pub trait VideoClassifier: Send + Sync {
     /// Runs the classifier on a clip batch.
     fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor;
+
+    /// Attaches a telemetry registry: subsequent forward passes record
+    /// wall time and counts under `vc.<family>.*`. Instrumentation never
+    /// touches the numeric path — logits stay bit-identical. The default
+    /// implementation ignores the registry.
+    fn instrument(&mut self, _registry: &Registry) {}
 
     /// Back-propagates the logit gradient, accumulating into parameters.
     fn backward(&mut self, grad: &Tensor);

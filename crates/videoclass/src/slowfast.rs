@@ -2,11 +2,12 @@
 
 use crate::model::{
     concat_channels, dims5, split_channels, temporal_subsample, temporal_upsample_grad,
-    VideoClassifier,
+    ForwardTelemetry, VideoClassifier,
 };
 use safecross_nn::{
     BatchNorm, Conv3d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Relu, Sequential,
 };
+use safecross_telemetry::Registry;
 use safecross_tensor::{Tensor, TensorRng};
 
 /// A miniature SlowFast network (Feichtenhofer et al., ICCV 2019),
@@ -43,6 +44,7 @@ pub struct SlowFastLite {
     head: Sequential,
     num_classes: usize,
     cache: Option<FwdCache>,
+    telemetry: Option<ForwardTelemetry>,
 }
 
 #[derive(Clone)]
@@ -109,6 +111,7 @@ impl SlowFastLite {
             head,
             num_classes,
             cache: None,
+            telemetry: None,
         }
     }
 
@@ -151,8 +154,13 @@ impl SlowFastLite {
 }
 
 impl VideoClassifier for SlowFastLite {
+    fn instrument(&mut self, registry: &Registry) {
+        self.telemetry = Some(ForwardTelemetry::new(registry, "slowfast"));
+    }
+
     fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
         let (_, c, t, _, _) = dims5(clips);
         assert_eq!(c, 1, "SlowFastLite expects single-channel occupancy clips");
         assert_eq!(t % self.alpha, 0, "T={t} must be divisible by alpha={}", self.alpha);

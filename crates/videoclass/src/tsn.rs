@@ -1,10 +1,11 @@
 //! The TSN-lite classifier.
 
-use crate::model::{dims5, VideoClassifier};
+use crate::model::{dims5, ForwardTelemetry, VideoClassifier};
 use safecross_nn::{
     BatchNorm, Conv2d, Dropout, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, Param, Relu,
     Sequential,
 };
+use safecross_telemetry::Registry;
 use safecross_tensor::{Tensor, TensorRng};
 
 /// A miniature Temporal Segment Network (Wang et al., ECCV 2016): the
@@ -21,6 +22,7 @@ pub struct TsnLite {
     backbone: Sequential,
     num_classes: usize,
     cache: Option<(usize, usize)>, // (batch, snippets)
+    telemetry: Option<ForwardTelemetry>,
 }
 
 /// Number of temporal segments (the paper's `tsn_r50_1x1x3` uses 3).
@@ -50,6 +52,7 @@ impl TsnLite {
             backbone,
             num_classes,
             cache: None,
+            telemetry: None,
         }
     }
 
@@ -80,8 +83,13 @@ impl TsnLite {
 }
 
 impl VideoClassifier for TsnLite {
+    fn instrument(&mut self, registry: &Registry) {
+        self.telemetry = Some(ForwardTelemetry::new(registry, "tsn"));
+    }
+
     fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
         let (n, c, t, _, _) = dims5(clips);
         assert_eq!(c, 1, "TsnLite expects single-channel clips");
         assert!(t >= SNIPPETS, "need at least {SNIPPETS} frames");

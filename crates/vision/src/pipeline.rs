@@ -7,6 +7,7 @@
 
 use crate::{opening, BackgroundSubtractor, BinaryFrame, GrayFrame};
 use safecross_tensor::Tensor;
+use safecross_telemetry::{Counter, Histogram, Registry};
 use std::collections::VecDeque;
 
 /// Configuration of the VP pipeline.
@@ -102,6 +103,17 @@ pub struct Preprocessor {
     bgs: BackgroundSubtractor,
     mapper: GridMapper,
     config: PreprocessConfig,
+    telemetry: Option<VpTelemetry>,
+}
+
+/// Pre-fetched telemetry handles so the per-frame hot path never takes
+/// the registry lock.
+#[derive(Debug, Clone)]
+struct VpTelemetry {
+    frames: Counter,
+    bgs_ms: Histogram,
+    morph_ms: Histogram,
+    remap_ms: Histogram,
 }
 
 impl Preprocessor {
@@ -111,7 +123,22 @@ impl Preprocessor {
             bgs: BackgroundSubtractor::new(width, height, config.bgs_alpha, config.bgs_threshold),
             mapper: GridMapper::new(config.grid_width, config.grid_height),
             config,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry: every subsequent frame records
+    /// per-stage wall time into the `vp.bgs_ms` / `vp.morph_ms` /
+    /// `vp.remap_ms` histograms and counts into `vp.frames`. Timing
+    /// never changes the pixel path, so instrumented and uninstrumented
+    /// runs produce bit-identical grids.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.telemetry = Some(VpTelemetry {
+            frames: registry.counter("vp.frames"),
+            bgs_ms: registry.histogram("vp.bgs_ms"),
+            morph_ms: registry.histogram("vp.morph_ms"),
+            remap_ms: registry.histogram("vp.remap_ms"),
+        });
     }
 
     /// Runs the full pipeline on one frame, returning the occupancy grid.
@@ -122,10 +149,23 @@ impl Preprocessor {
     /// Runs the pipeline, exposing every intermediate stage (the paper's
     /// Fig. 3): raw foreground mask, opened mask, occupancy grid.
     pub fn stages(&mut self, frame: &GrayFrame) -> (BinaryFrame, BinaryFrame, Tensor) {
-        let raw = self.bgs.apply(frame);
-        let opened = opening(&raw, self.config.morph_radius);
-        let grid = self.mapper.map(&opened);
-        (raw, opened, grid)
+        match self.telemetry.clone() {
+            None => {
+                let raw = self.bgs.apply(frame);
+                let opened = opening(&raw, self.config.morph_radius);
+                let grid = self.mapper.map(&opened);
+                (raw, opened, grid)
+            }
+            Some(tel) => {
+                tel.frames.inc();
+                let raw = tel.bgs_ms.time(|| self.bgs.apply(frame));
+                let opened = tel
+                    .morph_ms
+                    .time(|| opening(&raw, self.config.morph_radius));
+                let grid = tel.remap_ms.time(|| self.mapper.map(&opened));
+                (raw, opened, grid)
+            }
+        }
     }
 
     /// The pipeline configuration.
@@ -289,6 +329,23 @@ mod tests {
         assert_send_sync::<Preprocessor>();
         assert_send_sync::<SegmentBuffer>();
         assert_send_sync::<GridMapper>();
+    }
+
+    #[test]
+    fn instrumented_preprocessor_is_bit_identical_to_plain() {
+        let registry = Registry::new();
+        let mut plain = Preprocessor::new(40, 40, PreprocessConfig::default());
+        let mut timed = Preprocessor::new(40, 40, PreprocessConfig::default());
+        timed.instrument(&registry);
+        for i in 0..12u8 {
+            let frame = GrayFrame::filled(40, 40, 80 + i * 3);
+            assert_eq!(plain.process(&frame), timed.process(&frame), "frame {i}");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("vp.frames"), Some(12));
+        for stage in ["vp.bgs_ms", "vp.morph_ms", "vp.remap_ms"] {
+            assert_eq!(snap.histogram(stage).map(|h| h.count), Some(12), "{stage}");
+        }
     }
 
     #[test]

@@ -20,7 +20,11 @@ use std::time::Instant;
 
 fn system() -> SafeCross {
     let mut rng = TensorRng::seed_from(0);
-    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    let config = SafeCrossConfig::builder()
+        .telemetry(true)
+        .build()
+        .expect("valid configuration");
+    let mut sc = SafeCross::new(config);
     for weather in Weather::ALL {
         sc.register_model(weather, SlowFastLite::new(2, &mut rng));
     }
@@ -68,14 +72,20 @@ fn main() {
         "verdicts and switch log bit-identical to sequential: {}",
         if identical { "yes" } else { "NO — bug!" }
     );
-    let switches: Vec<_> = run
-        .outcomes
-        .iter()
-        .filter_map(|o| o.scene_switch.as_ref())
-        .collect();
-    for (scene, report) in &switches {
-        println!("model switch -> {scene} ({:.2} ms pipelined swap)", report.switch_overhead_ms);
+    for record in pipelined.switch_log() {
+        println!(
+            "model switch -> {} at frame {} ({:.2} ms: {:.2} transmit / {:.2} compute)",
+            record.model,
+            record.frame,
+            record.latency_ms,
+            record.breakdown.transmit_ms,
+            record.breakdown.compute_ms
+        );
     }
+
+    // Everything the instrumented run recorded, in one snapshot.
+    println!("\n--- telemetry snapshot (pipelined run) ---");
+    println!("{}", pipelined.telemetry().snapshot());
 
     // Data-parallel batch classification.
     println!("\n--- batch classification scaling (24 clips) ---");
@@ -92,7 +102,9 @@ fn main() {
     let mut reference = None;
     for workers in [1usize, 2, 4, 8] {
         let t = Instant::now();
-        let verdicts = sc.classify_clips_parallel(&jobs, workers);
+        let verdicts = sc
+            .classify_clips_parallel(&jobs, workers)
+            .expect("all scenes have models");
         let wall = t.elapsed();
         let same = match &reference {
             None => {

@@ -90,7 +90,9 @@ fn main() {
         if !seg.label.blind_area || shown >= 4 {
             continue;
         }
-        let verdict = system.classify_clip(&seg.clip, seg.weather);
+        let verdict = system
+            .classify_clip(&seg.clip, seg.weather)
+            .expect("daytime model is registered");
         println!(
             "blind-zone segment {i}: truth={} verdict={} (confidence {:.2}) {}",
             seg.label.class,
@@ -103,7 +105,11 @@ fn main() {
     let correct = (0..data.len())
         .filter(|&i| {
             let seg = data.get(i);
-            system.classify_clip(&seg.clip, seg.weather).class == seg.label.class
+            system
+                .classify_clip(&seg.clip, seg.weather)
+                .expect("daytime model is registered")
+                .class
+                == seg.label.class
         })
         .count();
     println!(

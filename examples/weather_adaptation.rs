@@ -91,5 +91,11 @@ fn main() {
         }
     }
     println!("\nactive scene at the end: {}", system.current_scene());
-    println!("switch log: {:?}", system.switch_log());
+    println!("switch log:");
+    for record in system.switch_log() {
+        println!(
+            "  frame {:>4}: -> {} ({:.2} ms, {:.2} ms transmit)",
+            record.frame, record.model, record.latency_ms, record.breakdown.transmit_ms
+        );
+    }
 }

@@ -95,7 +95,11 @@ fn trained_model_generalises_to_fresh_segments() {
     let correct = (0..fresh.len())
         .filter(|&i| {
             let seg = fresh.get(i);
-            system.classify_clip(&seg.clip, seg.weather).class == seg.label.class
+            system
+                .classify_clip(&seg.clip, seg.weather)
+                .expect("daytime model is registered")
+                .class
+                == seg.label.class
         })
         .count();
     assert!(

@@ -14,13 +14,21 @@ use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather}
 use safecross_videoclass::SlowFastLite;
 use safecross_vision::GrayFrame;
 
-fn system() -> SafeCross {
+fn system_with_telemetry(telemetry: bool) -> SafeCross {
     let mut rng = TensorRng::seed_from(0);
-    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    let config = SafeCrossConfig::builder()
+        .telemetry(telemetry)
+        .build()
+        .expect("valid configuration");
+    let mut sc = SafeCross::new(config);
     for w in Weather::ALL {
         sc.register_model(w, SlowFastLite::new(2, &mut rng));
     }
     sc
+}
+
+fn system() -> SafeCross {
+    system_with_telemetry(false)
 }
 
 /// Renders `frames` frames of one weather's footage.
@@ -105,6 +113,65 @@ fn equivalence_is_capacity_independent() {
     for capacity in [1, 2, 32] {
         assert_equivalent(&frames, capacity);
     }
+}
+
+#[test]
+fn instrumentation_does_not_perturb_outcomes() {
+    // The bit-identity guarantee must survive live telemetry: a fully
+    // instrumented pipelined run against an uninstrumented sequential
+    // loop, and vice versa, all four combinations agreeing.
+    let frames = stream(&[(Weather::Daytime, 36), (Weather::Snow, 36)]);
+
+    let mut plain_seq = system_with_telemetry(false);
+    let expected: Vec<FrameOutcome> = frames
+        .iter()
+        .map(|f| plain_seq.process_frame(f))
+        .collect();
+
+    let mut timed_seq = system_with_telemetry(true);
+    let timed_outcomes: Vec<FrameOutcome> = frames
+        .iter()
+        .map(|f| timed_seq.process_frame(f))
+        .collect();
+    assert_eq!(timed_outcomes, expected, "sequential diverged under telemetry");
+
+    let mut timed_pipe = system_with_telemetry(true);
+    let run = timed_pipe.run_pipelined(frames.to_vec(), &PipelineConfig::default());
+    assert_eq!(run.outcomes, expected, "pipelined diverged under telemetry");
+    assert_eq!(timed_pipe.verdicts(), plain_seq.verdicts());
+    assert_eq!(timed_pipe.switch_log(), plain_seq.switch_log());
+
+    // And the instrumentation actually recorded the run: both modes
+    // counted every frame through every stage.
+    for sc in [&timed_seq, &timed_pipe] {
+        let snap = sc.telemetry().snapshot();
+        assert_eq!(snap.counter("stage.scene.frames"), Some(72));
+        assert_eq!(snap.counter("vp.frames"), Some(72));
+        assert_eq!(
+            snap.histogram("stage.classify.step_ms").map(|h| h.count),
+            Some(72)
+        );
+        // One initial daytime switch plus the mid-stream snow switch.
+        assert_eq!(snap.counter("ms.switches"), Some(2));
+    }
+}
+
+#[test]
+fn switch_log_frames_match_across_modes() {
+    // The frame a switch is attributed to comes from the scene stage's
+    // own counter, so it is deterministic and mode-independent.
+    let frames = stream(&[(Weather::Daytime, 30), (Weather::Rain, 30)]);
+    let mut seq = system();
+    for f in &frames {
+        seq.process_frame(f);
+    }
+    let mut pipe = system();
+    pipe.run_pipelined(frames, &PipelineConfig::default());
+    let (a, b) = (seq.switch_log(), pipe.switch_log());
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 2);
+    assert_eq!(a[0].frame, 0, "initial registration switch is frame 0");
+    assert!(a[1].frame >= 30, "rain switch must land after the transition");
 }
 
 #[test]

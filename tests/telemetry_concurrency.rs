@@ -1,0 +1,98 @@
+//! Concurrency contract of the telemetry registry: handles are shared
+//! across threads without locks on the hot path, and no update is lost
+//! — counters, gauge extrema, histogram count/sum, and the bounded
+//! journal all reconcile exactly after a many-thread hammer.
+
+use safecross_telemetry::Registry;
+use std::thread;
+
+const THREADS: usize = 8;
+const OPS: usize = 2_000;
+
+#[test]
+fn hammered_registry_loses_nothing() {
+    let registry = Registry::with_journal_capacity(THREADS * OPS);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            s.spawn(move || {
+                // Half the threads fetch handles once (the documented hot
+                // path), the other half re-look-up every time, so the
+                // get-or-create path is hammered too.
+                if t % 2 == 0 {
+                    let counter = registry.counter("hammer.count");
+                    let hist = registry.histogram("hammer.ms");
+                    let gauge = registry.gauge("hammer.peak");
+                    for i in 0..OPS {
+                        counter.inc();
+                        hist.observe_ms(1.0);
+                        gauge.set_max((t * OPS + i) as f64);
+                    }
+                } else {
+                    for i in 0..OPS {
+                        registry.counter("hammer.count").inc();
+                        registry.histogram("hammer.ms").observe_ms(1.0);
+                        registry.gauge("hammer.peak").set_max((t * OPS + i) as f64);
+                        registry.event(
+                            "hammer",
+                            vec![("thread".to_owned(), (t as u64).into())],
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * OPS) as u64;
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hammer.count"), Some(total));
+
+    let hist = snap.histogram("hammer.ms").expect("histogram exists");
+    assert_eq!(hist.count, total, "lost histogram observations");
+    // The f64 CAS loop makes the sum exact: every observation was 1.0 ms.
+    assert!(
+        (hist.sum_ms - total as f64).abs() < 1e-6,
+        "lost histogram sum: {}",
+        hist.sum_ms
+    );
+    assert_eq!(hist.min_ms, 1.0);
+    assert_eq!(hist.max_ms, 1.0);
+
+    // set_max keeps the global maximum across all interleavings.
+    let expected_peak = (THREADS * OPS - 1) as f64;
+    assert_eq!(snap.gauge("hammer.peak"), Some(expected_peak));
+
+    // Journal: the odd threads each logged OPS events, none dropped at
+    // this capacity, and sequence numbers are unique.
+    let events = registry.events();
+    assert_eq!(events.len(), (THREADS / 2) * OPS);
+    assert_eq!(registry.events_dropped(), 0);
+    let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    seqs.dedup();
+    assert_eq!(seqs.len(), events.len(), "duplicate journal sequence numbers");
+}
+
+#[test]
+fn hammered_disabled_registry_stays_inert() {
+    let registry = Registry::disabled();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            s.spawn(move || {
+                let counter = registry.counter("idle.count");
+                let hist = registry.histogram("idle.ms");
+                for _ in 0..OPS {
+                    counter.inc();
+                    hist.observe_ms(5.0);
+                    let timer = hist.start_timer();
+                    drop(timer);
+                    registry.event("idle", vec![]);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("idle.count"), Some(0));
+    assert_eq!(snap.histogram("idle.ms").map(|h| h.count), Some(0));
+    assert!(snap.events.is_empty());
+}
