@@ -21,7 +21,7 @@ fn system(telemetry: bool) -> SafeCross {
         .telemetry(telemetry)
         .build()
         .expect("default-derived config is valid");
-    let mut sc = SafeCross::new(config);
+    let mut sc = SafeCross::try_new(config).expect("validated configuration");
     for weather in Weather::ALL {
         sc.register_model(weather, SlowFastLite::new(2, &mut rng));
     }

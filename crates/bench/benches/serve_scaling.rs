@@ -1,0 +1,216 @@
+//! Serving-layer scaling: aggregate fleet throughput as streams and
+//! inference workers sweep, plus one deliberate overload run to price
+//! load shedding.
+//!
+//! Besides the printed table, the sweep is written to
+//! `BENCH_serve.json` at the workspace root — one record per
+//! configuration with streams, workers, aggregate fps, shed rate, and
+//! p99 frame age — so the serving perf trajectory is machine-trackable
+//! across commits. Worker scaling is only visible when the host
+//! actually has cores to scale onto; the JSON records the host's
+//! available parallelism for that reason.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safecross::SafeCrossConfig;
+use safecross_serve::{paced_feed, FleetReport, FleetServer, ServeConfig};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+const FRAMES_PER_STREAM: usize = 64;
+const MAX_STREAMS: usize = 8;
+
+fn shared_models() -> Vec<(Weather, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(0);
+    Weather::ALL
+        .iter()
+        .map(|&w| (w, SlowFastLite::new(2, &mut rng)))
+        .collect()
+}
+
+/// One daytime clip per stream, rendered once and reused across every
+/// configuration so all sweeps classify identical footage.
+fn stream_clips() -> Vec<Vec<GrayFrame>> {
+    (0..MAX_STREAMS)
+        .map(|i| {
+            let seed = i as u64 + 1;
+            let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.2), seed);
+            let mut renderer = Renderer::new(RenderConfig::default(), Weather::Daytime, seed);
+            (0..FRAMES_PER_STREAM)
+                .map(|_| {
+                    sim.step(1.0 / 30.0);
+                    renderer.render(&sim)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn build_fleet(config: ServeConfig, models: &[(Weather, SlowFastLite)], streams: usize) -> FleetServer {
+    let mut fleet = FleetServer::new(config).expect("bench serve config is valid");
+    for (w, m) in models {
+        fleet
+            .register_model(*w, m.clone())
+            .expect("models registered before streams");
+    }
+    for _ in 0..streams {
+        fleet.add_stream().expect("models are registered");
+    }
+    fleet
+}
+
+/// Runs one configuration to completion, flooding each stream's whole
+/// clip at once, and returns the fleet report.
+fn run_once(
+    config: ServeConfig,
+    models: &[(Weather, SlowFastLite)],
+    clips: &[Vec<GrayFrame>],
+    streams: usize,
+) -> FleetReport {
+    let mut fleet = build_fleet(config, models, streams);
+    fleet
+        .run(
+            clips[..streams]
+                .iter()
+                .map(|frames| paced_feed(frames.clone(), Duration::ZERO))
+                .collect(),
+        )
+        .expect("bench run succeeds")
+}
+
+struct SweepRecord {
+    mode: &'static str,
+    streams: usize,
+    workers: usize,
+    report: FleetReport,
+}
+
+impl SweepRecord {
+    fn shed_rate(&self) -> f64 {
+        let fed: u64 = self.report.streams.iter().map(|s| s.stats.fed).sum();
+        if fed == 0 {
+            0.0
+        } else {
+            self.report.shed as f64 / fed as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "  {{\"mode\": \"{}\", \"streams\": {}, \"workers\": {}, \
+             \"aggregate_fps\": {:.2}, \"shed_rate\": {:.4}, \
+             \"p99_frame_age_ms\": {:.3}, \"mean_batch\": {:.2}, \
+             \"completed\": {}, \"shed\": {}}}",
+            self.mode,
+            self.streams,
+            self.workers,
+            self.report.aggregate_fps,
+            self.shed_rate(),
+            self.report.frame_age.p99_ms,
+            self.report.mean_batch,
+            self.report.completed,
+            self.report.shed,
+        )
+    }
+}
+
+fn write_bench_json(records: &[SweepRecord]) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let rows: Vec<String> = records.iter().map(SweepRecord::json).collect();
+    let json = format!(
+        "{{\n\"bench\": \"serve_scaling\",\n\"host_parallelism\": {},\n\
+         \"frames_per_stream\": {},\n\"runs\": [\n{}\n]\n}}\n",
+        cores,
+        FRAMES_PER_STREAM,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n[serve_scaling] wrote {path}"),
+        Err(e) => println!("\n[serve_scaling] could not write {path}: {e}"),
+    }
+}
+
+fn serve_scaling(c: &mut Criterion) {
+    let models = shared_models();
+    let clips = stream_clips();
+
+    let lossless = |workers: usize| {
+        ServeConfig::builder()
+            .workers(workers)
+            .shedding(false)
+            .stream(SafeCrossConfig::default())
+            .build()
+            .expect("valid serve config")
+    };
+
+    // The sweep: fixed work per stream, shedding off, so aggregate fps
+    // is directly comparable across rows.
+    let mut records = Vec::new();
+    println!("\n=== serve_scaling sweep (lossless, {FRAMES_PER_STREAM} frames/stream) ===");
+    println!("{:>8} {:>8} {:>14} {:>10} {:>14}", "streams", "workers", "aggregate fps", "shed rate", "p99 age ms");
+    for &streams in &[2usize, 8] {
+        for &workers in &[1usize, 2, 4] {
+            let report = run_once(lossless(workers), &models, &clips, streams);
+            let rec = SweepRecord {
+                mode: "lossless",
+                streams,
+                workers,
+                report,
+            };
+            println!(
+                "{:>8} {:>8} {:>14.1} {:>10.4} {:>14.3}",
+                streams,
+                workers,
+                rec.report.aggregate_fps,
+                rec.shed_rate(),
+                rec.report.frame_age.p99_ms
+            );
+            records.push(rec);
+        }
+    }
+
+    // One overload row: tight queues and a frame-age deadline, so the
+    // shed-rate and frame-age fields exercise the admission layer.
+    let overload = ServeConfig::builder()
+        .workers(2)
+        .queue_capacity(8)
+        .frame_deadline(Some(Duration::from_millis(250)))
+        .build()
+        .expect("valid serve config");
+    let report = run_once(overload, &models, &clips, MAX_STREAMS);
+    let rec = SweepRecord {
+        mode: "overload",
+        streams: MAX_STREAMS,
+        workers: 2,
+        report,
+    };
+    println!(
+        "{:>8} {:>8} {:>14.1} {:>10.4} {:>14.3}   (overload: capacity 8, deadline 250ms)",
+        rec.streams,
+        rec.workers,
+        rec.report.aggregate_fps,
+        rec.shed_rate(),
+        rec.report.frame_age.p99_ms
+    );
+    println!("\n{}", rec.report);
+    records.push(rec);
+
+    write_bench_json(&records);
+
+    // Criterion samples of the headline configuration, one per worker
+    // count, so regressions show in the regular bench output too.
+    let mut group = c.benchmark_group("serve_8streams");
+    group.sample_size(3);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| run_once(lossless(workers), &models, &clips, MAX_STREAMS).completed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_scaling);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ fn table7(c: &mut Criterion) {
     println!("{snapshot}");
 
     // End-to-end verdict latency.
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     for (weather, model) in &scene.models {
         system.register_model(*weather, model.clone());
     }

@@ -284,8 +284,25 @@ impl ModelSwitcher {
     }
 
     /// Every switch performed so far, oldest first.
+    ///
+    /// This clones the whole log; prefer
+    /// [`ModelSwitcher::with_switch_log`] when a borrowed view is
+    /// enough (iteration, length checks, comparisons).
     pub fn switch_log(&self) -> Vec<SwitchRecord> {
-        self.inner.lock().expect("switcher mutex poisoned").switch_log.clone()
+        self.with_switch_log(|log| log.to_vec())
+    }
+
+    /// Runs `f` over a borrowed view of the switch log, oldest first,
+    /// without cloning any record. The switcher's lock is held for the
+    /// duration of `f`, so keep the closure short and do not call back
+    /// into the switcher from inside it.
+    pub fn with_switch_log<R>(&self, f: impl FnOnce(&[SwitchRecord]) -> R) -> R {
+        f(&self.inner.lock().expect("switcher mutex poisoned").switch_log)
+    }
+
+    /// How many switches have completed, without cloning the log.
+    pub fn switch_count(&self) -> usize {
+        self.with_switch_log(|log| log.len())
     }
 }
 

@@ -507,7 +507,7 @@ fn system_with(models: &HashMap<Weather, SlowFastLite>, telemetry: bool) -> Safe
         .telemetry(telemetry)
         .build()
         .expect("default experiment configuration is valid");
-    let mut system = SafeCross::new(config);
+    let mut system = SafeCross::try_new(config).expect("validated configuration");
     // Sorted registration keeps the switch log and fallback order stable
     // regardless of HashMap iteration order.
     let mut entries: Vec<_> = models.iter().collect();

@@ -196,6 +196,27 @@ pub struct FrameOutcome {
     pub scene_switch: Option<(Weather, SwitchReport)>,
 }
 
+/// The output of the pre-classification half of the frame path
+/// ([`SafeCross::prepare_frame`]): everything scene detection and VP
+/// produced for one frame, ready for classification.
+///
+/// A serving layer can run many sessions' `prepare_frame` calls locally
+/// and funnel the clips into shared, batched inference, then hand each
+/// raw verdict back through [`SafeCross::complete_frame`]. Driving the
+/// two halves back-to-back with the session's own models is exactly
+/// [`SafeCross::process_frame`].
+#[derive(Debug, Clone)]
+pub struct FramePrep {
+    /// A model switch triggered by this frame's scene vote.
+    pub scene_switch: Option<(Weather, SwitchReport)>,
+    /// The scene whose model should classify this frame (the detected
+    /// scene, the daytime fallback, or the first registered scene).
+    pub effective: Option<Weather>,
+    /// The assembled `[1, T, H, W]` clip, once the segment buffer is
+    /// full.
+    pub clip: Option<Tensor>,
+}
+
 /// Stage 1: scene detection and model switching.
 ///
 /// Owns the voting-window detector and the MS runtime. Sequential per
@@ -327,11 +348,24 @@ impl ClassifyStage {
     /// Classifies a clip with the model for `scene`, gating on the
     /// configured minimum confidence.
     pub(crate) fn step(&mut self, clip: Option<Tensor>, scene: Option<Weather>) -> Option<Verdict> {
+        let raw = self.classify(clip.as_ref(), scene);
+        self.accept(raw)
+    }
+
+    /// The lookup-and-forward half: classifies a clip with this
+    /// session's own model for `scene`, without confidence gating.
+    fn classify(&mut self, clip: Option<&Tensor>, scene: Option<Weather>) -> Option<Verdict> {
         let _t = self.step_ms.start_timer();
         let clip = clip?;
         let weather = scene?;
         let model = self.models.get_mut(&weather)?;
-        let verdict = classify_with(model, &clip, weather);
+        Some(classify_with_model(model, clip, weather))
+    }
+
+    /// The gating half: applies the minimum-confidence threshold to a
+    /// raw verdict (however it was computed) and counts accepted ones.
+    pub(crate) fn accept(&mut self, raw: Option<Verdict>) -> Option<Verdict> {
+        let verdict = raw?;
         if verdict.confidence < self.min_confidence {
             return None;
         }
@@ -341,9 +375,12 @@ impl ClassifyStage {
 }
 
 /// The shared classification kernel: every verdict in the system —
-/// sequential, pipelined, or batch-parallel — goes through this one
-/// function, so the numeric path is identical everywhere.
-pub(crate) fn classify_with(model: &mut SlowFastLite, clip: &Tensor, weather: Weather) -> Verdict {
+/// sequential, pipelined, batch-parallel, or served — goes through this
+/// one function, so the numeric path is identical everywhere. The
+/// verdict is **not** confidence-gated; feed it through
+/// [`SafeCross::complete_frame`] (or compare against
+/// [`SafeCrossConfig::min_confidence`]) for that.
+pub fn classify_with_model(model: &mut SlowFastLite, clip: &Tensor, weather: Weather) -> Verdict {
     let dims = clip.dims().to_vec();
     let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
     let logits = model.forward(&batch, Mode::Eval);
@@ -376,6 +413,11 @@ impl SafeCross {
     ///
     /// Panics if the configuration is invalid; use
     /// [`SafeCross::try_new`] to handle that as a value.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on invalid configurations; migrate to `SafeCross::try_new`, \
+                which returns the violated invariant as a `ConfigError` value"
+    )]
     pub fn new(config: SafeCrossConfig) -> Self {
         match SafeCross::try_new(config) {
             Ok(system) => system,
@@ -412,6 +454,26 @@ impl SafeCross {
     /// Registers the classifier for one weather scene (the FL module's
     /// output). The first registered model becomes active.
     pub fn register_model(&mut self, weather: Weather, mut model: SlowFastLite) {
+        self.register_scene(weather, &model);
+        model.instrument(&self.registry);
+        self.classify_stage.models.insert(weather, model);
+    }
+
+    /// Registers a weather scene for detection and model switching
+    /// *without* storing a local copy of the classifier — `model` is
+    /// only measured to build the switcher's transfer descriptor.
+    ///
+    /// This is the serving-layer entry point: a fleet front keeps one
+    /// shared copy of each scene model and runs classification
+    /// centrally (see `safecross-serve`), while every session still
+    /// owns its scene detector and switcher so its switch log is
+    /// bit-identical to a standalone run that called
+    /// [`SafeCross::register_model`] with the same models. A session
+    /// set up this way never classifies locally:
+    /// [`SafeCross::process_frame`] yields no verdicts; pair
+    /// [`SafeCross::prepare_frame`] with external classification and
+    /// [`SafeCross::complete_frame`] instead.
+    pub fn register_scene(&mut self, weather: Weather, model: &SlowFastLite) {
         let desc = ModelDesc::from_state_sizes(
             weather.label(),
             &model
@@ -422,7 +484,7 @@ impl SafeCross {
             36.0e9,
         );
         self.scene_stage.switcher.register(weather.label(), desc);
-        if self.classify_stage.models.is_empty() {
+        if self.scene_stage.registered.is_empty() {
             self.scene_stage
                 .switcher
                 .switch_to(weather.label())
@@ -431,8 +493,6 @@ impl SafeCross {
         if !self.scene_stage.registered.contains(&weather) {
             self.scene_stage.registered.push(weather);
         }
-        model.instrument(&self.registry);
-        self.classify_stage.models.insert(weather, model);
     }
 
     /// The telemetry registry the frame path records into. Disabled (all
@@ -471,24 +531,68 @@ impl SafeCross {
 
     /// Every model swap performed so far, oldest first, with the frame
     /// index it was attributed to and the per-phase latency breakdown.
+    ///
+    /// This clones the whole log; prefer
+    /// [`SafeCross::with_switch_log`] when a borrowed view is enough.
     pub fn switch_log(&self) -> Vec<SwitchRecord> {
         self.scene_stage.switcher.switch_log()
+    }
+
+    /// Runs `f` over a borrowed view of the switch log, oldest first,
+    /// without cloning any record.
+    pub fn with_switch_log<R>(&self, f: impl FnOnce(&[SwitchRecord]) -> R) -> R {
+        self.scene_stage.switcher.with_switch_log(f)
+    }
+
+    /// How many model swaps have completed, without cloning the log.
+    pub fn switch_count(&self) -> usize {
+        self.scene_stage.switcher.switch_count()
     }
 
     /// Consumes one camera frame: scene detection (and model switch if
     /// the scene flipped), VP, and — once a full segment is buffered — a
     /// VC verdict.
     pub fn process_frame(&mut self, frame: &GrayFrame) -> FrameOutcome {
+        let prep = self.prepare_frame(frame);
+        let raw = self
+            .classify_stage
+            .classify(prep.clip.as_ref(), prep.effective);
+        self.complete_frame(prep, raw)
+    }
+
+    /// Runs the pre-classification half of the frame path: scene
+    /// detection (and model switch if the scene flipped) plus VP and
+    /// segment assembly. The caller owns classification: compute a raw
+    /// verdict for [`FramePrep::clip`] — with
+    /// [`classify_with_model`] against any model replica for
+    /// [`FramePrep::effective`] — and hand it to
+    /// [`SafeCross::complete_frame`]. `prepare_frame` /
+    /// `complete_frame` pairs executed in feed order are bit-identical
+    /// to [`SafeCross::process_frame`] on the same frames.
+    pub fn prepare_frame(&mut self, frame: &GrayFrame) -> FramePrep {
         self.frames_seen += 1;
         let (scene_switch, effective) = self.scene_stage.step(frame);
         let clip = self.vp_stage.step(frame);
-        let verdict = self.classify_stage.step(clip, effective);
+        FramePrep {
+            scene_switch,
+            effective,
+            clip,
+        }
+    }
+
+    /// Completes a prepared frame with an externally-computed raw
+    /// verdict: applies the configured minimum-confidence gate, records
+    /// the verdict, and assembles the [`FrameOutcome`]. Pass `None`
+    /// when the frame produced no clip or no model exists for its
+    /// effective scene.
+    pub fn complete_frame(&mut self, prep: FramePrep, raw: Option<Verdict>) -> FrameOutcome {
+        let verdict = self.classify_stage.accept(raw);
         if let Some(v) = verdict {
             self.verdicts.push(v);
         }
         FrameOutcome {
             verdict,
-            scene_switch,
+            scene_switch: prep.scene_switch,
         }
     }
 
@@ -507,7 +611,7 @@ impl SafeCross {
             .models
             .get_mut(&weather)
             .ok_or(SafeCrossError::NoModel { weather, registered })?;
-        Ok(classify_with(model, clip, weather))
+        Ok(classify_with_model(model, clip, weather))
     }
 }
 
@@ -532,7 +636,7 @@ mod tests {
 
     fn system_with_models() -> SafeCross {
         let mut rng = TensorRng::seed_from(0);
-        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         sc.register_model(Weather::Snow, SlowFastLite::new(2, &mut rng));
         sc.register_model(Weather::Rain, SlowFastLite::new(2, &mut rng));
@@ -594,7 +698,7 @@ mod tests {
     #[test]
     fn fallback_to_daytime_model() {
         let mut rng = TensorRng::seed_from(1);
-        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         // Snow frames but no snow model: the daytime model still answers.
         let bright = GrayFrame::filled(320, 240, 150);
@@ -608,7 +712,7 @@ mod tests {
     #[test]
     fn fallback_to_first_registered_model() {
         let mut rng = TensorRng::seed_from(2);
-        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
         // Only a rain model exists; daytime frames must still classify
         // with it (deterministic first-registered fallback).
         sc.register_model(Weather::Rain, SlowFastLite::new(2, &mut rng));
@@ -623,7 +727,7 @@ mod tests {
     #[test]
     fn classify_without_model_is_a_typed_error() {
         let mut rng = TensorRng::seed_from(3);
-        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         let err = sc
             .classify_clip(&Tensor::zeros(&[1, 32, 20, 20]), Weather::Rain)
@@ -675,6 +779,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid SafeCross configuration")]
     fn new_panics_on_bad_config() {
+        // The deprecated constructor keeps its panicking contract until
+        // it is removed.
+        #[allow(deprecated)]
         SafeCross::new(SafeCrossConfig {
             scene_window: 0,
             ..SafeCrossConfig::default()
@@ -688,7 +795,7 @@ mod tests {
             .telemetry(true)
             .build()
             .unwrap();
-        let mut sc = SafeCross::new(config);
+        let mut sc = SafeCross::try_new(config).expect("validated configuration");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         let frame = GrayFrame::filled(320, 240, 90);
         for _ in 0..32 {
@@ -728,10 +835,11 @@ mod tests {
     #[test]
     fn min_confidence_gates_verdicts() {
         let mut rng = TensorRng::seed_from(9);
-        let mut sc = SafeCross::new(SafeCrossConfig {
+        let mut sc = SafeCross::try_new(SafeCrossConfig {
             min_confidence: 0.999, // an untrained model never reaches this
             ..SafeCrossConfig::default()
-        });
+        })
+        .expect("validated configuration");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         let frame = GrayFrame::filled(320, 240, 90);
         for _ in 0..35 {

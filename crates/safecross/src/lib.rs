@@ -31,7 +31,7 @@
 //! use safecross_vision::GrayFrame;
 //!
 //! let mut rng = TensorRng::seed_from(0);
-//! let mut system = SafeCross::new(SafeCrossConfig::default());
+//! let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("valid config");
 //! system.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
 //! let outcome = system.process_frame(&GrayFrame::filled(320, 240, 90));
 //! assert!(outcome.verdict.is_none()); // needs a full 32-frame buffer
@@ -52,7 +52,8 @@ mod proptests;
 
 pub use errors::{ConfigError, SafeCrossError};
 pub use framework::{
-    FrameOutcome, SafeCross, SafeCrossConfig, SafeCrossConfigBuilder, Verdict,
+    classify_with_model, FrameOutcome, FramePrep, SafeCross, SafeCrossConfig,
+    SafeCrossConfigBuilder, Verdict,
 };
 pub use pipeline::{PipelineConfig, PipelineRun, PipelineStats, StageStats};
 pub use scene::{SceneDetector, SceneFeatures};

@@ -30,7 +30,7 @@
 //! parallelism, complementary to the latency-oriented staged pipeline.
 
 use crate::errors::SafeCrossError;
-use crate::framework::{classify_with, FrameOutcome, SafeCross, Verdict};
+use crate::framework::{classify_with_model, FrameOutcome, SafeCross, Verdict};
 use safecross_modelswitch::SwitchReport;
 use safecross_tensor::Tensor;
 use safecross_trafficsim::Weather;
@@ -460,7 +460,7 @@ impl SafeCross {
                                 let model = local
                                     .entry(*weather)
                                     .or_insert_with(|| models[weather].clone());
-                                classify_with(model, clip, *weather)
+                                classify_with_model(model, clip, *weather)
                             })
                             .collect::<Vec<Verdict>>()
                     })
@@ -482,7 +482,7 @@ mod tests {
 
     fn system() -> SafeCross {
         let mut rng = TensorRng::seed_from(0);
-        let mut sc = SafeCross::new(SafeCrossConfig::default());
+        let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         sc
     }
@@ -568,7 +568,7 @@ mod tests {
             .telemetry(true)
             .build()
             .unwrap();
-        let mut sc = SafeCross::new(config);
+        let mut sc = SafeCross::try_new(config).expect("validated configuration");
         sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
         let run = sc.run_pipelined(frames(35), &PipelineConfig::default());
         assert_eq!(run.stats.frames, 35);

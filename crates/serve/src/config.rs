@@ -1,0 +1,289 @@
+//! Serving-layer configuration.
+
+use safecross::{ConfigError, SafeCrossConfig};
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration of a [`FleetServer`](crate::FleetServer).
+///
+/// Construct via [`ServeConfig::builder`] for build-time validation, or
+/// fill the fields directly and let
+/// [`FleetServer::new`](crate::FleetServer::new) validate.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Inference worker threads shared by every stream.
+    pub workers: usize,
+    /// Maximum clips per micro-batch; a batch is dispatched as soon as
+    /// it reaches this size.
+    pub batch_max: usize,
+    /// How long an under-full batch may wait for compatible clips
+    /// before it is dispatched anyway.
+    pub batch_linger: Duration,
+    /// Bound of each stream's admission queue. With shedding enabled,
+    /// admitting a frame to a full queue drops that queue's *oldest*
+    /// frame (freshest-data-wins for a real-time feed).
+    pub queue_capacity: usize,
+    /// Maximum age a queued frame may reach before the scheduler sheds
+    /// it instead of processing it. `None` disables age shedding.
+    pub frame_deadline: Option<Duration>,
+    /// Master switch for load shedding. When `false` the admission
+    /// queues grow without bound and no frame is ever dropped — the
+    /// lossless mode the equivalence tests run in.
+    pub shedding: bool,
+    /// Two-level priority scheduling: streams with a recent danger
+    /// verdict or model switch are serviced ahead of idle ones. When
+    /// `false` every stream is scheduled round-robin.
+    pub priority: bool,
+    /// How many further frames a stream stays high-priority after the
+    /// danger verdict or switch that promoted it.
+    pub priority_hold: u64,
+    /// Per-stream session template (frame geometry, VP settings,
+    /// segment length, confidence gate).
+    pub stream: SafeCrossConfig,
+    /// Whether the fleet's telemetry registry records anything.
+    pub telemetry: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            batch_linger: Duration::from_millis(2),
+            queue_capacity: 32,
+            frame_deadline: None,
+            shedding: true,
+            priority: true,
+            priority_hold: 32,
+            stream: SafeCrossConfig::default(),
+            telemetry: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Checks every invariant the serving layer relies on.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ServeError`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::NoWorkers);
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::EmptyBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::EmptyQueue);
+        }
+        self.stream.validate().map_err(ServeError::Stream)?;
+        Ok(())
+    }
+
+    /// How many clips may be in flight between the scheduler and the
+    /// worker pool before the scheduler pauses frame preparation —
+    /// the backpressure bound that turns a worker-pool stall into
+    /// queue growth (and, with shedding on, into drops) instead of
+    /// unbounded buffering inside the executor.
+    pub(crate) fn inflight_limit(&self) -> usize {
+        4 * self.workers * self.batch_max
+    }
+}
+
+/// Fluent, validating constructor for [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Inference worker threads shared by every stream.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Maximum clips per micro-batch.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.config.batch_max = batch_max;
+        self
+    }
+
+    /// How long an under-full batch waits for compatible clips.
+    pub fn batch_linger(mut self, linger: Duration) -> Self {
+        self.config.batch_linger = linger;
+        self
+    }
+
+    /// Bound of each stream's admission queue.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum queued age before a frame is shed.
+    pub fn frame_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.frame_deadline = deadline;
+        self
+    }
+
+    /// Enables or disables load shedding.
+    pub fn shedding(mut self, shedding: bool) -> Self {
+        self.config.shedding = shedding;
+        self
+    }
+
+    /// Enables or disables two-level priority scheduling.
+    pub fn priority(mut self, priority: bool) -> Self {
+        self.config.priority = priority;
+        self
+    }
+
+    /// How many frames a stream stays high-priority after promotion.
+    pub fn priority_hold(mut self, frames: u64) -> Self {
+        self.config.priority_hold = frames;
+        self
+    }
+
+    /// Per-stream session template.
+    pub fn stream(mut self, stream: SafeCrossConfig) -> Self {
+        self.config.stream = stream;
+        self
+    }
+
+    /// Enables or disables the fleet telemetry registry.
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ServeError`].
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Everything that can go wrong constructing or driving a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The worker pool would be empty.
+    NoWorkers,
+    /// Micro-batches must hold at least one clip.
+    EmptyBatch,
+    /// Admission queues must hold at least one frame.
+    EmptyQueue,
+    /// The per-stream session template failed validation.
+    Stream(ConfigError),
+    /// A stream id that no [`add_stream`](crate::FleetServer::add_stream)
+    /// call returned.
+    UnknownStream {
+        /// The offending id.
+        stream: usize,
+        /// How many streams exist.
+        streams: usize,
+    },
+    /// Models must all be registered before the first stream is added,
+    /// so every session sees the same scene set in the same order.
+    ModelAfterStream,
+    /// A run was started with no registered models.
+    NoModels,
+    /// A run was started with no streams, or with a feed count that
+    /// does not match the stream count.
+    FeedMismatch {
+        /// Feeds handed to the run call.
+        feeds: usize,
+        /// Streams the fleet owns.
+        streams: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoWorkers => write!(f, "worker pool must have at least one thread"),
+            ServeError::EmptyBatch => write!(f, "batch_max must be at least 1"),
+            ServeError::EmptyQueue => write!(f, "queue_capacity must be at least 1"),
+            ServeError::Stream(e) => write!(f, "invalid per-stream configuration: {e}"),
+            ServeError::UnknownStream { stream, streams } => {
+                write!(f, "unknown stream id {stream} (fleet has {streams} streams)")
+            }
+            ServeError::ModelAfterStream => write!(
+                f,
+                "register every shared model before adding streams, so all sessions \
+                 see the same scene set"
+            ),
+            ServeError::NoModels => write!(f, "register at least one model before running"),
+            ServeError::FeedMismatch { feeds, streams } => {
+                write!(f, "got {feeds} feeds for {streams} streams")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(ServeConfig::builder().build().is_ok());
+        assert_eq!(
+            ServeConfig::builder().workers(0).build().unwrap_err(),
+            ServeError::NoWorkers
+        );
+        assert_eq!(
+            ServeConfig::builder().batch_max(0).build().unwrap_err(),
+            ServeError::EmptyBatch
+        );
+        assert_eq!(
+            ServeConfig::builder().queue_capacity(0).build().unwrap_err(),
+            ServeError::EmptyQueue
+        );
+        let bad_stream = SafeCrossConfig {
+            segment_frames: 0,
+            ..SafeCrossConfig::default()
+        };
+        assert!(matches!(
+            ServeConfig::builder().stream(bad_stream).build(),
+            Err(ServeError::Stream(_))
+        ));
+    }
+
+    #[test]
+    fn errors_render() {
+        let errors = [
+            ServeError::NoWorkers,
+            ServeError::EmptyBatch,
+            ServeError::EmptyQueue,
+            ServeError::UnknownStream { stream: 9, streams: 2 },
+            ServeError::ModelAfterStream,
+            ServeError::NoModels,
+            ServeError::FeedMismatch { feeds: 1, streams: 2 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

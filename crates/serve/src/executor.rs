@@ -1,0 +1,250 @@
+//! Shared batched inference.
+//!
+//! Classification clips from every stream funnel into one executor: a
+//! *batcher* groups compatible clips (same weather model) into
+//! micro-batches bounded by [`ServeConfig::batch_max`] and a linger
+//! deadline, and a pool of workers runs each micro-batch as **one**
+//! stacked forward pass through a clone of the shared scene model.
+//!
+//! The numeric contract: every layer the classifiers use (eval-mode
+//! batch norm, convolution, pooling, the linear head, row softmax)
+//! processes batch rows independently, so a clip's verdict is
+//! bit-identical whether it rides in a batch of 1 or 16 and regardless
+//! of which clips share its batch. `batched_forward_is_bit_identical`
+//! below pins that down, and the serve equivalence tests lean on it.
+
+use crate::config::ServeConfig;
+use crate::metrics::FleetMetrics;
+use safecross::{classify_with_model, Verdict};
+use safecross_dataset::Class;
+use safecross_tensor::Tensor;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::SlowFastLite;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One clip awaiting classification.
+pub(crate) struct ClipJob {
+    pub stream: usize,
+    pub seq: u64,
+    pub weather: Weather,
+    pub clip: Tensor,
+}
+
+/// A micro-batch of same-weather clips.
+pub(crate) struct Batch {
+    pub weather: Weather,
+    pub jobs: Vec<ClipJob>,
+}
+
+/// The raw (ungated) result for one dispatched clip.
+pub(crate) struct Completion {
+    pub stream: usize,
+    pub seq: u64,
+    pub raw: Option<Verdict>,
+}
+
+/// What the batcher counted over one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatcherStats {
+    pub batches: u64,
+    pub clips: u64,
+    pub max_batch: usize,
+}
+
+/// Classifies a micro-batch with one stacked `[K, 1, T, H, W]` forward
+/// pass, returning one raw verdict per job in job order.
+pub(crate) fn classify_batch(model: &mut SlowFastLite, batch: &Batch) -> Vec<Verdict> {
+    use safecross_nn::Mode;
+    use safecross_videoclass::VideoClassifier;
+
+    let k = batch.jobs.len();
+    debug_assert!(k > 0, "empty batch dispatched");
+    let clip_dims = batch.jobs[0].clip.dims().to_vec();
+    let stride = batch.jobs[0].clip.len();
+    let mut dims = vec![k];
+    dims.extend_from_slice(&clip_dims);
+    let mut stacked = Tensor::zeros(&dims);
+    for (i, job) in batch.jobs.iter().enumerate() {
+        debug_assert_eq!(job.clip.dims(), &clip_dims[..], "incompatible clip in batch");
+        stacked.data_mut()[i * stride..(i + 1) * stride].copy_from_slice(job.clip.data());
+    }
+    let logits = model.forward(&stacked, Mode::Eval);
+    let probs = logits.softmax_rows();
+    let classes = probs.argmax_rows();
+    (0..k)
+        .map(|i| Verdict {
+            class: Class::from_index(classes[i]),
+            confidence: probs.at(&[i, classes[i]]),
+            weather: batch.weather,
+        })
+        .collect()
+}
+
+/// The batcher loop: greedily groups incoming clips by weather and
+/// dispatches a group when it reaches `batch_max` clips or its oldest
+/// clip has lingered past the deadline. On feed disconnect every
+/// remaining group is flushed, so lossless runs classify every clip.
+pub(crate) fn run_batcher(
+    clip_rx: Receiver<ClipJob>,
+    batch_tx: Sender<Batch>,
+    config: &ServeConfig,
+    fleet: &FleetMetrics,
+) -> BatcherStats {
+    let mut pending: HashMap<Weather, (Vec<ClipJob>, Instant)> = HashMap::new();
+    let mut stats = BatcherStats::default();
+
+    let flush = |jobs: Vec<ClipJob>,
+                 weather: Weather,
+                 stats: &mut BatcherStats,
+                 batch_tx: &Sender<Batch>| {
+        stats.batches += 1;
+        stats.clips += jobs.len() as u64;
+        stats.max_batch = stats.max_batch.max(jobs.len());
+        fleet.batches.inc();
+        fleet.batch_size.observe_ms(jobs.len() as f64);
+        batch_tx.send(Batch { weather, jobs }).is_ok()
+    };
+
+    'outer: loop {
+        // Wait for the next clip — bounded by the oldest group's linger
+        // deadline so an under-full batch never waits forever.
+        let received = if pending.is_empty() {
+            clip_rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        } else {
+            let oldest = pending
+                .values()
+                .map(|(_, since)| *since)
+                .min()
+                .expect("pending is non-empty");
+            let wait = config
+                .batch_linger
+                .saturating_sub(oldest.elapsed());
+            clip_rx.recv_timeout(wait)
+        };
+        match received {
+            Ok(job) => {
+                let entry = pending
+                    .entry(job.weather)
+                    .or_insert_with(|| (Vec::with_capacity(config.batch_max), Instant::now()));
+                entry.0.push(job);
+                if entry.0.len() >= config.batch_max {
+                    let weather = *pending
+                        .iter()
+                        .find(|(_, (jobs, _))| jobs.len() >= config.batch_max)
+                        .map(|(w, _)| w)
+                        .expect("a full group exists");
+                    let (jobs, _) = pending.remove(&weather).expect("group exists");
+                    if !flush(jobs, weather, &mut stats, &batch_tx) {
+                        break 'outer;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let expired: Vec<Weather> = pending
+                    .iter()
+                    .filter(|(_, (_, since))| since.elapsed() >= config.batch_linger)
+                    .map(|(w, _)| *w)
+                    .collect();
+                for weather in expired {
+                    let (jobs, _) = pending.remove(&weather).expect("group exists");
+                    if !flush(jobs, weather, &mut stats, &batch_tx) {
+                        break 'outer;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let remaining: Vec<Weather> = pending.keys().copied().collect();
+                for weather in remaining {
+                    let (jobs, _) = pending.remove(&weather).expect("group exists");
+                    if !flush(jobs, weather, &mut stats, &batch_tx) {
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// One inference worker: pulls micro-batches off the shared queue,
+/// lazily clones the scene models it needs, and reports one completion
+/// per clip.
+pub(crate) fn run_worker(
+    models: &HashMap<Weather, SlowFastLite>,
+    batch_rx: &Mutex<Receiver<Batch>>,
+    done_tx: Sender<Completion>,
+) {
+    let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
+    loop {
+        // Hold the lock only for the dequeue, not the forward pass.
+        let batch = {
+            let rx = batch_rx.lock().expect("batch queue mutex poisoned");
+            rx.recv()
+        };
+        let Ok(batch) = batch else { break };
+        let model = local
+            .entry(batch.weather)
+            .or_insert_with(|| models[&batch.weather].clone());
+        let verdicts = classify_batch(model, &batch);
+        for (job, verdict) in batch.jobs.iter().zip(verdicts) {
+            let sent = done_tx.send(Completion {
+                stream: job.stream,
+                seq: job.seq,
+                raw: Some(verdict),
+            });
+            if sent.is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// The deterministic in-line classification the reference mode and the
+/// scheduler's no-model path share: classify one clip against the
+/// shared model for `weather`, or `None` when no such model exists.
+pub(crate) fn classify_one(
+    models: &mut HashMap<Weather, SlowFastLite>,
+    weather: Weather,
+    clip: &Tensor,
+) -> Option<Verdict> {
+    let model = models.get_mut(&weather)?;
+    Some(classify_with_model(model, clip, weather))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safecross_tensor::TensorRng;
+
+    #[test]
+    fn batched_forward_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(11);
+        let mut model = SlowFastLite::new(2, &mut rng);
+        let clips: Vec<Tensor> = (0..5)
+            .map(|_| rng.uniform(&[1, 32, 20, 20], 0.0, 1.0))
+            .collect();
+        let singles: Vec<Verdict> = clips
+            .iter()
+            .map(|c| classify_with_model(&mut model, c, Weather::Rain))
+            .collect();
+        let batch = Batch {
+            weather: Weather::Rain,
+            jobs: clips
+                .into_iter()
+                .enumerate()
+                .map(|(i, clip)| ClipJob {
+                    stream: i,
+                    seq: i as u64,
+                    weather: Weather::Rain,
+                    clip,
+                })
+                .collect(),
+        };
+        let batched = classify_batch(&mut model, &batch);
+        assert_eq!(batched, singles);
+    }
+}

@@ -1,0 +1,76 @@
+//! safecross-serve: a multi-intersection serving front for SafeCross.
+//!
+//! A city deploys one SafeCross pipeline per signalized intersection;
+//! running each on a dedicated machine wastes most of an accelerator.
+//! This crate multiplexes N independent intersection streams over a
+//! shared inference pool without giving up the property the rest of
+//! the workspace is built around: **per-stream results are
+//! bit-identical to a standalone sequential run.**
+//!
+//! The layer cake, bottom to top:
+//!
+//! - session layer (internal) — one stream's full SafeCross state
+//!   (scene voting, VP background model, segment buffer, model
+//!   switcher) plus its admission queue and completion reorder buffer.
+//!   Every session mutates only on the scheduler thread, so per-stream
+//!   sequencing is structural.
+//! - executor (internal) — a batcher that groups compatible clips
+//!   (same weather model) into micro-batches under a size cap and
+//!   linger deadline, and a worker pool running each micro-batch as one
+//!   stacked forward pass. Eval-mode layers are row-independent, so
+//!   batching never changes a verdict bit.
+//! - [`FleetServer`] — admission control (bounded per-stream queues,
+//!   drop-oldest), load shedding (frame-age deadline), and two-level
+//!   priority scheduling (danger verdicts and model switches jump the
+//!   line). One stalled or flooded stream never starves the rest.
+//!
+//! # Quick start
+//!
+//! ```
+//! use safecross::SafeCrossConfig;
+//! use safecross_serve::{paced_feed, FleetServer, ServeConfig};
+//! use safecross_tensor::TensorRng;
+//! use safecross_trafficsim::Weather;
+//! use safecross_videoclass::SlowFastLite;
+//! use safecross_vision::GrayFrame;
+//! use std::time::Duration;
+//!
+//! let config = ServeConfig::builder()
+//!     .workers(2)
+//!     .shedding(false) // lossless: every frame completes
+//!     .stream(SafeCrossConfig {
+//!         min_confidence: 0.0,
+//!         ..SafeCrossConfig::default()
+//!     })
+//!     .build()?;
+//! let mut fleet = FleetServer::new(config)?;
+//! let mut rng = TensorRng::seed_from(7);
+//! fleet.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng))?;
+//! let streams: Vec<_> = (0..4).map(|_| fleet.add_stream()).collect::<Result<_, _>>()?;
+//!
+//! let feeds = (0..4)
+//!     .map(|i| {
+//!         let frames: Vec<GrayFrame> = (0..40)
+//!             .map(|t| GrayFrame::filled(320, 240, ((i * 40 + t) % 251) as u8))
+//!             .collect();
+//!         paced_feed(frames, Duration::ZERO)
+//!     })
+//!     .collect();
+//! let report = fleet.run(feeds)?;
+//! assert_eq!(report.completed, 4 * 40);
+//! println!("{report}");
+//! # Ok::<(), safecross_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod executor;
+mod metrics;
+mod server;
+mod session;
+
+pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use server::{paced_feed, AgeProfile, FleetReport, FleetServer, FrameFeed, StreamReport};
+pub use session::{StreamId, StreamStats};

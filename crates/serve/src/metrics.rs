@@ -1,0 +1,70 @@
+//! Telemetry wiring for the serving layer.
+//!
+//! Everything funnels into one `safecross-telemetry` [`Registry`] so a
+//! fleet exports through the same snapshot machinery as a standalone
+//! system. Handles are fetched once at setup time and updated lock-free
+//! on the serving hot path.
+
+use safecross_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Fleet-wide instrument handles.
+#[derive(Debug, Clone)]
+pub(crate) struct FleetMetrics {
+    /// Frames accepted into an admission queue (`serve.admitted`).
+    pub admitted: Counter,
+    /// Frames whose outcome was delivered (`serve.completed`).
+    pub completed: Counter,
+    /// Frames dropped on admission to a full queue (`serve.shed_overflow`).
+    pub shed_overflow: Counter,
+    /// Frames shed for exceeding the age deadline (`serve.shed_stale`).
+    pub shed_stale: Counter,
+    /// End-to-end admission-to-completion latency
+    /// (`serve.frame_age_ms`).
+    pub frame_age_ms: Histogram,
+    /// Dispatched micro-batch sizes, in clips (`serve.batch_size`).
+    pub batch_size: Histogram,
+    /// Micro-batches dispatched to the worker pool (`serve.batches`).
+    pub batches: Counter,
+}
+
+impl FleetMetrics {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        FleetMetrics {
+            admitted: registry.counter("serve.admitted"),
+            completed: registry.counter("serve.completed"),
+            shed_overflow: registry.counter("serve.shed_overflow"),
+            shed_stale: registry.counter("serve.shed_stale"),
+            frame_age_ms: registry.histogram("serve.frame_age_ms"),
+            batch_size: registry.histogram("serve.batch_size"),
+            batches: registry.counter("serve.batches"),
+        }
+    }
+}
+
+/// Per-stream instrument handles (`serve.stream<N>.*`).
+#[derive(Debug, Clone)]
+pub(crate) struct StreamMetrics {
+    /// Current admission-queue depth.
+    pub queue_depth: Gauge,
+    /// High-water mark of the admission queue.
+    pub queue_high_water: Gauge,
+    /// Frames this stream lost to queue overflow.
+    pub shed_overflow: Counter,
+    /// Frames this stream lost to the age deadline.
+    pub shed_stale: Counter,
+    /// Outcomes delivered for this stream.
+    pub completed: Counter,
+}
+
+impl StreamMetrics {
+    pub(crate) fn new(registry: &Registry, stream: usize) -> Self {
+        let name = |suffix: &str| format!("serve.stream{stream}.{suffix}");
+        StreamMetrics {
+            queue_depth: registry.gauge(&name("queue_depth")),
+            queue_high_water: registry.gauge(&name("queue_high_water")),
+            shed_overflow: registry.counter(&name("shed_overflow")),
+            shed_stale: registry.counter(&name("shed_stale")),
+            completed: registry.counter(&name("completed")),
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! The fleet front: admission, scheduling, and run orchestration.
+
+use crate::config::{ServeConfig, ServeError};
+use crate::executor::{
+    classify_one, run_batcher, run_worker, BatcherStats, ClipJob, Completion,
+};
+use crate::metrics::{FleetMetrics, StreamMetrics};
+use crate::session::{StreamId, StreamSession, StreamStats};
+use safecross::{SafeCross, SafeCrossConfig, Verdict};
+use safecross_telemetry::Registry;
+use safecross_trafficsim::Weather;
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A stream's frame source for [`FleetServer::run`]: any sendable
+/// iterator. The iterator's `next` is called on a dedicated feeder
+/// thread, so it may block to pace (or stall) its feed.
+pub type FrameFeed = Box<dyn Iterator<Item = GrayFrame> + Send>;
+
+/// Wraps pre-rendered frames as a feed that delivers one frame every
+/// `interval` (the first immediately). `Duration::ZERO` floods the
+/// fleet with the whole clip at once.
+pub fn paced_feed(frames: Vec<GrayFrame>, interval: Duration) -> FrameFeed {
+    let mut first = true;
+    Box::new(frames.into_iter().inspect(move |_| {
+        if first {
+            first = false;
+        } else if interval > Duration::ZERO {
+            thread::sleep(interval);
+        }
+    }))
+}
+
+/// Admission-to-completion latency percentiles of one run, in ms.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AgeProfile {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl AgeProfile {
+    fn from_ages(ages: &mut [f64]) -> Self {
+        if ages.is_empty() {
+            return AgeProfile::default();
+        }
+        ages.sort_by(|a, b| a.partial_cmp(b).expect("ages are finite"));
+        let at = |q: f64| ages[((ages.len() - 1) as f64 * q).round() as usize];
+        AgeProfile {
+            p50_ms: at(0.50),
+            p95_ms: at(0.95),
+            p99_ms: at(0.99),
+            mean_ms: ages.iter().sum::<f64>() / ages.len() as f64,
+            max_ms: *ages.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One stream's slice of a [`FleetReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamReport {
+    /// Which stream.
+    pub stream: StreamId,
+    /// This run's serving counters (deltas against the run start).
+    pub stats: StreamStats,
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-stream counters, in stream order.
+    pub streams: Vec<StreamReport>,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Outcomes delivered across all streams.
+    pub completed: u64,
+    /// Frames lost to shedding across all streams.
+    pub shed: u64,
+    /// Aggregate delivered throughput, frames per second.
+    pub aggregate_fps: f64,
+    /// Micro-batches the executor dispatched.
+    pub batches: u64,
+    /// Largest micro-batch, in clips.
+    pub max_batch: usize,
+    /// Mean micro-batch size, in clips.
+    pub mean_batch: f64,
+    /// Admission-to-completion latency profile.
+    pub frame_age: AgeProfile,
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} frames delivered in {:?} ({:.1} fps aggregate), {} shed",
+            self.completed, self.wall, self.aggregate_fps, self.shed
+        )?;
+        writeln!(
+            f,
+            "  batches: {} dispatched, mean {:.2} max {} clips",
+            self.batches, self.mean_batch, self.max_batch
+        )?;
+        writeln!(
+            f,
+            "  frame age ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+            self.frame_age.p50_ms, self.frame_age.p95_ms, self.frame_age.p99_ms,
+            self.frame_age.max_ms
+        )?;
+        for s in &self.streams {
+            writeln!(
+                f,
+                "  {:<9} fed {:>6}  completed {:>6}  verdicts {:>5} ({} danger)  \
+                 shed {:>5} ({} overflow, {} stale)  queue peak {:>3}",
+                s.stream.to_string(),
+                s.stats.fed,
+                s.stats.completed,
+                s.stats.verdicts,
+                s.stats.danger_verdicts,
+                s.stats.shed(),
+                s.stats.shed_overflow,
+                s.stats.shed_stale,
+                s.stats.queue_peak,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A multi-intersection serving front.
+///
+/// One `FleetServer` multiplexes N independent intersection streams
+/// over a shared inference worker pool:
+///
+/// - every stream owns a full per-session SafeCross state (scene
+///   detector, VP background model, segment buffer, model switcher),
+///   so its verdict and switch sequences are bit-identical to a
+///   standalone sequential run of the same frames;
+/// - classification clips from all sessions funnel into a shared
+///   executor that micro-batches compatible clips (same weather model)
+///   and fans them out over [`ServeConfig::workers`] threads;
+/// - an admission layer bounds each stream's queue (drop-oldest),
+///   sheds frames that outlive [`ServeConfig::frame_deadline`], and
+///   schedules streams with a recent danger verdict or model switch
+///   ahead of idle ones — so one stalled or flooded stream never
+///   starves the rest.
+///
+/// [`FleetServer::run_reference`] is the deterministic single-threaded
+/// mode the equivalence tests compare against;
+/// [`FleetServer::run`] is the real threaded serving loop.
+pub struct FleetServer {
+    config: ServeConfig,
+    registry: Registry,
+    fleet_metrics: FleetMetrics,
+    models: HashMap<Weather, SlowFastLite>,
+    /// Model registration order — sessions register scenes in this
+    /// order so fallback/switch behavior is identical across streams
+    /// (and to any standalone comparator registering the same way).
+    model_order: Vec<Weather>,
+    sessions: Vec<StreamSession>,
+}
+
+impl FleetServer {
+    /// Creates an empty fleet after validating `config`.
+    ///
+    /// # Errors
+    ///
+    /// The first violated configuration invariant.
+    pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let registry = if config.telemetry {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let fleet_metrics = FleetMetrics::new(&registry);
+        Ok(FleetServer {
+            config,
+            registry,
+            fleet_metrics,
+            models: HashMap::new(),
+            model_order: Vec::new(),
+            sessions: Vec::new(),
+        })
+    }
+
+    /// Registers the shared classifier for one weather scene. All
+    /// models must be registered before the first stream is added.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelAfterStream`] once a stream exists.
+    pub fn register_model(
+        &mut self,
+        weather: Weather,
+        model: SlowFastLite,
+    ) -> Result<(), ServeError> {
+        if !self.sessions.is_empty() {
+            return Err(ServeError::ModelAfterStream);
+        }
+        if !self.model_order.contains(&weather) {
+            self.model_order.push(weather);
+        }
+        self.models.insert(weather, model);
+        Ok(())
+    }
+
+    /// Adds a stream using the configured session template.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] before any model is registered.
+    pub fn add_stream(&mut self) -> Result<StreamId, ServeError> {
+        self.add_stream_with(self.config.stream)
+    }
+
+    /// Adds a stream with its own session configuration (frame
+    /// geometry, segment length, confidence gate).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] before any model is registered, or
+    /// [`ServeError::Stream`] when `config` fails validation.
+    pub fn add_stream_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
+        if self.models.is_empty() {
+            return Err(ServeError::NoModels);
+        }
+        let mut inner = SafeCross::try_new(config).map_err(ServeError::Stream)?;
+        for weather in &self.model_order {
+            inner.register_scene(*weather, &self.models[weather]);
+        }
+        let id = StreamId(self.sessions.len());
+        let metrics = StreamMetrics::new(&self.registry, id.0);
+        self.sessions.push(StreamSession::new(inner, metrics));
+        Ok(id)
+    }
+
+    /// How many streams the fleet serves.
+    pub fn streams(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The configuration this fleet was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The fleet's telemetry registry (disabled unless the
+    /// configuration enabled it).
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Borrow one stream's underlying SafeCross session — its verdict
+    /// history, switch log, and scene state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    pub fn session(&self, id: StreamId) -> Result<&SafeCross, ServeError> {
+        self.sessions
+            .get(id.0)
+            .map(|s| &s.inner)
+            .ok_or(ServeError::UnknownStream {
+                stream: id.0,
+                streams: self.sessions.len(),
+            })
+    }
+
+    /// One stream's cumulative serving counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, ServeError> {
+        self.sessions
+            .get(id.0)
+            .map(|s| s.stats)
+            .ok_or(ServeError::UnknownStream {
+                stream: id.0,
+                streams: self.sessions.len(),
+            })
+    }
+
+    /// One stream's verdicts so far (convenience over
+    /// [`FleetServer::session`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    pub fn verdicts(&self, id: StreamId) -> Result<&[Verdict], ServeError> {
+        self.session(id).map(|s| s.verdicts())
+    }
+
+    fn check_feeds(&self, feeds: usize) -> Result<(), ServeError> {
+        if self.models.is_empty() {
+            return Err(ServeError::NoModels);
+        }
+        if feeds != self.sessions.len() || feeds == 0 {
+            return Err(ServeError::FeedMismatch {
+                feeds,
+                streams: self.sessions.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Deterministic single-threaded reference mode: rounds of
+    /// round-robin over the streams, each frame fully processed in
+    /// line (prepare, classify against the shared models, complete).
+    /// No queues, no shedding, no clock-dependent behavior — each
+    /// stream's verdict and switch sequences are bit-identical to a
+    /// standalone [`SafeCross::process_frame`] loop over its frames,
+    /// which is exactly what `tests/serve_equivalence.rs` asserts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] or [`ServeError::FeedMismatch`].
+    pub fn run_reference(
+        &mut self,
+        feeds: Vec<Vec<GrayFrame>>,
+    ) -> Result<FleetReport, ServeError> {
+        self.check_feeds(feeds.len())?;
+        let start = Instant::now();
+        let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
+        let mut ages = Vec::new();
+        let hold = self.config.priority_hold;
+        let rounds = feeds.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (i, feed) in feeds.iter().enumerate() {
+                let Some(frame) = feed.get(round) else { continue };
+                let session = &mut self.sessions[i];
+                let admitted = Instant::now();
+                session.stats.fed += 1;
+                session.stats.admitted += 1;
+                self.fleet_metrics.admitted.inc();
+                let (seq, mut prep) = session.prepare(frame, hold);
+                let raw = match (prep.clip.take(), prep.effective) {
+                    (Some(clip), Some(weather)) => {
+                        classify_one(&mut self.models, weather, &clip)
+                    }
+                    _ => None,
+                };
+                session.park(seq, prep, admitted);
+                session.resolve(seq, raw);
+                session.deliver_ready(hold, &self.fleet_metrics, &mut ages);
+            }
+        }
+        Ok(self.build_report(start, before, ages, BatcherStats::default()))
+    }
+
+    /// The threaded serving loop: one feeder thread per stream, a
+    /// scheduler (this thread) owning every session, a batcher
+    /// grouping clips into micro-batches, and
+    /// [`ServeConfig::workers`] inference workers. Returns when every
+    /// feed is exhausted and every admitted-and-not-shed frame has
+    /// completed.
+    ///
+    /// With shedding disabled this is lossless: backpressure pauses
+    /// scheduling rather than dropping frames, and per-stream outputs
+    /// stay bit-identical to a standalone run. With shedding enabled,
+    /// overload turns into bounded queues, overflow/stale drops, and
+    /// priority scheduling — per-stream isolation under load is pinned
+    /// down by `tests/serve_isolation.rs`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] or [`ServeError::FeedMismatch`].
+    pub fn run(&mut self, feeds: Vec<FrameFeed>) -> Result<FleetReport, ServeError> {
+        self.check_feeds(feeds.len())?;
+        let start = Instant::now();
+        let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
+
+        let config = self.config;
+        let fleet = self.fleet_metrics.clone();
+        let models = &self.models;
+        let sessions = &mut self.sessions;
+
+        let (ingress_tx, ingress_rx) = mpsc::channel::<(usize, GrayFrame)>();
+        let (clip_tx, clip_rx) = mpsc::channel::<ClipJob>();
+        let (batch_tx, batch_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let batch_rx = Mutex::new(batch_rx);
+
+        let (ages, batcher_stats) = thread::scope(|s| {
+            for (i, feed) in feeds.into_iter().enumerate() {
+                let tx = ingress_tx.clone();
+                s.spawn(move || {
+                    for frame in feed {
+                        if tx.send((i, frame)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(ingress_tx);
+
+            let batcher = {
+                let fleet = &fleet;
+                let config = &config;
+                s.spawn(move || run_batcher(clip_rx, batch_tx, config, fleet))
+            };
+            for _ in 0..config.workers {
+                let done_tx = done_tx.clone();
+                let batch_rx = &batch_rx;
+                s.spawn(move || run_worker(models, batch_rx, done_tx));
+            }
+            drop(done_tx);
+
+            let mut scheduler = Scheduler {
+                sessions,
+                models,
+                config,
+                fleet: &fleet,
+                clip_tx,
+                done_rx,
+                ingress_rx,
+                ingress_open: true,
+                inflight: 0,
+                ages: Vec::new(),
+                rr_hot: 0,
+                rr_norm: 0,
+            };
+            scheduler.serve();
+            let Scheduler { ages, clip_tx, .. } = scheduler;
+            // Close the clip feed so the batcher flushes and exits,
+            // releasing the workers in turn.
+            drop(clip_tx);
+            let batcher_stats = batcher.join().expect("batcher panicked");
+            (ages, batcher_stats)
+        });
+
+        Ok(self.build_report(start, before, ages, batcher_stats))
+    }
+
+    fn build_report(
+        &self,
+        start: Instant,
+        before: Vec<StreamStats>,
+        mut ages: Vec<f64>,
+        batcher: BatcherStats,
+    ) -> FleetReport {
+        let wall = start.elapsed();
+        let streams: Vec<StreamReport> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StreamReport {
+                stream: StreamId(i),
+                stats: s.stats.delta(&before[i]),
+            })
+            .collect();
+        let completed: u64 = streams.iter().map(|s| s.stats.completed).sum();
+        let shed: u64 = streams.iter().map(|s| s.stats.shed()).sum();
+        let aggregate_fps = if wall.as_secs_f64() > 0.0 {
+            completed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let frame_age = AgeProfile::from_ages(&mut ages);
+        let report = FleetReport {
+            streams,
+            wall,
+            completed,
+            shed,
+            aggregate_fps,
+            batches: batcher.batches,
+            max_batch: batcher.max_batch,
+            mean_batch: if batcher.batches > 0 {
+                batcher.clips as f64 / batcher.batches as f64
+            } else {
+                0.0
+            },
+            frame_age,
+        };
+        self.registry.event(
+            "fleet_run",
+            vec![
+                ("streams".to_owned(), (report.streams.len() as u64).into()),
+                ("completed".to_owned(), report.completed.into()),
+                ("shed".to_owned(), report.shed.into()),
+                ("aggregate_fps".to_owned(), report.aggregate_fps.into()),
+                ("batches".to_owned(), report.batches.into()),
+                ("p99_age_ms".to_owned(), report.frame_age.p99_ms.into()),
+            ],
+        );
+        report
+    }
+}
+
+/// The scheduler: the single thread that owns every session during a
+/// threaded run. Owning all per-stream state here (rather than locking
+/// it across workers) is what makes per-stream sequential semantics —
+/// and therefore the bit-identity guarantee — structural.
+struct Scheduler<'a> {
+    sessions: &'a mut Vec<StreamSession>,
+    models: &'a HashMap<Weather, SlowFastLite>,
+    config: ServeConfig,
+    fleet: &'a FleetMetrics,
+    clip_tx: Sender<ClipJob>,
+    done_rx: Receiver<Completion>,
+    ingress_rx: Receiver<(usize, GrayFrame)>,
+    ingress_open: bool,
+    inflight: usize,
+    ages: Vec<f64>,
+    rr_hot: usize,
+    rr_norm: usize,
+}
+
+impl Scheduler<'_> {
+    fn serve(&mut self) {
+        loop {
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.on_completion(done);
+            }
+            self.drain_ingress();
+
+            // Backpressure: pause preparation while the executor holds
+            // enough work to keep every worker busy; queues absorb (or
+            // shed) the excess.
+            if self.inflight < self.config.inflight_limit() {
+                if let Some(stream) = self.pick_stream() {
+                    self.schedule_one(stream);
+                    continue;
+                }
+            }
+
+            let queued: usize = self.sessions.iter().map(StreamSession::queue_len).sum();
+            if !self.ingress_open && queued == 0 && self.inflight == 0 {
+                debug_assert!(self.sessions.iter().all(StreamSession::is_settled));
+                break;
+            }
+
+            // Nothing runnable: block briefly on whichever side can
+            // unblock us.
+            if self.inflight > 0 {
+                if let Ok(done) = self.done_rx.recv_timeout(Duration::from_millis(1)) {
+                    self.on_completion(done);
+                }
+            } else if self.ingress_open {
+                match self.ingress_rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok((stream, frame)) => self.admit(stream, frame),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => self.ingress_open = false,
+                }
+            }
+        }
+    }
+
+    fn drain_ingress(&mut self) {
+        while self.ingress_open {
+            match self.ingress_rx.try_recv() {
+                Ok((stream, frame)) => self.admit(stream, frame),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => self.ingress_open = false,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: usize, frame: GrayFrame) {
+        self.sessions[stream].admit(
+            frame,
+            self.config.shedding,
+            self.config.queue_capacity,
+            self.fleet,
+        );
+    }
+
+    fn on_completion(&mut self, done: Completion) {
+        let session = &mut self.sessions[done.stream];
+        session.inflight -= 1;
+        self.inflight -= 1;
+        session.resolve(done.seq, done.raw);
+        session.deliver_ready(self.config.priority_hold, self.fleet, &mut self.ages);
+    }
+
+    /// Two-level priority pick: high-priority streams (recent danger
+    /// verdict or model switch) round-robin ahead of the rest; plain
+    /// round-robin within each level keeps every stream live.
+    fn pick_stream(&mut self) -> Option<usize> {
+        let n = self.sessions.len();
+        if self.config.priority {
+            for k in 0..n {
+                let i = (self.rr_hot + k) % n;
+                if self.sessions[i].queue_len() > 0 && self.sessions[i].is_hot() {
+                    self.rr_hot = (i + 1) % n;
+                    return Some(i);
+                }
+            }
+        }
+        for k in 0..n {
+            let i = (self.rr_norm + k) % n;
+            if self.sessions[i].queue_len() > 0 {
+                self.rr_norm = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn schedule_one(&mut self, stream: usize) {
+        let hold = self.config.priority_hold;
+        let session = &mut self.sessions[stream];
+        let Some(pending) = session.pop_fresh(
+            self.config.frame_deadline,
+            self.config.shedding,
+            self.fleet,
+        ) else {
+            return;
+        };
+        let (seq, mut prep) = session.prepare(&pending.frame, hold);
+        let dispatch = match (prep.clip.take(), prep.effective) {
+            (Some(clip), Some(weather)) if self.models.contains_key(&weather) => {
+                Some((clip, weather))
+            }
+            _ => None,
+        };
+        session.park(seq, prep, pending.admitted);
+        match dispatch {
+            Some((clip, weather)) => {
+                session.inflight += 1;
+                self.inflight += 1;
+                // A send can only fail after the worker pool died, and
+                // workers only exit once this scheduler drops `clip_tx`.
+                let sent = self.clip_tx.send(ClipJob {
+                    stream,
+                    seq,
+                    weather,
+                    clip,
+                });
+                debug_assert!(sent.is_ok(), "executor hung up mid-run");
+            }
+            None => {
+                session.resolve(seq, None);
+                session.deliver_ready(hold, self.fleet, &mut self.ages);
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ fn main() {
         },
     );
 
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     system.register_model(Weather::Daytime, model);
 
     // Live loop: occluded intersection with random oncoming traffic.

@@ -24,7 +24,7 @@ fn system() -> SafeCross {
         .telemetry(true)
         .build()
         .expect("valid configuration");
-    let mut sc = SafeCross::new(config);
+    let mut sc = SafeCross::try_new(config).expect("validated configuration");
     for weather in Weather::ALL {
         sc.register_model(weather, SlowFastLite::new(2, &mut rng));
     }
@@ -67,21 +67,23 @@ fn main() {
     println!("{}", run.stats);
 
     let identical = pipelined.verdicts() == sequential.verdicts()
-        && pipelined.switch_log() == sequential.switch_log();
+        && pipelined.with_switch_log(|a| sequential.with_switch_log(|b| a == b));
     println!(
         "verdicts and switch log bit-identical to sequential: {}",
         if identical { "yes" } else { "NO — bug!" }
     );
-    for record in pipelined.switch_log() {
-        println!(
-            "model switch -> {} at frame {} ({:.2} ms: {:.2} transmit / {:.2} compute)",
-            record.model,
-            record.frame,
-            record.latency_ms,
-            record.breakdown.transmit_ms,
-            record.breakdown.compute_ms
-        );
-    }
+    pipelined.with_switch_log(|log| {
+        for record in log {
+            println!(
+                "model switch -> {} at frame {} ({:.2} ms: {:.2} transmit / {:.2} compute)",
+                record.model,
+                record.frame,
+                record.latency_ms,
+                record.breakdown.transmit_ms,
+                record.breakdown.compute_ms
+            );
+        }
+    });
 
     // Everything the instrumented run recorded, in one snapshot.
     println!("\n--- telemetry snapshot (pipelined run) ---");

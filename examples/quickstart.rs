@@ -82,7 +82,7 @@ fn main() {
         report.final_loss()
     );
 
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     system.register_model(Weather::Daytime, model);
     let mut shown = 0;
     for i in 0..data.len() {

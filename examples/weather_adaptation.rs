@@ -70,7 +70,7 @@ fn main() {
     println!("model swap, PipeSwitch     : {:8.2} ms ({} groups)\n", pipe.switch_overhead_ms, pipe.groups);
 
     // 3. Deployment: daytime scene turns into snow mid-stream.
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     system.register_model(Weather::Daytime, daytime);
     system.register_model(Weather::Snow, snow_model);
 
@@ -92,10 +92,12 @@ fn main() {
     }
     println!("\nactive scene at the end: {}", system.current_scene());
     println!("switch log:");
-    for record in system.switch_log() {
-        println!(
-            "  frame {:>4}: -> {} ({:.2} ms, {:.2} ms transmit)",
-            record.frame, record.model, record.latency_ms, record.breakdown.transmit_ms
-        );
-    }
+    system.with_switch_log(|log| {
+        for record in log {
+            println!(
+                "  frame {:>4}: -> {} ({:.2} ms, {:.2} ms transmit)",
+                record.frame, record.model, record.latency_ms, record.breakdown.transmit_ms
+            );
+        }
+    });
 }

@@ -13,7 +13,7 @@ use safecross_vision::{PreprocessConfig, Preprocessor, SegmentBuffer};
 #[test]
 fn frames_to_verdicts() {
     let mut rng = TensorRng::seed_from(0);
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     system.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
 
     let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.2), 5);
@@ -90,7 +90,7 @@ fn trained_model_generalises_to_fresh_segments() {
         snow_segments: 0,
         ..DatasetSpec::tiny()
     });
-    let mut system = SafeCross::new(SafeCrossConfig::default());
+    let mut system = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     system.register_model(Weather::Daytime, model);
     let correct = (0..fresh.len())
         .filter(|&i| {

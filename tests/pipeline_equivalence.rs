@@ -20,7 +20,7 @@ fn system_with_telemetry(telemetry: bool) -> SafeCross {
         .telemetry(telemetry)
         .build()
         .expect("valid configuration");
-    let mut sc = SafeCross::new(config);
+    let mut sc = SafeCross::try_new(config).expect("validated configuration");
     for w in Weather::ALL {
         sc.register_model(w, SlowFastLite::new(2, &mut rng));
     }
@@ -79,7 +79,9 @@ fn assert_equivalent(frames: &[GrayFrame], capacity: usize) {
     assert_eq!(pipelined.verdicts(), sequential.verdicts());
     assert_eq!(pipelined.frames_seen(), sequential.frames_seen());
     assert_eq!(pipelined.current_scene(), sequential.current_scene());
-    assert_eq!(pipelined.switch_log(), sequential.switch_log());
+    pipelined.with_switch_log(|a| {
+        sequential.with_switch_log(|b| assert_eq!(a, b, "switch logs diverged"));
+    });
 }
 
 #[test]
@@ -139,7 +141,9 @@ fn instrumentation_does_not_perturb_outcomes() {
     let run = timed_pipe.run_pipelined(frames.to_vec(), &PipelineConfig::default());
     assert_eq!(run.outcomes, expected, "pipelined diverged under telemetry");
     assert_eq!(timed_pipe.verdicts(), plain_seq.verdicts());
-    assert_eq!(timed_pipe.switch_log(), plain_seq.switch_log());
+    timed_pipe.with_switch_log(|a| {
+        plain_seq.with_switch_log(|b| assert_eq!(a, b, "switch logs diverged"));
+    });
 
     // And the instrumentation actually recorded the run: both modes
     // counted every frame through every stage.
@@ -167,11 +171,12 @@ fn switch_log_frames_match_across_modes() {
     }
     let mut pipe = system();
     pipe.run_pipelined(frames, &PipelineConfig::default());
-    let (a, b) = (seq.switch_log(), pipe.switch_log());
-    assert_eq!(a, b);
-    assert_eq!(a.len(), 2);
-    assert_eq!(a[0].frame, 0, "initial registration switch is frame 0");
-    assert!(a[1].frame >= 30, "rain switch must land after the transition");
+    seq.with_switch_log(|a| {
+        pipe.with_switch_log(|b| assert_eq!(a, b));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].frame, 0, "initial registration switch is frame 0");
+        assert!(a[1].frame >= 30, "rain switch must land after the transition");
+    });
 }
 
 #[test]

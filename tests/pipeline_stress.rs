@@ -13,7 +13,7 @@ use std::time::Duration;
 
 fn system() -> SafeCross {
     let mut rng = TensorRng::seed_from(0);
-    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
     sc
 }

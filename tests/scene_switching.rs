@@ -10,7 +10,7 @@ use safecross_videoclass::SlowFastLite;
 
 fn system() -> SafeCross {
     let mut rng = TensorRng::seed_from(0);
-    let mut sc = SafeCross::new(SafeCrossConfig::default());
+    let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default configuration is valid");
     for w in Weather::ALL {
         sc.register_model(w, SlowFastLite::new(2, &mut rng));
     }
@@ -48,7 +48,7 @@ fn weather_transitions_switch_models_once_each() {
     assert_eq!(s3[0].0, Weather::Daytime);
     assert_eq!(sc.current_scene(), Weather::Daytime);
     // The switch log saw: initial daytime registration, snow, daytime.
-    assert_eq!(sc.switch_log().len(), 3);
+    assert_eq!(sc.switch_count(), 3);
 }
 
 #[test]

@@ -1,0 +1,241 @@
+//! The serving layer's core contract: multiplexing N streams over a
+//! shared batched-inference pool must not change a single bit of any
+//! stream's output. Every stream's verdict sequence, switch log, frame
+//! counter, and final scene must match a standalone sequential
+//! `process_frame` loop over the same frames with the same models —
+//! in the deterministic single-threaded reference mode AND in the real
+//! threaded mode with shedding disabled (lossless serving).
+
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamId};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+/// One shared model per weather, built deterministically. The fleet and
+/// every standalone comparator register clones of these same models in
+/// the same order — the precondition for bit-identity.
+fn shared_models() -> Vec<(Weather, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(0);
+    Weather::ALL
+        .iter()
+        .map(|&w| (w, SlowFastLite::new(2, &mut rng)))
+        .collect()
+}
+
+fn standalone(models: &[(Weather, SlowFastLite)]) -> SafeCross {
+    let mut sc = SafeCross::try_new(SafeCrossConfig::default()).expect("default config is valid");
+    for (w, m) in models {
+        sc.register_model(*w, m.clone());
+    }
+    sc
+}
+
+/// Renders `frames` frames of one weather's footage.
+fn rendered(weather: Weather, frames: usize, seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), seed);
+    let mut renderer = Renderer::new(RenderConfig::default(), weather, seed);
+    (0..frames)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+fn stream(phases: &[(Weather, usize)], seed: u64) -> Vec<GrayFrame> {
+    phases
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(weather, frames))| rendered(weather, frames, seed * 100 + i as u64))
+        .collect()
+}
+
+/// Four streams in distinct regimes: steady daytime, a rain transition,
+/// a snow round trip, and rain-from-the-start (early switch away from
+/// the initial scene).
+fn fleet_feeds() -> Vec<Vec<GrayFrame>> {
+    vec![
+        stream(&[(Weather::Daytime, 50)], 1),
+        stream(&[(Weather::Daytime, 30), (Weather::Rain, 30)], 2),
+        stream(
+            &[
+                (Weather::Daytime, 26),
+                (Weather::Snow, 26),
+                (Weather::Daytime, 26),
+            ],
+            3,
+        ),
+        stream(&[(Weather::Rain, 40)], 4),
+    ]
+}
+
+/// Runs every feed through a standalone sequential system and returns
+/// the per-stream expected states.
+fn expected_states(
+    models: &[(Weather, SlowFastLite)],
+    feeds: &[Vec<GrayFrame>],
+) -> Vec<SafeCross> {
+    feeds
+        .iter()
+        .map(|frames| {
+            let mut sc = standalone(models);
+            for f in frames {
+                sc.process_frame(f);
+            }
+            sc
+        })
+        .collect()
+}
+
+fn assert_streams_match(fleet: &FleetServer, expected: &[SafeCross]) {
+    for (i, want) in expected.iter().enumerate() {
+        let got = fleet.session(StreamId::from_index(i)).expect("stream exists");
+        assert_eq!(got.verdicts(), want.verdicts(), "stream {i} verdicts diverged");
+        assert_eq!(
+            got.frames_seen(),
+            want.frames_seen(),
+            "stream {i} frame count diverged"
+        );
+        assert_eq!(
+            got.current_scene(),
+            want.current_scene(),
+            "stream {i} final scene diverged"
+        );
+        got.with_switch_log(|got_log| {
+            want.with_switch_log(|want_log| {
+                assert_eq!(got_log, want_log, "stream {i} switch log diverged");
+            });
+        });
+    }
+}
+
+fn fleet(models: &[(Weather, SlowFastLite)], streams: usize) -> FleetServer {
+    let config = ServeConfig::builder()
+        .workers(2)
+        .shedding(false)
+        .build()
+        .expect("valid serve configuration");
+    let mut fleet = FleetServer::new(config).expect("valid serve configuration");
+    for (w, m) in models {
+        fleet.register_model(*w, m.clone()).expect("models first");
+    }
+    for _ in 0..streams {
+        fleet.add_stream().expect("models are registered");
+    }
+    fleet
+}
+
+#[test]
+fn reference_mode_is_bit_identical_to_standalone() {
+    let models = shared_models();
+    let feeds = fleet_feeds();
+    let expected = expected_states(&models, &feeds);
+
+    let mut served = fleet(&models, feeds.len());
+    let total: usize = feeds.iter().map(Vec::len).sum();
+    let report = served.run_reference(feeds).expect("reference run succeeds");
+
+    assert_eq!(report.completed as usize, total, "reference mode is lossless");
+    assert_eq!(report.shed, 0);
+    assert_streams_match(&served, &expected);
+}
+
+#[test]
+fn threaded_lossless_mode_is_bit_identical_to_standalone() {
+    let models = shared_models();
+    let feeds = fleet_feeds();
+    let expected = expected_states(&models, &feeds);
+
+    let mut served = fleet(&models, feeds.len());
+    let total: usize = feeds.iter().map(Vec::len).sum();
+    let report = served
+        .run(
+            feeds
+                .into_iter()
+                .map(|frames| paced_feed(frames, Duration::ZERO))
+                .collect(),
+        )
+        .expect("threaded run succeeds");
+
+    assert_eq!(
+        report.completed as usize, total,
+        "shedding disabled means every frame completes"
+    );
+    assert_eq!(report.shed, 0);
+    assert!(report.batches > 0, "the executor actually batched");
+    assert_streams_match(&served, &expected);
+}
+
+#[test]
+fn threaded_equivalence_is_worker_count_independent() {
+    // Worker count changes executor interleaving, never per-stream
+    // results — same role the channel-capacity sweep plays for the
+    // staged pipeline.
+    let models = shared_models();
+    let feeds: Vec<Vec<GrayFrame>> = vec![
+        stream(&[(Weather::Daytime, 20), (Weather::Snow, 22)], 7),
+        stream(&[(Weather::Daytime, 40)], 8),
+        stream(&[(Weather::Rain, 34)], 9),
+        stream(&[(Weather::Snow, 18), (Weather::Daytime, 18)], 10),
+    ];
+    let expected = expected_states(&models, &feeds);
+
+    for workers in [1, 4] {
+        let config = ServeConfig::builder()
+            .workers(workers)
+            .shedding(false)
+            .batch_max(3)
+            .build()
+            .expect("valid serve configuration");
+        let mut served = FleetServer::new(config).expect("valid serve configuration");
+        for (w, m) in &models {
+            served.register_model(*w, m.clone()).expect("models first");
+        }
+        for _ in 0..feeds.len() {
+            served.add_stream().expect("models are registered");
+        }
+        served
+            .run(
+                feeds
+                    .iter()
+                    .map(|frames| paced_feed(frames.clone(), Duration::ZERO))
+                    .collect(),
+            )
+            .expect("threaded run succeeds");
+        assert_streams_match(&served, &expected);
+    }
+}
+
+#[test]
+fn reference_and_threaded_agree_with_each_other() {
+    let models = shared_models();
+    let feeds = fleet_feeds();
+
+    let mut reference = fleet(&models, feeds.len());
+    reference
+        .run_reference(feeds.clone())
+        .expect("reference run succeeds");
+
+    let mut threaded = fleet(&models, feeds.len());
+    threaded
+        .run(
+            feeds
+                .into_iter()
+                .map(|frames| paced_feed(frames, Duration::ZERO))
+                .collect(),
+        )
+        .expect("threaded run succeeds");
+
+    for i in 0..reference.streams() {
+        let id = StreamId::from_index(i);
+        assert_eq!(
+            reference.verdicts(id).expect("stream exists"),
+            threaded.verdicts(id).expect("stream exists"),
+            "stream {i} diverged between modes"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Stream isolation under overload: one stalled feed and one flooded
+//! feed must not perturb the seven healthy streams sharing the fleet.
+//! Healthy streams complete every frame with zero shed and verdicts
+//! bit-identical to a standalone run; shed counters move only on the
+//! offender; the stalled stream still completes everything it sends.
+
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamId};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+const STALLED: usize = 0;
+const FLOODED: usize = 1;
+const HEALTHY: std::ops::Range<usize> = 2..9;
+
+const HEALTHY_FRAMES: usize = 56;
+const FLOOD_FRAMES: usize = 300;
+const STALL_FRAMES: usize = 10;
+const QUEUE_CAPACITY: usize = 64;
+
+fn shared_models() -> Vec<(Weather, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(3);
+    Weather::ALL
+        .iter()
+        .map(|&w| (w, SlowFastLite::new(2, &mut rng)))
+        .collect()
+}
+
+/// Daytime footage for one healthy stream.
+fn healthy_frames(seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(Weather::Daytime, true, 0.15), seed);
+    let mut renderer = Renderer::new(RenderConfig::default(), Weather::Daytime, seed);
+    (0..HEALTHY_FRAMES)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+/// Cheap synthetic frames for the offender streams — most are shed or
+/// never classified, so their content only needs to be well-formed.
+fn synthetic_frames(count: usize, phase: u8) -> Vec<GrayFrame> {
+    (0..count)
+        .map(|i| GrayFrame::filled(320, 240, phase.wrapping_add((i % 97) as u8)))
+        .collect()
+}
+
+#[test]
+fn overloaded_streams_do_not_perturb_healthy_ones() {
+    let models = shared_models();
+
+    // Standalone comparators for the healthy streams.
+    let healthy: Vec<Vec<GrayFrame>> = HEALTHY.map(|i| healthy_frames(i as u64)).collect();
+    let expected: Vec<SafeCross> = healthy
+        .iter()
+        .map(|frames| {
+            let mut sc =
+                SafeCross::try_new(SafeCrossConfig::default()).expect("default config is valid");
+            for (w, m) in &models {
+                sc.register_model(*w, m.clone());
+            }
+            for f in frames {
+                sc.process_frame(f);
+            }
+            sc
+        })
+        .collect();
+
+    let config = ServeConfig::builder()
+        .workers(2)
+        .queue_capacity(QUEUE_CAPACITY)
+        .build()
+        .expect("valid serve configuration");
+    assert!(config.shedding, "shedding is on by default");
+    let mut fleet = FleetServer::new(config).expect("valid serve configuration");
+    for (w, m) in &models {
+        fleet.register_model(*w, m.clone()).expect("models first");
+    }
+    for _ in 0..9 {
+        fleet.add_stream().expect("models are registered");
+    }
+
+    // Stream 0 stalls (long gaps between frames), stream 1 floods its
+    // whole backlog at once, streams 2..9 deliver a normal clip whose
+    // frame count fits their admission queue.
+    let feeds = (0..9)
+        .map(|i| match i {
+            STALLED => paced_feed(
+                synthetic_frames(STALL_FRAMES, 11),
+                Duration::from_millis(25),
+            ),
+            FLOODED => paced_feed(synthetic_frames(FLOOD_FRAMES, 53), Duration::ZERO),
+            _ => paced_feed(healthy[i - HEALTHY.start].clone(), Duration::ZERO),
+        })
+        .collect();
+    let report = fleet.run(feeds).expect("overload run succeeds");
+
+    // Healthy streams: complete coverage, zero shed, bit-identical
+    // verdicts.
+    for (k, i) in HEALTHY.enumerate() {
+        let stats = fleet.stream_stats(StreamId::from_index(i)).expect("stream exists");
+        assert_eq!(stats.fed, HEALTHY_FRAMES as u64, "stream {i} fed count");
+        assert_eq!(
+            stats.completed, HEALTHY_FRAMES as u64,
+            "healthy stream {i} must complete every frame"
+        );
+        assert_eq!(stats.shed(), 0, "healthy stream {i} must shed nothing");
+        let session = fleet.session(StreamId::from_index(i)).expect("stream exists");
+        assert_eq!(
+            session.verdicts(),
+            expected[k].verdicts(),
+            "healthy stream {i} verdicts diverged under overload"
+        );
+        assert!(
+            !session.verdicts().is_empty(),
+            "healthy stream {i} produced verdicts (the comparison is non-vacuous)"
+        );
+    }
+
+    // The stalled stream is slow, not broken: everything it sent
+    // completed, nothing was shed.
+    let stalled = fleet
+        .stream_stats(StreamId::from_index(STALLED))
+        .expect("stream exists");
+    assert_eq!(stalled.fed, STALL_FRAMES as u64);
+    assert_eq!(stalled.completed, STALL_FRAMES as u64);
+    assert_eq!(stalled.shed(), 0, "a slow feed never fills its queue");
+
+    // The flooded stream overflowed its bounded queue and paid for it
+    // alone. Accounting is exact: every fed frame either completed or
+    // was counted shed.
+    let flooded = fleet
+        .stream_stats(StreamId::from_index(FLOODED))
+        .expect("stream exists");
+    assert_eq!(flooded.fed, FLOOD_FRAMES as u64);
+    assert!(
+        flooded.shed_overflow > 0,
+        "flooding past queue_capacity must shed (got {flooded:?})"
+    );
+    assert_eq!(
+        flooded.completed + flooded.shed(),
+        FLOOD_FRAMES as u64,
+        "flooded stream accounting must balance"
+    );
+    assert!(
+        flooded.queue_peak <= QUEUE_CAPACITY as u64 + 1,
+        "admission keeps the queue bounded (peak {})",
+        flooded.queue_peak
+    );
+
+    // Fleet-level shed equals the offender's shed: nobody else paid.
+    assert_eq!(report.shed, flooded.shed(), "only the flooded stream shed");
+    let total_fed = STALL_FRAMES + FLOOD_FRAMES + 7 * HEALTHY_FRAMES;
+    assert_eq!(
+        report.completed + report.shed,
+        total_fed as u64,
+        "fleet accounting must balance"
+    );
+}
