@@ -1,0 +1,237 @@
+//! Kernel-layer throughput: raw GEMM GFLOP/s and end-to-end SlowFast
+//! classification rate, swept over thread counts and batch sizes.
+//!
+//! Besides the printed table, the sweep is written to
+//! `BENCH_kernels.json` at the workspace root — GEMM GFLOP/s per
+//! representative shape (with a naive triple-loop baseline for the
+//! largest), and clips/sec for the SlowFast eval forward at threads
+//! {1, host max} × batch {1, 8} — so the kernel perf trajectory is
+//! machine-trackable across commits.
+//!
+//! Thread scaling only manifests when the host actually has cores to
+//! scale onto; the JSON records `host_parallelism` so a single-core
+//! container run (where threads=1 and threads=max are the same
+//! configuration) is not misread as a scaling regression.
+//!
+//! Set `SAFECROSS_BENCH_QUICK=1` to run a reduced sweep (CI smoke).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safecross_nn::Mode;
+use safecross_tensor::{kernel, KernelScratch, TensorRng};
+use safecross_videoclass::{SlowFastLite, VideoClassifier};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("SAFECROSS_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Textbook (i, j, p) triple loop — the pre-kernel-layer matmul shape,
+/// kept here as the speedup baseline for the blocked kernel.
+fn naive_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Best-of-`reps` seconds for one invocation of `f`.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct GemmRecord {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    gflops: f64,
+    /// Blocked-kernel speedup over the naive triple loop (same thread
+    /// count is meaningless for the baseline, which is serial), or 0.0
+    /// when the baseline was skipped for this shape.
+    speedup_vs_naive: f64,
+}
+
+struct ClipRecord {
+    batch: usize,
+    threads: usize,
+    clips_per_sec: f64,
+}
+
+/// GEMM shapes that actually occur in the SlowFast eval forward on a
+/// `[N, 1, 32, 20, 20]` clip, plus one square shape for comparability
+/// with textbook GEMM numbers.
+const GEMM_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("fast1_conv", 4, 27, 3200),    // out_c=4, 1*3*3*3 patch, 32*10*10 plane
+    ("slow2_conv", 16, 324, 100),   // out_c=16, 12*3*3*3 patch, 4*5*5 plane
+    ("square_128", 128, 128, 128),
+];
+
+fn gemm_sweep(reps: usize, thread_counts: &[usize]) -> Vec<GemmRecord> {
+    let mut rng = TensorRng::seed_from(7);
+    let mut records = Vec::new();
+    println!("{:>12} {:>5} {:>5} {:>6} {:>8} {:>10} {:>14}", "shape", "m", "k", "n", "threads", "GFLOP/s", "vs naive");
+    for &(label, m, k, n) in GEMM_SHAPES {
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let mut out = vec![0.0f32; m * n];
+        let flops = (2 * m * k * n) as f64;
+        let naive_secs = best_secs(reps, || {
+            naive_gemm(black_box(a.data()), black_box(b.data()), &mut out, m, k, n)
+        });
+        for &threads in thread_counts {
+            let secs = best_secs(reps.max(3), || {
+                kernel::gemm_into_with_threads(
+                    black_box(a.data()),
+                    black_box(b.data()),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    threads,
+                );
+            });
+            let rec = GemmRecord {
+                label,
+                m,
+                k,
+                n,
+                threads,
+                gflops: flops / secs / 1e9,
+                speedup_vs_naive: naive_secs / secs,
+            };
+            println!(
+                "{:>12} {:>5} {:>5} {:>6} {:>8} {:>10.3} {:>13.2}x",
+                rec.label, m, k, n, threads, rec.gflops, rec.speedup_vs_naive
+            );
+            records.push(rec);
+        }
+    }
+    records
+}
+
+/// Clips/sec of the full SlowFast eval forward through the scratch
+/// path, for one thread/batch configuration. The scratch arena is
+/// warmed before timing so the numbers reflect the steady state.
+fn clip_sweep(reps: usize, thread_counts: &[usize], batches: &[usize]) -> Vec<ClipRecord> {
+    let mut rng = TensorRng::seed_from(8);
+    let mut model = SlowFastLite::new(2, &mut rng);
+    let mut records = Vec::new();
+    println!("\n{:>8} {:>8} {:>12}", "batch", "threads", "clips/sec");
+    for &batch in batches {
+        let clips = rng.uniform(&[batch, 1, 32, 20, 20], 0.0, 1.0);
+        for &threads in thread_counts {
+            kernel::set_threads(threads);
+            let mut scratch = KernelScratch::new();
+            for _ in 0..2 {
+                let out = model.forward_scratch(&clips, Mode::Eval, &mut scratch);
+                scratch.recycle_tensor(out);
+            }
+            let secs = best_secs(reps, || {
+                let out = model.forward_scratch(black_box(&clips), Mode::Eval, &mut scratch);
+                scratch.recycle_tensor(out);
+            });
+            let rec = ClipRecord {
+                batch,
+                threads,
+                clips_per_sec: batch as f64 / secs,
+            };
+            println!("{:>8} {:>8} {:>12.1}", batch, threads, rec.clips_per_sec);
+            records.push(rec);
+        }
+    }
+    records
+}
+
+fn write_bench_json(gemms: &[GemmRecord], clips: &[ClipRecord]) {
+    let gemm_rows: Vec<String> = gemms
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+                 \"threads\": {}, \"gflops\": {:.4}, \"speedup_vs_naive\": {:.3}}}",
+                r.label, r.m, r.k, r.n, r.threads, r.gflops, r.speedup_vs_naive
+            )
+        })
+        .collect();
+    let clip_rows: Vec<String> = clips
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"batch\": {}, \"threads\": {}, \"clips_per_sec\": {:.2}}}",
+                r.batch, r.threads, r.clips_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"bench\": \"kernels\",\n\"host_parallelism\": {},\n\"quick\": {},\n\
+         \"note\": \"thread scaling requires host_parallelism > 1; on a single-core \
+         host the threads=1 and threads=max rows measure the same serial kernel\",\n\
+         \"gemm\": [\n{}\n],\n\"slowfast_forward\": [\n{}\n]\n}}\n",
+        host_parallelism(),
+        quick(),
+        gemm_rows.join(",\n"),
+        clip_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n[kernel_bench] wrote {path}"),
+        Err(e) => println!("\n[kernel_bench] could not write {path}: {e}"),
+    }
+}
+
+fn kernel_bench(c: &mut Criterion) {
+    let max = host_parallelism();
+    let thread_counts: Vec<usize> = if max > 1 { vec![1, max] } else { vec![1] };
+    let reps = if quick() { 2 } else { 8 };
+    let batches: &[usize] = if quick() { &[1] } else { &[1, 8] };
+
+    println!("\n=== kernel_bench (host_parallelism={max}, quick={}) ===", quick());
+    let gemms = gemm_sweep(reps, &thread_counts);
+    let clips = clip_sweep(reps, &thread_counts, batches);
+    write_bench_json(&gemms, &clips);
+    kernel::set_threads(1);
+
+    // Criterion samples of the headline GEMM so regressions show in the
+    // regular bench output too.
+    let mut rng = TensorRng::seed_from(9);
+    let a = rng.uniform(&[128, 128], -1.0, 1.0);
+    let b = rng.uniform(&[128, 128], -1.0, 1.0);
+    let mut out = vec![0.0f32; 128 * 128];
+    let mut group = c.benchmark_group("gemm_128");
+    group.sample_size(if quick() { 3 } else { 10 });
+    for &threads in &thread_counts {
+        group.bench_function(format!("threads_{threads}"), |bch| {
+            bch.iter(|| {
+                kernel::gemm_into_with_threads(
+                    black_box(a.data()),
+                    black_box(b.data()),
+                    &mut out,
+                    128,
+                    128,
+                    128,
+                    threads,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Pointwise activation layers: ReLU and dropout.
 
 use crate::{Layer, Mode};
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{KernelScratch, Tensor, TensorRng};
 
 /// Rectified linear unit, applied elementwise to any tensor shape.
 ///
@@ -31,6 +31,17 @@ impl Layer for Relu {
             self.mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
         }
         x.relu()
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            self.mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        }
+        let mut y = scratch.take_tensor(x.dims());
+        for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -96,6 +107,16 @@ impl Layer for Dropout {
         }
         self.mask = Some(mask.clone());
         x.zip_map(&mask, |a, m| a * m)
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            let mut y = scratch.take_tensor(x.dims());
+            y.data_mut().copy_from_slice(x.data());
+            return y;
+        }
+        self.forward(x, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,7 +1,9 @@
 //! 2-D convolution via im2col.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::{col2im, im2col, Conv2dGeom, Tensor, TensorRng};
+use safecross_tensor::{
+    col2im, im2col, im2col_into, kernel, Conv2dGeom, KernelScratch, Tensor, TensorRng,
+};
 
 /// A 2-D convolution over `[N, C, H, W]` batches with square kernels.
 ///
@@ -110,6 +112,42 @@ impl Layer for Conv2d {
         out
     }
 
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert_eq!(x.shape().ndim(), 4, "Conv2d expects [N, C, H, W]");
+        assert_eq!(x.shape().dim(1), self.in_channels, "Conv2d channel mismatch");
+        let (n, h, w) = (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3));
+        let g = self.geometry(h, w);
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let plane = oh * ow;
+        let (patch, chw) = (g.patch_len(), self.in_channels * h * w);
+        let mut out = scratch.take_tensor(&[n, self.out_channels, oh, ow]);
+        let mut cols = scratch.take(patch * plane);
+        let b = self.bias.value.data();
+        for i in 0..n {
+            im2col_into(&x.data()[i * chw..(i + 1) * chw], &g, &mut cols);
+            let oseg = &mut out.data_mut()
+                [i * self.out_channels * plane..(i + 1) * self.out_channels * plane];
+            kernel::gemm_into(
+                self.weight.value.data(),
+                &cols,
+                oseg,
+                self.out_channels,
+                patch,
+                plane,
+            );
+            for (c, &bc) in b.iter().enumerate() {
+                for v in &mut oseg[c * plane..(c + 1) * plane] {
+                    *v += bc;
+                }
+            }
+        }
+        scratch.recycle(cols);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self
             .cached_geom
@@ -123,8 +161,8 @@ impl Layer for Conv2d {
             let dy = grad_out
                 .index_axis0(i)
                 .reshape(&[self.out_channels, plane]);
-            // dW += dy * cols^T
-            let dw = dy.matmul(&self.cached_cols[i].transpose());
+            // dW += dy * cols^T (transb: cols rows are already packed)
+            let dw = dy.matmul_transb(&self.cached_cols[i]);
             self.weight.grad.add_scaled(&dw, 1.0);
             // db += row sums of dy
             let db = self.bias.grad.data_mut();

@@ -1,7 +1,9 @@
 //! 3-D (spatio-temporal) convolution via vol2col.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::{col2vol, vol2col, Conv3dGeom, Tensor, TensorRng};
+use safecross_tensor::{
+    col2vol, kernel, vol2col, vol2col_into, Conv3dGeom, KernelScratch, Tensor, TensorRng,
+};
 
 /// A 3-D convolution over `[N, C, T, H, W]` video batches.
 ///
@@ -121,6 +123,47 @@ impl Layer for Conv3d {
         out
     }
 
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert_eq!(x.shape().ndim(), 5, "Conv3d expects [N, C, T, H, W]");
+        assert_eq!(x.shape().dim(1), self.in_channels, "Conv3d channel mismatch");
+        let (n, t, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(2),
+            x.shape().dim(3),
+            x.shape().dim(4),
+        );
+        let g = self.geometry(t, h, w);
+        let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
+        let plane = ot * oh * ow;
+        let (patch, cthw) = (g.patch_len(), self.in_channels * t * h * w);
+        let mut out = scratch.take_tensor(&[n, self.out_channels, ot, oh, ow]);
+        let mut cols = scratch.take(patch * plane);
+        let b = self.bias.value.data();
+        for i in 0..n {
+            vol2col_into(&x.data()[i * cthw..(i + 1) * cthw], &g, &mut cols);
+            let oseg = &mut out.data_mut()
+                [i * self.out_channels * plane..(i + 1) * self.out_channels * plane];
+            kernel::gemm_into(
+                self.weight.value.data(),
+                &cols,
+                oseg,
+                self.out_channels,
+                patch,
+                plane,
+            );
+            for (c, &bc) in b.iter().enumerate() {
+                for v in &mut oseg[c * plane..(c + 1) * plane] {
+                    *v += bc;
+                }
+            }
+        }
+        scratch.recycle(cols);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self
             .cached_geom
@@ -133,7 +176,7 @@ impl Layer for Conv3d {
             let dy = grad_out
                 .index_axis0(i)
                 .reshape(&[self.out_channels, plane]);
-            let dw = dy.matmul(&self.cached_cols[i].transpose());
+            let dw = dy.matmul_transb(&self.cached_cols[i]);
             self.weight.grad.add_scaled(&dw, 1.0);
             let db = self.bias.grad.data_mut();
             for (c, dbc) in db.iter_mut().enumerate() {

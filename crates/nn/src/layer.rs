@@ -1,7 +1,7 @@
 //! The core `Layer` abstraction.
 
 use crate::Param;
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 
 /// Whether a forward pass is part of training or inference.
 ///
@@ -35,6 +35,24 @@ pub enum Mode {
 pub trait Layer: Send + Sync {
     /// Runs the layer on `x`, caching backward state when training.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Like [`Layer::forward`], but borrowing working buffers (and the
+    /// returned tensor's storage) from `scratch` instead of allocating.
+    ///
+    /// The contract: the output is **bit-identical** to `forward`'s, and
+    /// in `Mode::Eval` an implementation must not touch the heap beyond
+    /// what `scratch` already pooled — this is what makes the
+    /// steady-state classify path allocation-free once warm. Callers
+    /// recycle the returned tensor back into the same scratch when they
+    /// are done with it. `Mode::Train` paths may still allocate (their
+    /// backward caches live beyond the call).
+    ///
+    /// The default falls back to the allocating `forward`, so third-party
+    /// layers stay source-compatible.
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        let _ = scratch;
+        self.forward(x, mode)
+    }
 
     /// Back-propagates `grad_out`, accumulating parameter gradients and
     /// returning the gradient with respect to the last `forward` input.

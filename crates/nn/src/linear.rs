@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{kernel, KernelScratch, Tensor, TensorRng};
 
 /// A dense affine map `y = x W^T + b` over a `[N, in]` batch.
 ///
@@ -67,6 +67,36 @@ impl Layer for Linear {
         let mut y = x.matmul(&self.weight.value.transpose());
         let n = y.shape().dim(0);
         let out = self.out_features;
+        let b = self.bias.value.data();
+        let data = y.data_mut();
+        for i in 0..n {
+            for (j, &bj) in b.iter().enumerate() {
+                data[i * out + j] += bj;
+            }
+        }
+        y
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            // Training caches outlive the call; the allocating path is fine.
+            return self.forward(x, mode);
+        }
+        assert_eq!(x.shape().ndim(), 2, "Linear expects a [N, in] batch");
+        assert_eq!(x.shape().dim(1), self.in_features, "Linear input width mismatch");
+        let n = x.shape().dim(0);
+        let out = self.out_features;
+        // W is stored [out, in], exactly the packed layout the transb
+        // kernel wants: y = x Wᵀ without materialising the transpose.
+        let mut y = scratch.take_tensor(&[n, out]);
+        kernel::gemm_transb_into(
+            x.data(),
+            self.weight.value.data(),
+            y.data_mut(),
+            n,
+            self.in_features,
+            out,
+        );
         let b = self.bias.value.data();
         let data = y.data_mut();
         for i in 0..n {

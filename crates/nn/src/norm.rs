@@ -1,7 +1,7 @@
 //! Batch normalisation.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 
 /// Batch normalisation over the channel axis (axis 1).
 ///
@@ -144,6 +144,35 @@ impl Layer for BatchNorm {
                 inv_std,
                 dims,
             });
+        }
+        out
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        let (n, rest) = self.split_dims(x.dims());
+        let c = self.channels;
+        let mut out = scratch.take_tensor(x.dims());
+        // Running stats are read in place — the allocating forward's
+        // `.to_vec()` copies exist only to share code with the train
+        // branch. Arithmetic is kept expression-for-expression identical.
+        let means = self.running_mean.data();
+        let vars = self.running_var.data();
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        let xd = x.data();
+        let od = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let inv_std = 1.0 / (vars[ch] + self.eps).sqrt();
+                let base = (i * c + ch) * rest;
+                for r in 0..rest {
+                    let h = (xd[base + r] - means[ch]) * inv_std;
+                    od[base + r] = g[ch] * h + b[ch];
+                }
+            }
         }
         out
     }

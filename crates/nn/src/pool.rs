@@ -1,7 +1,7 @@
 //! Pooling and shape-adapter layers.
 
 use crate::{Layer, Mode};
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 
 /// Max pooling over `[N, C, H, W]` with a square window.
 ///
@@ -82,6 +82,49 @@ impl Layer for MaxPool2d {
         if mode == Mode::Train {
             self.in_dims = x.dims().to_vec();
             self.argmax = Some((winners, vec![n, c, oh, ow]));
+        }
+        out
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert_eq!(x.shape().ndim(), 4, "MaxPool2d expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        );
+        assert!(h >= self.kernel && w >= self.kernel, "input smaller than window");
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let mut out = scratch.take_tensor(&[n, c, oh, ow]);
+        let xd = x.data();
+        let od = out.data_mut();
+        // Same scan as `forward` minus the winner bookkeeping (eval never
+        // back-propagates, so the argmax vec would be dead weight).
+        for i in 0..n {
+            for ch in 0..c {
+                let ibase = (i * c + ch) * h * w;
+                let obase = (i * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let idx =
+                                    ibase + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                }
+                            }
+                        }
+                        od[obase + oy * ow + ox] = best;
+                    }
+                }
+            }
         }
         out
     }
@@ -194,6 +237,58 @@ impl Layer for MaxPool3d {
         out
     }
 
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert_eq!(x.shape().ndim(), 5, "MaxPool3d expects [N, C, T, H, W]");
+        let (n, c, t, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+            x.shape().dim(4),
+        );
+        let (kt, ks) = self.kernel;
+        let (st, ss) = self.stride;
+        assert!(t >= kt && h >= ks && w >= ks, "input smaller than window");
+        let ot = (t - kt) / st + 1;
+        let oh = (h - ks) / ss + 1;
+        let ow = (w - ks) / ss + 1;
+        let mut out = scratch.take_tensor(&[n, c, ot, oh, ow]);
+        let xd = x.data();
+        let od = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let ibase = (i * c + ch) * t * h * w;
+                let obase = (i * c + ch) * ot * oh * ow;
+                for oti in 0..ot {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            for ktt in 0..kt {
+                                for ky in 0..ks {
+                                    for kx in 0..ks {
+                                        let idx = ibase
+                                            + (oti * st + ktt) * h * w
+                                            + (oy * ss + ky) * w
+                                            + ox * ss
+                                            + kx;
+                                        if xd[idx] > best {
+                                            best = xd[idx];
+                                        }
+                                    }
+                                }
+                            }
+                            od[obase + oti * oh * ow + oy * ow + ox] = best;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let winners = self
             .argmax
@@ -252,6 +347,25 @@ impl Layer for GlobalAvgPool {
         out
     }
 
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert!(x.shape().ndim() >= 3, "GlobalAvgPool expects [N, C, ...]");
+        let (n, c) = (x.shape().dim(0), x.shape().dim(1));
+        let rest: usize = x.dims()[2..].iter().product();
+        let mut out = scratch.take_tensor(&[n, c]);
+        let xd = x.data();
+        let od = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * rest;
+                od[i * c + ch] = xd[base..base + rest].iter().sum::<f32>() / rest as f32;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(!self.in_dims.is_empty(), "GlobalAvgPool::backward before forward");
         let (n, c) = (self.in_dims[0], self.in_dims[1]);
@@ -301,6 +415,19 @@ impl Layer for Flatten {
             self.in_dims = x.dims().to_vec();
         }
         x.reshape(&[n, rest])
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        assert!(x.shape().ndim() >= 2, "Flatten expects a batched input");
+        let n = x.shape().dim(0);
+        let rest = x.len() / n;
+        // `reshape` clones the data; do the same copy into pooled storage.
+        let mut out = scratch.take_tensor(&[n, rest]);
+        out.data_mut().copy_from_slice(x.data());
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

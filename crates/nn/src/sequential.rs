@@ -1,7 +1,7 @@
 //! Layer composition.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 
 /// A straight-line stack of layers executed in order.
 ///
@@ -79,6 +79,25 @@ impl Layer for Sequential {
         let mut h = x.clone();
         for layer in &mut self.layers {
             h = layer.forward(&h, mode);
+        }
+        h
+    }
+
+    fn forward_scratch(&mut self, x: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            // An empty stack is the identity; copy so the caller can
+            // recycle the result like any other scratch tensor.
+            let mut out = scratch.take_tensor(x.dims());
+            out.data_mut().copy_from_slice(x.data());
+            return out;
+        };
+        let mut h = first.forward_scratch(x, mode, scratch);
+        for layer in rest {
+            let next = layer.forward_scratch(&h, mode, scratch);
+            // The intermediate goes straight back into the pool, so a
+            // warm stack cycles a fixed set of buffers.
+            scratch.recycle_tensor(h);
+            h = next;
         }
         h
     }
@@ -193,6 +212,46 @@ mod tests {
         assert_eq!(bufs[0].0, "0.running_mean");
         net.set_buffer("0.running_mean", Tensor::full(&[2], 9.0));
         assert_eq!(net.buffers()[0].1.data(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn forward_scratch_is_bit_identical_and_pool_reaches_fixed_point() {
+        use crate::{Conv2d, Dropout, Flatten, GlobalAvgPool, MaxPool2d};
+        let mut rng = TensorRng::seed_from(3);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+            Box::new(BatchNorm::new(4)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Conv2d::new(4, 6, 3, 2, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dropout::new(0.5, &mut rng)),
+            Box::new(Linear::new(6, 3, &mut rng)),
+        ]);
+        let x = rng.uniform(&[2, 1, 12, 12], -1.0, 1.0);
+        let plain = net.forward(&x, Mode::Eval);
+        let mut scratch = safecross_tensor::KernelScratch::new();
+        for _ in 0..3 {
+            let pooled = net.forward_scratch(&x, Mode::Eval, &mut scratch);
+            assert_eq!(pooled, plain, "scratch path diverged from forward");
+            scratch.recycle_tensor(pooled);
+        }
+        // Once warm, repeated passes must cycle the same buffer set.
+        let settled = scratch.pooled_buffers();
+        let pooled = net.forward_scratch(&x, Mode::Eval, &mut scratch);
+        scratch.recycle_tensor(pooled);
+        assert_eq!(scratch.pooled_buffers(), settled, "pool kept growing");
+    }
+
+    #[test]
+    fn empty_sequential_scratch_is_identity_copy() {
+        let mut net = Sequential::default();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let mut scratch = safecross_tensor::KernelScratch::new();
+        let y = net.forward_scratch(&x, Mode::Eval, &mut scratch);
+        assert_eq!(y, x);
     }
 
     #[test]

@@ -18,11 +18,13 @@ use safecross_modelswitch::{
 };
 use safecross_nn::Mode;
 use safecross_telemetry::{Counter, Histogram, Registry};
-use safecross_tensor::Tensor;
+use safecross_tensor::kernel::{self, GemmObserverFn};
+use safecross_tensor::{KernelScratch, Tensor};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::{GrayFrame, PreprocessConfig, Preprocessor, SegmentBuffer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Orchestrator configuration.
 ///
@@ -330,6 +332,10 @@ impl VpStage {
 /// Stage 3: clip classification with the per-scene models.
 pub(crate) struct ClassifyStage {
     pub(crate) models: HashMap<Weather, SlowFastLite>,
+    /// Kernel scratch arena reused across every clip this stage
+    /// classifies; after the first few clips the steady-state forward
+    /// pass performs no heap allocation at all.
+    pub(crate) scratch: KernelScratch,
     min_confidence: f32,
     step_ms: Histogram,
     verdicts_total: Counter,
@@ -339,6 +345,7 @@ impl ClassifyStage {
     fn new(config: &SafeCrossConfig, registry: &Registry) -> Self {
         ClassifyStage {
             models: HashMap::new(),
+            scratch: KernelScratch::new(),
             min_confidence: config.min_confidence,
             step_ms: registry.histogram("stage.classify.step_ms"),
             verdicts_total: registry.counter("stage.classify.verdicts"),
@@ -359,7 +366,7 @@ impl ClassifyStage {
         let clip = clip?;
         let weather = scene?;
         let model = self.models.get_mut(&weather)?;
-        Some(classify_with_model(model, clip, weather))
+        Some(classify_with_model(model, clip, weather, &mut self.scratch))
     }
 
     /// The gating half: applies the minimum-confidence threshold to a
@@ -380,17 +387,62 @@ impl ClassifyStage {
 /// verdict is **not** confidence-gated; feed it through
 /// [`SafeCross::complete_frame`] (or compare against
 /// [`SafeCrossConfig::min_confidence`]) for that.
-pub fn classify_with_model(model: &mut SlowFastLite, clip: &Tensor, weather: Weather) -> Verdict {
-    let dims = clip.dims().to_vec();
-    let batch = clip.reshape(&[1, dims[0], dims[1], dims[2], dims[3]]);
-    let logits = model.forward(&batch, Mode::Eval);
-    let probs = logits.softmax_rows();
-    let class_idx = probs.argmax_rows()[0];
+///
+/// `scratch` is the caller-owned kernel arena: once it has warmed up
+/// (a few clips), classification performs no heap allocation — every
+/// intermediate, including the batched clip view and the probability
+/// row, cycles through the pool.
+pub fn classify_with_model(
+    model: &mut SlowFastLite,
+    clip: &Tensor,
+    weather: Weather,
+    scratch: &mut KernelScratch,
+) -> Verdict {
+    let d = clip.dims();
+    assert_eq!(d.len(), 4, "expected a [C, T, H, W] clip");
+    let mut batch = scratch.take_tensor(&[1, d[0], d[1], d[2], d[3]]);
+    batch.data_mut().copy_from_slice(clip.data());
+    let logits = model.forward_scratch(&batch, Mode::Eval, scratch);
+    scratch.recycle_tensor(batch);
+    let k = logits.shape().dim(1);
+    let mut probs = scratch.take(k);
+    let (class_idx, confidence) = top_class_from_logits(&logits.data()[..k], &mut probs);
+    scratch.recycle(probs);
+    scratch.recycle_tensor(logits);
     Verdict {
         class: Class::from_index(class_idx),
-        confidence: probs.at(&[0, class_idx]),
+        confidence,
         weather,
     }
+}
+
+/// Softmax + argmax over one logit row, written into a caller-provided
+/// probability buffer. Arithmetic is expression-for-expression identical
+/// to [`Tensor::softmax_rows`] followed by [`Tensor::argmax_rows`] (same
+/// max-shift, same accumulation order, same strict `>` first-on-ties
+/// argmax), so verdicts computed through this allocation-free path are
+/// bit-identical to the tensor-op path.
+///
+/// # Panics
+///
+/// Panics if `probs` is shorter than `row`.
+pub fn top_class_from_logits(row: &[f32], probs: &mut [f32]) -> (usize, f32) {
+    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0;
+    for (p, &v) in probs.iter_mut().zip(row) {
+        *p = (v - m).exp();
+        z += *p;
+    }
+    for p in &mut probs[..row.len()] {
+        *p /= z;
+    }
+    let mut best = 0;
+    for (i, &v) in probs[..row.len()].iter().enumerate() {
+        if v > probs[best] {
+            best = i;
+        }
+    }
+    (best, probs[best])
 }
 
 /// The deployed SafeCross system: VP -> VC with FL-produced per-scene
@@ -403,6 +455,10 @@ pub struct SafeCross {
     pub(crate) classify_stage: ClassifyStage,
     pub(crate) verdicts: Vec<Verdict>,
     pub(crate) frames_seen: usize,
+    /// Strong handle keeping the `nn.gemm.*` telemetry bridge alive in
+    /// the kernel layer's observer registry; the registry itself only
+    /// holds a `Weak`, so dropping the system unhooks the observer.
+    _gemm_observer: Option<Arc<GemmObserverFn>>,
 }
 
 impl SafeCross {
@@ -440,6 +496,23 @@ impl SafeCross {
         } else {
             Registry::disabled()
         };
+        // Bridge the kernel layer's GEMM samples into this system's
+        // registry. Only live (telemetry-enabled) systems register, so a
+        // disabled system never makes the kernel layer read the clock.
+        let gemm_observer = if config.telemetry {
+            let calls = registry.counter("nn.gemm.calls");
+            let flops = registry.counter("nn.gemm.flops");
+            let ms = registry.histogram("nn.gemm.ms");
+            let observer: Arc<GemmObserverFn> = Arc::new(move |sample| {
+                calls.inc();
+                flops.add(sample.flops());
+                ms.observe_ms(sample.elapsed_ms);
+            });
+            kernel::register_gemm_observer(&observer);
+            Some(observer)
+        } else {
+            None
+        };
         Ok(SafeCross {
             config,
             scene_stage: SceneStage::new(config.scene_window, &registry),
@@ -448,6 +521,7 @@ impl SafeCross {
             verdicts: Vec::new(),
             frames_seen: 0,
             registry,
+            _gemm_observer: gemm_observer,
         })
     }
 
@@ -611,7 +685,12 @@ impl SafeCross {
             .models
             .get_mut(&weather)
             .ok_or(SafeCrossError::NoModel { weather, registered })?;
-        Ok(classify_with_model(model, clip, weather))
+        Ok(classify_with_model(
+            model,
+            clip,
+            weather,
+            &mut self.classify_stage.scratch,
+        ))
     }
 }
 
@@ -809,6 +888,44 @@ mod tests {
         let forwards = snap.counter("vc.slowfast.forwards");
         assert_eq!(forwards, Some(1));
         assert!(snap.histogram("stage.vp.step_ms").unwrap().count == 32);
+    }
+
+    #[test]
+    fn telemetry_exports_gemm_kernel_metrics() {
+        let mut rng = TensorRng::seed_from(11);
+        let config = SafeCrossConfig::builder().telemetry(true).build().unwrap();
+        let mut sc = SafeCross::try_new(config).expect("validated configuration");
+        sc.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let frame = GrayFrame::filled(320, 240, 90);
+        for _ in 0..32 {
+            sc.process_frame(&frame);
+        }
+        // The observer registry is process-global, so GEMMs issued by
+        // concurrently running tests can also land here — assert the
+        // bridge recorded activity, never exact counts.
+        let snap = sc.telemetry().snapshot();
+        assert!(snap.counter("nn.gemm.calls").unwrap_or(0) > 0);
+        assert!(snap.counter("nn.gemm.flops").unwrap_or(0) > 0);
+        assert!(snap.histogram("nn.gemm.ms").map_or(0, |h| h.count) > 0);
+    }
+
+    #[test]
+    fn top_class_matches_tensor_softmax_argmax() {
+        // Row 0 carries a tie (0.3 at indices 0 and 2) to pin the
+        // first-on-ties argmax convention; row 1 is a spread-out case.
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 0.3, 2.0, 7.5, -3.0], &[2, 3]);
+        let reference = logits.softmax_rows();
+        let winners = logits.argmax_rows();
+        for (r, &winner) in winners.iter().enumerate() {
+            let row = &logits.data()[r * 3..(r + 1) * 3];
+            let mut probs = vec![0.0; 3];
+            let (idx, conf) = top_class_from_logits(row, &mut probs);
+            assert_eq!(idx, winner);
+            assert_eq!(conf, reference.at(&[r, idx]));
+            for (j, &p) in probs.iter().enumerate() {
+                assert_eq!(p, reference.at(&[r, j]));
+            }
+        }
     }
 
     #[test]

@@ -52,8 +52,8 @@ mod proptests;
 
 pub use errors::{ConfigError, SafeCrossError};
 pub use framework::{
-    classify_with_model, FrameOutcome, FramePrep, SafeCross, SafeCrossConfig,
-    SafeCrossConfigBuilder, Verdict,
+    classify_with_model, top_class_from_logits, FrameOutcome, FramePrep, SafeCross,
+    SafeCrossConfig, SafeCrossConfigBuilder, Verdict,
 };
 pub use pipeline::{PipelineConfig, PipelineRun, PipelineStats, StageStats};
 pub use scene::{SceneDetector, SceneFeatures};

@@ -32,7 +32,7 @@
 use crate::errors::SafeCrossError;
 use crate::framework::{classify_with_model, FrameOutcome, SafeCross, Verdict};
 use safecross_modelswitch::SwitchReport;
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::SlowFastLite;
 use safecross_vision::GrayFrame;
@@ -452,15 +452,17 @@ impl SafeCross {
                 .map(|chunk| {
                     s.spawn(move || {
                         // Each worker clones only the models its shard
-                        // needs, lazily.
+                        // needs, lazily, and reuses one kernel scratch
+                        // arena across its whole shard.
                         let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
+                        let mut scratch = KernelScratch::new();
                         chunk
                             .iter()
                             .map(|(clip, weather)| {
                                 let model = local
                                     .entry(*weather)
                                     .or_insert_with(|| models[weather].clone());
-                                classify_with_model(model, clip, *weather)
+                                classify_with_model(model, clip, *weather, &mut scratch)
                             })
                             .collect::<Vec<Verdict>>()
                     })

@@ -15,9 +15,9 @@
 
 use crate::config::ServeConfig;
 use crate::metrics::FleetMetrics;
-use safecross::{classify_with_model, Verdict};
+use safecross::{classify_with_model, top_class_from_logits, Verdict};
 use safecross_dataset::Class;
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::SlowFastLite;
 use std::collections::HashMap;
@@ -55,32 +55,52 @@ pub(crate) struct BatcherStats {
 }
 
 /// Classifies a micro-batch with one stacked `[K, 1, T, H, W]` forward
-/// pass, returning one raw verdict per job in job order.
-pub(crate) fn classify_batch(model: &mut SlowFastLite, batch: &Batch) -> Vec<Verdict> {
+/// pass, returning one raw verdict per job in job order. The stacked
+/// batch, every layer intermediate, and the per-row probability buffer
+/// all cycle through the worker-owned `scratch` arena, so a warm worker
+/// only allocates the verdict vector it returns.
+pub(crate) fn classify_batch(
+    model: &mut SlowFastLite,
+    batch: &Batch,
+    scratch: &mut KernelScratch,
+) -> Vec<Verdict> {
     use safecross_nn::Mode;
     use safecross_videoclass::VideoClassifier;
 
     let k = batch.jobs.len();
     debug_assert!(k > 0, "empty batch dispatched");
-    let clip_dims = batch.jobs[0].clip.dims().to_vec();
+    let clip_dims = batch.jobs[0].clip.dims();
+    debug_assert_eq!(clip_dims.len(), 4, "expected [C, T, H, W] clips");
     let stride = batch.jobs[0].clip.len();
-    let mut dims = vec![k];
-    dims.extend_from_slice(&clip_dims);
-    let mut stacked = Tensor::zeros(&dims);
+    let mut stacked = scratch.take_tensor(&[
+        k,
+        clip_dims[0],
+        clip_dims[1],
+        clip_dims[2],
+        clip_dims[3],
+    ]);
     for (i, job) in batch.jobs.iter().enumerate() {
-        debug_assert_eq!(job.clip.dims(), &clip_dims[..], "incompatible clip in batch");
+        debug_assert_eq!(job.clip.dims(), clip_dims, "incompatible clip in batch");
         stacked.data_mut()[i * stride..(i + 1) * stride].copy_from_slice(job.clip.data());
     }
-    let logits = model.forward(&stacked, Mode::Eval);
-    let probs = logits.softmax_rows();
-    let classes = probs.argmax_rows();
-    (0..k)
-        .map(|i| Verdict {
-            class: Class::from_index(classes[i]),
-            confidence: probs.at(&[i, classes[i]]),
-            weather: batch.weather,
+    let logits = model.forward_scratch(&stacked, Mode::Eval, scratch);
+    scratch.recycle_tensor(stacked);
+    let classes = logits.shape().dim(1);
+    let mut probs = scratch.take(classes);
+    let verdicts = (0..k)
+        .map(|i| {
+            let row = &logits.data()[i * classes..(i + 1) * classes];
+            let (class_idx, confidence) = top_class_from_logits(row, &mut probs);
+            Verdict {
+                class: Class::from_index(class_idx),
+                confidence,
+                weather: batch.weather,
+            }
         })
-        .collect()
+        .collect();
+    scratch.recycle(probs);
+    scratch.recycle_tensor(logits);
+    verdicts
 }
 
 /// The batcher loop: greedily groups incoming clips by weather and
@@ -179,6 +199,7 @@ pub(crate) fn run_worker(
     done_tx: Sender<Completion>,
 ) {
     let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
+    let mut scratch = KernelScratch::new();
     loop {
         // Hold the lock only for the dequeue, not the forward pass.
         let batch = {
@@ -189,7 +210,7 @@ pub(crate) fn run_worker(
         let model = local
             .entry(batch.weather)
             .or_insert_with(|| models[&batch.weather].clone());
-        let verdicts = classify_batch(model, &batch);
+        let verdicts = classify_batch(model, &batch, &mut scratch);
         for (job, verdict) in batch.jobs.iter().zip(verdicts) {
             let sent = done_tx.send(Completion {
                 stream: job.stream,
@@ -210,9 +231,10 @@ pub(crate) fn classify_one(
     models: &mut HashMap<Weather, SlowFastLite>,
     weather: Weather,
     clip: &Tensor,
+    scratch: &mut KernelScratch,
 ) -> Option<Verdict> {
     let model = models.get_mut(&weather)?;
-    Some(classify_with_model(model, clip, weather))
+    Some(classify_with_model(model, clip, weather, scratch))
 }
 
 #[cfg(test)]
@@ -227,9 +249,10 @@ mod tests {
         let clips: Vec<Tensor> = (0..5)
             .map(|_| rng.uniform(&[1, 32, 20, 20], 0.0, 1.0))
             .collect();
+        let mut scratch = KernelScratch::new();
         let singles: Vec<Verdict> = clips
             .iter()
-            .map(|c| classify_with_model(&mut model, c, Weather::Rain))
+            .map(|c| classify_with_model(&mut model, c, Weather::Rain, &mut scratch))
             .collect();
         let batch = Batch {
             weather: Weather::Rain,
@@ -244,7 +267,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let batched = classify_batch(&mut model, &batch);
+        let batched = classify_batch(&mut model, &batch, &mut scratch);
         assert_eq!(batched, singles);
     }
 }

@@ -8,6 +8,7 @@ use crate::metrics::{FleetMetrics, StreamMetrics};
 use crate::session::{StreamId, StreamSession, StreamStats};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
 use safecross_telemetry::Registry;
+use safecross_tensor::KernelScratch;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::SlowFastLite;
 use safecross_vision::GrayFrame;
@@ -335,6 +336,7 @@ impl FleetServer {
         let start = Instant::now();
         let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
         let mut ages = Vec::new();
+        let mut scratch = KernelScratch::new();
         let hold = self.config.priority_hold;
         let rounds = feeds.iter().map(Vec::len).max().unwrap_or(0);
         for round in 0..rounds {
@@ -348,7 +350,7 @@ impl FleetServer {
                 let (seq, mut prep) = session.prepare(frame, hold);
                 let raw = match (prep.clip.take(), prep.effective) {
                     (Some(clip), Some(weather)) => {
-                        classify_one(&mut self.models, weather, &clip)
+                        classify_one(&mut self.models, weather, &clip, &mut scratch)
                     }
                     _ => None,
                 };

@@ -108,22 +108,24 @@ fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     (padded - kernel) / stride + 1
 }
 
-/// Lowers a `[C, H, W]` image into a `[C*k*k, outH*outW]` patch matrix.
+/// Lowers a `[C, H, W]` image (as a raw row-major slice) into a
+/// `[C*k*k, outH*outW]` patch matrix written into `out`, without
+/// allocating. This is the scratch-buffer entry point the zero-allocation
+/// classify path uses; [`im2col`] is the allocating wrapper.
 ///
 /// # Panics
 ///
-/// Panics if `input` does not match the geometry.
-pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
+/// Panics if `data` or `out` lengths disagree with the geometry.
+pub fn im2col_into(data: &[f32], g: &Conv2dGeom, out: &mut [f32]) {
     assert_eq!(
-        input.dims(),
-        &[g.in_channels, g.height, g.width],
-        "im2col input shape mismatch"
+        data.len(),
+        g.in_channels * g.height * g.width,
+        "im2col input length mismatch"
     );
     let (oh, ow) = (g.out_height(), g.out_width());
     let cols = oh * ow;
     let rows = g.patch_len();
-    let mut out = vec![0.0f32; rows * cols];
-    let data = input.data();
+    assert_eq!(out.len(), rows * cols, "im2col output length mismatch");
     let hw = g.height * g.width;
     let mut row = 0;
     for c in 0..g.in_channels {
@@ -150,6 +152,24 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
             }
         }
     }
+}
+
+/// Lowers a `[C, H, W]` image into a `[C*k*k, outH*outW]` patch matrix.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the geometry.
+pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[g.in_channels, g.height, g.width],
+        "im2col input shape mismatch"
+    );
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
+    let rows = g.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(input.data(), g, &mut out);
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -198,22 +218,24 @@ pub fn col2im(cols_t: &Tensor, g: &Conv2dGeom) -> Tensor {
     out
 }
 
-/// Lowers a `[C, T, H, W]` clip into a `[C*kt*ks*ks, oT*oH*oW]` patch matrix.
+/// Lowers a `[C, T, H, W]` clip (as a raw row-major slice) into a
+/// `[C*kt*ks*ks, oT*oH*oW]` patch matrix written into `out`, without
+/// allocating. This is the scratch-buffer entry point the zero-allocation
+/// classify path uses; [`vol2col`] is the allocating wrapper.
 ///
 /// # Panics
 ///
-/// Panics if `input` does not match the geometry.
-pub fn vol2col(input: &Tensor, g: &Conv3dGeom) -> Tensor {
+/// Panics if `data` or `out` lengths disagree with the geometry.
+pub fn vol2col_into(data: &[f32], g: &Conv3dGeom, out: &mut [f32]) {
     assert_eq!(
-        input.dims(),
-        &[g.in_channels, g.frames, g.height, g.width],
-        "vol2col input shape mismatch"
+        data.len(),
+        g.in_channels * g.frames * g.height * g.width,
+        "vol2col input length mismatch"
     );
     let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
     let cols = ot * oh * ow;
     let rows = g.patch_len();
-    let mut out = vec![0.0f32; rows * cols];
-    let data = input.data();
+    assert_eq!(out.len(), rows * cols, "vol2col output length mismatch");
     let hw = g.height * g.width;
     let thw = g.frames * hw;
     let mut row = 0;
@@ -251,6 +273,24 @@ pub fn vol2col(input: &Tensor, g: &Conv3dGeom) -> Tensor {
             }
         }
     }
+}
+
+/// Lowers a `[C, T, H, W]` clip into a `[C*kt*ks*ks, oT*oH*oW]` patch matrix.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the geometry.
+pub fn vol2col(input: &Tensor, g: &Conv3dGeom) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[g.in_channels, g.frames, g.height, g.width],
+        "vol2col input shape mismatch"
+    );
+    let (ot, oh, ow) = (g.out_frames(), g.out_height(), g.out_width());
+    let cols = ot * oh * ow;
+    let rows = g.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    vol2col_into(input.data(), g, &mut out);
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -444,6 +484,57 @@ mod tests {
         let back = col2vol(&y, &g);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn vol2col_temporal_pad_with_full_length_kernel() {
+        // kernel_t == frames with pad_t > 0: every output frame's window
+        // hangs off at least one clip boundary, so the temporal clamp is
+        // exercised on both ends.
+        let g = Conv3dGeom {
+            in_channels: 1,
+            frames: 2,
+            height: 1,
+            width: 2,
+            kernel_t: 2,
+            kernel_s: 1,
+            stride_t: 1,
+            stride_s: 1,
+            pad_t: 1,
+            pad_s: 0,
+        };
+        assert_eq!(g.out_frames(), 3);
+        let clip = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]);
+        let cols = vol2col(&clip, &g);
+        // Rows are (kt=0, kt=1) taps; columns are (ot, ox).
+        assert_eq!(cols.dims(), &[2, 6]);
+        // kt=0 reads frame ot-1: padding for ot=0, then frames 0 and 1.
+        assert_eq!(&cols.data()[..6], &[0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+        // kt=1 reads frame ot: frames 0 and 1, then padding for ot=2.
+        assert_eq!(&cols.data()[6..], &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        // Scatter-back adjoint survives the same clamps.
+        let back = col2vol(&cols, &g);
+        assert_eq!(back.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_wrapper() {
+        let g = Conv2dGeom {
+            in_channels: 2,
+            height: 4,
+            width: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let img = Tensor::from_vec(
+            (0..2 * 4 * 5).map(|i| (i as f32 * 0.13).sin()).collect(),
+            &[2, 4, 5],
+        );
+        let cols = im2col(&img, &g);
+        let mut buf = vec![f32::NAN; cols.len()];
+        im2col_into(img.data(), &g, &mut buf);
+        assert_eq!(buf.as_slice(), cols.data());
     }
 
     #[test]

@@ -30,15 +30,19 @@
 #![warn(missing_docs)]
 
 mod conv;
+pub mod kernel;
 mod linalg;
 mod ops;
 mod random;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, col2vol, im2col, vol2col, Conv2dGeom, Conv3dGeom};
+pub use conv::{
+    col2im, col2vol, im2col, im2col_into, vol2col, vol2col_into, Conv2dGeom, Conv3dGeom,
+};
+pub use kernel::{KernelConfig, KernelScratch};
 pub use random::TensorRng;
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;
 
 #[cfg(test)]

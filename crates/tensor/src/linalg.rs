@@ -1,14 +1,24 @@
 //! Dense 2-D linear algebra: matmul and transposes.
+//!
+//! The products here are thin shape-checked wrappers over the kernel
+//! layer ([`crate::kernel`]), which owns the deterministic parallel GEMM
+//! and the sparsity heuristic. Allocation-free call sites use
+//! [`crate::kernel::gemm_into`] directly with scratch buffers.
 
+use crate::kernel;
 use crate::Tensor;
+
+/// Tile edge for the cache-blocked transpose: a 32×32 f32 tile is 4 KiB,
+/// so source and destination tiles both sit in L1 while being swapped.
+const TRANSPOSE_TILE: usize = 32;
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
-    /// The loop order (i, k, j) keeps the innermost loop streaming over
-    /// contiguous rows of both the output and `rhs`, which is the single
-    /// most important optimisation for the im2col-based convolutions built
-    /// on top of this.
+    /// Runs on the kernel layer: the output is partitioned across the
+    /// configured worker threads ([`crate::kernel::threads`]) while each
+    /// element keeps the exact sequential (i, k, j) accumulation order,
+    /// so results are bit-identical at every thread count.
     ///
     /// # Panics
     ///
@@ -20,26 +30,39 @@ impl Tensor {
         let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
 
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
+        kernel::gemm_into(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product against a transposed rhs without materialising the
+    /// transpose: `[m, k] x [n, k]ᵀ -> [m, n]`.
+    ///
+    /// Both operands stream along their rows (the packed layout the
+    /// backward passes and the linear layer already store), and the
+    /// result is bit-identical to `self.matmul(&rhs.transpose())` for
+    /// finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul_transb(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (n, k2) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+        let mut out = vec![0.0f32; m * n];
+        kernel::gemm_transb_into(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// Transpose of a 2-D tensor.
+    ///
+    /// Cache-blocked: elements move tile by tile so both the row-major
+    /// reads and the column-major writes stay within L1-sized footprints
+    /// instead of striding the whole matrix per element.
     ///
     /// # Panics
     ///
@@ -47,11 +70,22 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape().ndim(), 2, "transpose requires a 2-D tensor");
         let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let data = self.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
+        let mut bi = 0;
+        while bi < m {
+            let ie = (bi + TRANSPOSE_TILE).min(m);
+            let mut bj = 0;
+            while bj < n {
+                let je = (bj + TRANSPOSE_TILE).min(n);
+                for i in bi..ie {
+                    for j in bj..je {
+                        out[j * m + i] = data[i * n + j];
+                    }
+                }
+                bj = je;
             }
+            bi = ie;
         }
         Tensor::from_vec(out, &[n, m])
     }
@@ -66,14 +100,10 @@ impl Tensor {
         assert_eq!(v.shape().ndim(), 1, "matvec rhs must be 1-D");
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
         assert_eq!(k, v.len(), "matvec dimension mismatch");
+        // A matvec is A·vᵀ with v as a single packed row: the transb
+        // kernel's row-row dot is exactly the historical per-row sum.
         let mut out = vec![0.0f32; m];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = self.data()[i * k..(i + 1) * k]
-                .iter()
-                .zip(v.data())
-                .map(|(&a, &b)| a * b)
-                .sum();
-        }
+        kernel::gemm_transb_into(self.data(), v.data(), &mut out, m, k, 1);
         Tensor::from_vec(out, &[m])
     }
 
@@ -123,11 +153,35 @@ mod tests {
     }
 
     #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..15).map(|x| (x as f32).sin()).collect(), &[3, 5]);
+        let b = Tensor::from_vec((0..20).map(|x| (x as f32).cos()).collect(), &[4, 5]);
+        let fused = a.matmul_transb(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(fused, explicit, "transb fast path must be bit-identical");
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
         let t = a.transpose();
         assert_eq!(t.dims(), &[3, 2]);
         assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_crosses_tile_boundaries() {
+        // 37 and 41 straddle the 32-wide tile edge, exercising the
+        // partial-tile paths in both axes.
+        let (m, n) = (37, 41);
+        let a = Tensor::from_vec((0..m * n).map(|x| x as f32).collect(), &[m, n]);
+        let t = a.transpose();
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(t.at(&[j, i]), a.at(&[i, j]));
+            }
+        }
         assert_eq!(t.transpose(), a);
     }
 

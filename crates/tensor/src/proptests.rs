@@ -94,4 +94,49 @@ proptest! {
             prop_assert_eq!(&stacked.index_axis0(i), p);
         }
     }
+
+    #[test]
+    fn parallel_matmul_bit_identical_across_thread_counts(
+        seed in 0u64..1000,
+        m in 0usize..9, k in 1usize..40, n in 1usize..40,
+        zero_rate in 0.0f32..1.0,
+    ) {
+        // m = 0 is legal on the raw slice API (Shape forbids it, so the
+        // sweep runs below the Tensor layer); n = 1 / k = 1 hit the
+        // matvec-shaped and rank-1-update corners.
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let mut a = vec![0.0f32; m * k];
+        for v in &mut a {
+            *v = if rng.unit() < zero_rate { 0.0 } else { rng.unit() * 2.0 - 1.0 };
+        }
+        let mut b = vec![0.0f32; k * n];
+        for v in &mut b {
+            *v = rng.unit() * 2.0 - 1.0;
+        }
+        let mut sequential = vec![0.0f32; m * n];
+        crate::kernel::gemm_into_with_threads(&a, &b, &mut sequential, m, k, n, 1);
+        for threads in [2usize, 4, 7] {
+            let mut out = vec![f32::NAN; m * n];
+            crate::kernel::gemm_into_with_threads(&a, &b, &mut out, m, k, n, threads);
+            prop_assert_eq!(&out, &sequential);
+        }
+    }
+
+    #[test]
+    fn tiled_transpose_involution_across_tile_boundaries(
+        seed in 0u64..1000, m in 1usize..48, n in 1usize..48,
+    ) {
+        // Up to 48 per axis so shapes land on both sides of the 32-wide
+        // tile edge (partial tiles in one or both dimensions).
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let a = rng.uniform(&[m, n], -1.0, 1.0);
+        let t = a.transpose();
+        prop_assert_eq!(t.dims(), &[n, m]);
+        for i in 0..m.min(5) {
+            for j in 0..n.min(5) {
+                prop_assert_eq!(t.at(&[j, i]), a.at(&[i, j]));
+            }
+        }
+        prop_assert_eq!(t.transpose(), a);
+    }
 }

@@ -177,7 +177,7 @@ impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -201,7 +201,7 @@ impl Tensor {
             self.shape, other.shape
         );
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self
                 .data
                 .iter()
@@ -248,7 +248,7 @@ impl Tensor {
     /// Panics if `parts` is empty or shapes differ.
     pub fn stack(parts: &[Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "cannot stack zero tensors");
-        let inner = parts[0].shape.clone();
+        let inner = parts[0].shape;
         let mut dims = vec![parts.len()];
         dims.extend_from_slice(inner.dims());
         let mut data = Vec::with_capacity(parts.len() * inner.len());

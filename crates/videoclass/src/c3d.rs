@@ -6,7 +6,7 @@ use safecross_nn::{
     Sequential,
 };
 use safecross_telemetry::Registry;
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{KernelScratch, Tensor, TensorRng};
 
 /// A miniature C3D network (Tran et al., ICCV 2015): a single stream of
 /// full-rate 3-D convolutions with spatio-temporal max pooling.
@@ -65,6 +65,12 @@ impl VideoClassifier for C3dLite {
         assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
         let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
         self.net.forward(clips, mode)
+    }
+
+    fn forward_scratch(&mut self, clips: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
+        self.net.forward_scratch(clips, mode, scratch)
     }
 
     fn instrument(&mut self, registry: &Registry) {
@@ -157,6 +163,20 @@ mod tests {
             last = loss;
         }
         assert!(last < 0.35, "loss stayed at {last}");
+    }
+
+    #[test]
+    fn forward_scratch_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut m = C3dLite::new(3, &mut rng);
+        let x = rng.uniform(&[2, 1, 16, 12, 12], 0.0, 1.0);
+        let plain = m.forward(&x, Mode::Eval);
+        let mut scratch = KernelScratch::new();
+        for _ in 0..2 {
+            let pooled = m.forward_scratch(&x, Mode::Eval, &mut scratch);
+            assert_eq!(pooled, plain, "scratch path diverged from forward");
+            scratch.recycle_tensor(pooled);
+        }
     }
 
     #[test]

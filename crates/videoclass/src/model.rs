@@ -2,7 +2,7 @@
 
 use safecross_nn::{Mode, Param};
 use safecross_telemetry::{Counter, Histogram, Registry, Timer};
-use safecross_tensor::Tensor;
+use safecross_tensor::{KernelScratch, Tensor};
 
 /// Pre-fetched forward-pass telemetry handles shared by the three
 /// architectures. Fetched once at [`VideoClassifier::instrument`] time
@@ -39,6 +39,16 @@ impl ForwardTelemetry {
 pub trait VideoClassifier: Send + Sync {
     /// Runs the classifier on a clip batch.
     fn forward(&mut self, clips: &Tensor, mode: Mode) -> Tensor;
+
+    /// Like [`VideoClassifier::forward`], borrowing working buffers (and
+    /// the returned logits' storage) from `scratch`. Logits are
+    /// bit-identical to `forward`'s; in `Mode::Eval` the in-repo models
+    /// allocate nothing once the scratch is warm. The default falls back
+    /// to the allocating `forward`.
+    fn forward_scratch(&mut self, clips: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        let _ = scratch;
+        self.forward(clips, mode)
+    }
 
     /// Attaches a telemetry registry: subsequent forward passes record
     /// wall time and counts under `vc.<family>.*`. Instrumentation never
@@ -155,6 +165,32 @@ pub fn temporal_subsample(x: &Tensor, stride: usize) -> Tensor {
     out
 }
 
+/// [`temporal_subsample`] into a scratch-pooled tensor: identical output,
+/// no allocation once the scratch is warm.
+///
+/// # Panics
+///
+/// Panics if the input is not 5-D or `stride` does not divide `T`.
+pub fn temporal_subsample_scratch(x: &Tensor, stride: usize, scratch: &mut KernelScratch) -> Tensor {
+    assert_eq!(x.shape().ndim(), 5, "expected [N, C, T, H, W]");
+    assert!(stride > 0, "stride must be positive");
+    let (n, c, t, h, w) = dims5(x);
+    assert_eq!(t % stride, 0, "stride {stride} must divide T={t}");
+    let ot = t / stride;
+    let mut out = scratch.take_tensor(&[n, c, ot, h, w]);
+    let hw = h * w;
+    for i in 0..n {
+        for ch in 0..c {
+            for ti in 0..ot {
+                let src = ((i * c + ch) * t + ti * stride) * hw;
+                let dst = ((i * c + ch) * ot + ti) * hw;
+                out.data_mut()[dst..dst + hw].copy_from_slice(&x.data()[src..src + hw]);
+            }
+        }
+    }
+    out
+}
+
 /// Adjoint of [`temporal_subsample`]: scatters a `[N, C, T/stride, H, W]`
 /// gradient back into a zero-padded `[N, C, T, H, W]` gradient.
 ///
@@ -191,6 +227,35 @@ pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     let (nb, cb, tb, hb, wb) = dims5(b);
     assert_eq!((n, t, h, w), (nb, tb, hb, wb), "non-channel dims must match");
     let mut out = Tensor::zeros(&[n, ca + cb, t, h, w]);
+    let chunk = t * h * w;
+    for i in 0..n {
+        for ch in 0..ca {
+            let src = (i * ca + ch) * chunk;
+            let dst = (i * (ca + cb) + ch) * chunk;
+            out.data_mut()[dst..dst + chunk].copy_from_slice(&a.data()[src..src + chunk]);
+        }
+        for ch in 0..cb {
+            let src = (i * cb + ch) * chunk;
+            let dst = (i * (ca + cb) + ca + ch) * chunk;
+            out.data_mut()[dst..dst + chunk].copy_from_slice(&b.data()[src..src + chunk]);
+        }
+    }
+    out
+}
+
+/// [`concat_channels`] into a scratch-pooled tensor: identical output,
+/// no allocation once the scratch is warm.
+///
+/// # Panics
+///
+/// Panics on non-5-D inputs or mismatched non-channel dimensions.
+pub fn concat_channels_scratch(a: &Tensor, b: &Tensor, scratch: &mut KernelScratch) -> Tensor {
+    assert_eq!(a.shape().ndim(), 5, "expected [N, C, T, H, W]");
+    assert_eq!(b.shape().ndim(), 5, "expected [N, C, T, H, W]");
+    let (n, ca, t, h, w) = dims5(a);
+    let (nb, cb, tb, hb, wb) = dims5(b);
+    assert_eq!((n, t, h, w), (nb, tb, hb, wb), "non-channel dims must match");
+    let mut out = scratch.take_tensor(&[n, ca + cb, t, h, w]);
     let chunk = t * h * w;
     for i in 0..n {
         for ch in 0..ca {

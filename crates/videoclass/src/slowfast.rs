@@ -1,14 +1,14 @@
 //! The SlowFast-lite classifier.
 
 use crate::model::{
-    concat_channels, dims5, split_channels, temporal_subsample, temporal_upsample_grad,
-    ForwardTelemetry, VideoClassifier,
+    concat_channels, concat_channels_scratch, dims5, split_channels, temporal_subsample,
+    temporal_subsample_scratch, temporal_upsample_grad, ForwardTelemetry, VideoClassifier,
 };
 use safecross_nn::{
     BatchNorm, Conv3d, Dropout, GlobalAvgPool, Layer, Linear, Mode, Param, Relu, Sequential,
 };
 use safecross_telemetry::Registry;
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{KernelScratch, Tensor, TensorRng};
 
 /// A miniature SlowFast network (Feichtenhofer et al., ICCV 2019),
 /// preserving the paper's architectural signature:
@@ -138,6 +138,19 @@ impl SlowFastLite {
         out
     }
 
+    fn concat_features_scratch(a: &Tensor, b: &Tensor, scratch: &mut KernelScratch) -> Tensor {
+        let (n, ca) = (a.shape().dim(0), a.shape().dim(1));
+        let cb = b.shape().dim(1);
+        let mut out = scratch.take_tensor(&[n, ca + cb]);
+        for i in 0..n {
+            out.data_mut()[i * (ca + cb)..i * (ca + cb) + ca]
+                .copy_from_slice(&a.data()[i * ca..(i + 1) * ca]);
+            out.data_mut()[i * (ca + cb) + ca..(i + 1) * (ca + cb)]
+                .copy_from_slice(&b.data()[i * cb..(i + 1) * cb]);
+        }
+        out
+    }
+
     fn split_features(grad: &Tensor, ca: usize) -> (Tensor, Tensor) {
         let (n, c) = (grad.shape().dim(0), grad.shape().dim(1));
         let cb = c - ca;
@@ -194,6 +207,51 @@ impl VideoClassifier for SlowFastLite {
             });
         }
         self.head.forward(&feat, mode)
+    }
+
+    fn forward_scratch(&mut self, clips: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(clips, mode);
+        }
+        assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
+        let (_, c, t, _, _) = dims5(clips);
+        assert_eq!(c, 1, "SlowFastLite expects single-channel occupancy clips");
+        assert_eq!(t % self.alpha, 0, "T={t} must be divisible by alpha={}", self.alpha);
+
+        // Same dataflow as `forward`; each intermediate is recycled as
+        // soon as its last consumer has read it, so a warm scratch cycles
+        // a fixed working set across clips.
+        let f1 = self.fast1.forward_scratch(clips, mode, scratch);
+        let f2 = self.fast2.forward_scratch(&f1, mode, scratch);
+        let slow_in = temporal_subsample_scratch(clips, self.alpha, scratch);
+        let s1 = self.slow1.forward_scratch(&slow_in, mode, scratch);
+        scratch.recycle_tensor(slow_in);
+        let t_slow = t / self.alpha;
+        let lat1 = temporal_subsample_scratch(&f1, f1.shape().dim(2) / t_slow, scratch);
+        scratch.recycle_tensor(f1);
+        let s_cat = concat_channels_scratch(&s1, &lat1, scratch);
+        scratch.recycle_tensor(s1);
+        scratch.recycle_tensor(lat1);
+        let s2 = self.slow2.forward_scratch(&s_cat, mode, scratch);
+        scratch.recycle_tensor(s_cat);
+        let t_f2 = f2.shape().dim(2);
+        assert_eq!(t_f2 % t_slow, 0, "fast/slow frame counts incompatible");
+        let lat2 = temporal_subsample_scratch(&f2, t_f2 / t_slow, scratch);
+        let fused = concat_channels_scratch(&s2, &lat2, scratch);
+        scratch.recycle_tensor(s2);
+        scratch.recycle_tensor(lat2);
+
+        let pool_fused = self.gap_fused.forward_scratch(&fused, mode, scratch);
+        scratch.recycle_tensor(fused);
+        let pool_fast = self.gap_fast.forward_scratch(&f2, mode, scratch);
+        scratch.recycle_tensor(f2);
+        let feat = Self::concat_features_scratch(&pool_fused, &pool_fast, scratch);
+        scratch.recycle_tensor(pool_fused);
+        scratch.recycle_tensor(pool_fast);
+        let logits = self.head.forward_scratch(&feat, mode, scratch);
+        scratch.recycle_tensor(feat);
+        logits
     }
 
     fn backward(&mut self, grad: &Tensor) {
@@ -359,6 +417,24 @@ mod tests {
         assert!(last < 0.35, "loss stayed at {last}");
         let logits = m.forward(&batch, Mode::Eval);
         assert!(safecross_nn::accuracy(&logits, &labels) > 0.9);
+    }
+
+    #[test]
+    fn forward_scratch_is_bit_identical_and_pool_reaches_fixed_point() {
+        let (mut m, mut rng) = model();
+        let x = rng.uniform(&[2, 1, 32, 16, 16], 0.0, 1.0);
+        let plain = m.forward(&x, Mode::Eval);
+        let mut scratch = KernelScratch::new();
+        for _ in 0..3 {
+            let pooled = m.forward_scratch(&x, Mode::Eval, &mut scratch);
+            assert_eq!(pooled, plain, "scratch path diverged from forward");
+            scratch.recycle_tensor(pooled);
+        }
+        // Once warm, repeated clips must cycle the same buffer set.
+        let settled = scratch.pooled_buffers();
+        let pooled = m.forward_scratch(&x, Mode::Eval, &mut scratch);
+        scratch.recycle_tensor(pooled);
+        assert_eq!(scratch.pooled_buffers(), settled, "pool kept growing");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use safecross_nn::{
     Sequential,
 };
 use safecross_telemetry::Registry;
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{KernelScratch, Tensor, TensorRng};
 
 /// A miniature Temporal Segment Network (Wang et al., ECCV 2016): the
 /// clip is divided into `SNIPPETS` segments, one frame is sampled from
@@ -109,6 +109,45 @@ impl VideoClassifier for TsnLite {
                 }
             }
         }
+        out
+    }
+
+    fn forward_scratch(&mut self, clips: &Tensor, mode: Mode, scratch: &mut KernelScratch) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(clips, mode);
+        }
+        assert_eq!(clips.shape().ndim(), 5, "expected [N, 1, T, H, W]");
+        let _timer = self.telemetry.as_ref().map(ForwardTelemetry::start);
+        let (n, c, t, h, w) = dims5(clips);
+        assert_eq!(c, 1, "TsnLite expects single-channel clips");
+        assert!(t >= SNIPPETS, "need at least {SNIPPETS} frames");
+        // Snippet-major assembly straight into a pooled buffer; values are
+        // plain copies, so this matches `snippet_batch` exactly.
+        let mut batch = scratch.take_tensor(&[SNIPPETS * n, 1, h, w]);
+        {
+            let bd = batch.data_mut();
+            for s in 0..SNIPPETS {
+                let idx = (2 * s + 1) * t / (2 * SNIPPETS);
+                for i in 0..n {
+                    let src = (i * t + idx) * h * w;
+                    let dst = (s * n + i) * h * w;
+                    bd[dst..dst + h * w].copy_from_slice(&clips.data()[src..src + h * w]);
+                }
+            }
+        }
+        let logits = self.backbone.forward_scratch(&batch, mode, scratch); // [S*N, K]
+        scratch.recycle_tensor(batch);
+        let k = self.num_classes;
+        let mut out = scratch.take_tensor(&[n, k]);
+        for s in 0..SNIPPETS {
+            for i in 0..n {
+                for j in 0..k {
+                    let v = logits.data()[(s * n + i) * k + j];
+                    out.data_mut()[i * k + j] += v / SNIPPETS as f32;
+                }
+            }
+        }
+        scratch.recycle_tensor(logits);
         out
     }
 
@@ -231,6 +270,20 @@ mod tests {
             last = loss;
         }
         assert!(last < 0.35, "loss stayed at {last}");
+    }
+
+    #[test]
+    fn forward_scratch_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut m = TsnLite::new(3, &mut rng);
+        let x = rng.uniform(&[2, 1, 32, 14, 14], 0.0, 1.0);
+        let plain = m.forward(&x, Mode::Eval);
+        let mut scratch = KernelScratch::new();
+        for _ in 0..2 {
+            let pooled = m.forward_scratch(&x, Mode::Eval, &mut scratch);
+            assert_eq!(pooled, plain, "scratch path diverged from forward");
+            scratch.recycle_tensor(pooled);
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Zero-allocation guarantee of the steady-state classification path.
+//!
+//! `classify_with_model` routes every intermediate — the batched clip
+//! view, all layer activations, im2col/vol2col patch matrices, and the
+//! probability row — through a caller-owned [`KernelScratch`] arena.
+//! After a few warm-up clips the pool reaches a fixed point and a
+//! classify performs **no** heap allocation at all. This test pins that
+//! down with a counting global allocator.
+//!
+//! The file deliberately holds a single test: the allocator counters
+//! are process-global, so a sibling test running on another thread
+//! would corrupt the measurement.
+
+use safecross::classify_with_model;
+use safecross_tensor::{kernel, KernelScratch, TensorRng};
+use safecross_trafficsim::Weather;
+use safecross_videoclass::SlowFastLite;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static DEALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_classify_allocates_nothing() {
+    // Spawning scoped GEMM workers allocates (thread stacks, join
+    // handles), so the zero-allocation guarantee is specific to the
+    // serial kernel path; pin it explicitly rather than relying on the
+    // host's core count.
+    kernel::set_threads(1);
+
+    let mut rng = TensorRng::seed_from(0);
+    let mut model = SlowFastLite::new(2, &mut rng);
+    let clip = rng.uniform(&[1, 32, 20, 20], 0.0, 1.0);
+    let mut scratch = KernelScratch::new();
+
+    // Warm the arena until the buffer pool reaches its fixed point.
+    let expected = classify_with_model(&mut model, &clip, Weather::Daytime, &mut scratch);
+    for _ in 0..3 {
+        classify_with_model(&mut model, &clip, Weather::Daytime, &mut scratch);
+    }
+
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCS.load(Ordering::SeqCst);
+    let mut verdicts = [expected; 8];
+    for v in &mut verdicts {
+        *v = classify_with_model(&mut model, &clip, Weather::Daytime, &mut scratch);
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - deallocs_before;
+
+    assert_eq!(allocs, 0, "steady-state classify hit the allocator");
+    assert_eq!(deallocs, 0, "steady-state classify freed memory");
+    for v in verdicts {
+        assert_eq!(v, expected, "warm classifies diverged");
+    }
+}
