@@ -1,0 +1,211 @@
+//! Real-weight model switching: how fast the switcher moves checkpoint
+//! bytes into the resident arena, what the pipelined schedule saves over
+//! stop-and-start on store-derived descriptors, and how much the
+//! content-addressed registry dedups across per-weather checkpoints.
+//!
+//! Besides the printed summary, the run is written to
+//! `BENCH_switch.json` at the workspace root — activation MB/s,
+//! pipelined vs non-pipelined makespan, and the registry's dedup ratio —
+//! so switching perf is machine-trackable across commits.
+//!
+//! Set `SAFECROSS_BENCH_QUICK=1` to run a reduced sweep (CI smoke).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safecross_modelswitch::{
+    simulate_switch, GpuSpec, ModelRegistry, ModelSwitcher, SwitchStrategy,
+};
+use safecross_nn::Mode;
+use safecross_telemetry::Registry;
+use safecross_tensor::{Tensor, TensorRng};
+use safecross_videoclass::{SlowFastLite, VideoClassifier};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("SAFECROSS_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Three weather checkpoints sharing a trunk — only the head differs —
+/// which is the deployment shape the registry's dedup targets.
+fn weather_checkpoints() -> Vec<(&'static str, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(0);
+    let mut base = SlowFastLite::new(2, &mut rng);
+    let clip = rng.uniform(&[1, 1, 32, 16, 16], 0.0, 1.0);
+    base.forward(&clip, Mode::Train); // non-trivial batch-norm buffers
+    let adapt = |src: &SlowFastLite, delta: f32| {
+        let mut out = src.clone();
+        let mut params = out.params_mut();
+        let head = params.last_mut().expect("model has parameters");
+        let bump = Tensor::full(head.value.dims(), delta);
+        head.value.add_scaled(&bump, 1.0);
+        out
+    };
+    let rain = adapt(&base, 0.25);
+    let snow = adapt(&base, -0.5);
+    vec![("daytime", base), ("rain", rain), ("snow", snow)]
+}
+
+struct SwitchRun {
+    switches: u64,
+    activated_bytes: u64,
+    wall_s: f64,
+    pipelined_ms: f64,
+    cold_ms: f64,
+    dedup_ratio: f64,
+    unique_groups: usize,
+    models: usize,
+}
+
+impl SwitchRun {
+    fn activation_mb_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.activated_bytes as f64 / (1024.0 * 1024.0) / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_switch_loop(rounds: usize) -> SwitchRun {
+    let registry = Registry::new();
+    let store = ModelRegistry::new();
+    store.instrument(&registry);
+    let checkpoints = weather_checkpoints();
+    for (name, model) in &checkpoints {
+        store.register_model(name, &model.state_groups());
+    }
+
+    let switcher = ModelSwitcher::new(
+        GpuSpec::rtx_2080_ti(),
+        11_000_000_000,
+        SwitchStrategy::PipelinedOptimal,
+    );
+    switcher.instrument(&registry);
+    switcher.attach_store(&store);
+    for (name, _) in &checkpoints {
+        switcher
+            .register_from_store(name, 36.0e9)
+            .expect("checkpoint stored");
+    }
+
+    // Alternate across the three checkpoints so every switch really
+    // replaces the resident weights.
+    let start = Instant::now();
+    let mut switches = 0u64;
+    for round in 0..rounds {
+        let (name, _) = &checkpoints[round % checkpoints.len()];
+        switcher.switch_to(name).expect("registered model");
+        switches += 1;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let snap = registry.snapshot();
+    let activated_bytes = snap.counter("switch.activate.bytes").unwrap_or(0);
+
+    // Analytic makespans on the store-derived descriptor (identical for
+    // all three checkpoints: same group structure and sizes).
+    let gpu = GpuSpec::rtx_2080_ti();
+    let desc = store.model_desc("daytime", 36.0e9).expect("stored");
+    let pipelined_ms = simulate_switch(&gpu, &desc, &SwitchStrategy::PipelinedOptimal).total_ms;
+    let cold_ms = simulate_switch(&gpu, &desc, &SwitchStrategy::StopAndStart).total_ms;
+
+    let dedup_ratio = if store.stored_bytes() > 0 {
+        store.logical_bytes() as f64 / store.stored_bytes() as f64
+    } else {
+        1.0
+    };
+    SwitchRun {
+        switches,
+        activated_bytes,
+        wall_s,
+        pipelined_ms,
+        cold_ms,
+        dedup_ratio,
+        unique_groups: store.unique_groups(),
+        models: store.model_count(),
+    }
+}
+
+fn write_bench_json(run: &SwitchRun) {
+    let json = format!(
+        "{{\n\"bench\": \"switch_bench\",\n\
+         \"switches\": {},\n\
+         \"activated_bytes\": {},\n\
+         \"activation_mb_per_s\": {:.2},\n\
+         \"pipelined_makespan_ms\": {:.3},\n\
+         \"cold_makespan_ms\": {:.3},\n\
+         \"pipelined_speedup\": {:.2},\n\
+         \"dedup_ratio\": {:.4},\n\
+         \"unique_groups\": {},\n\
+         \"models\": {}\n}}\n",
+        run.switches,
+        run.activated_bytes,
+        run.activation_mb_per_s(),
+        run.pipelined_ms,
+        run.cold_ms,
+        run.cold_ms / run.pipelined_ms,
+        run.dedup_ratio,
+        run.unique_groups,
+        run.models,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_switch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n[switch_bench] wrote {path}"),
+        Err(e) => println!("\n[switch_bench] could not write {path}: {e}"),
+    }
+}
+
+fn switch_bench(c: &mut Criterion) {
+    let rounds = if quick() { 30 } else { 300 };
+    println!("\n=== switch_bench (rounds={rounds}, quick={}) ===", quick());
+    let run = run_switch_loop(rounds);
+    println!(
+        "{} switches moved {:.1} MiB at {:.1} MiB/s",
+        run.switches,
+        run.activated_bytes as f64 / (1024.0 * 1024.0),
+        run.activation_mb_per_s(),
+    );
+    println!(
+        "analytic makespan: pipelined {:.3} ms vs cold {:.3} ms ({:.1}x)",
+        run.pipelined_ms,
+        run.cold_ms,
+        run.cold_ms / run.pipelined_ms
+    );
+    println!(
+        "registry: {} models, {} unique groups, dedup ratio {:.2}",
+        run.models, run.unique_groups, run.dedup_ratio
+    );
+    write_bench_json(&run);
+
+    // Criterion samples of one full switch (activation included) so
+    // regressions show in the regular bench output too.
+    let store = ModelRegistry::new();
+    for (name, model) in &weather_checkpoints() {
+        store.register_model(name, &model.state_groups());
+    }
+    let switcher = ModelSwitcher::new(
+        GpuSpec::rtx_2080_ti(),
+        11_000_000_000,
+        SwitchStrategy::PipelinedOptimal,
+    );
+    switcher.attach_store(&store);
+    for name in ["daytime", "rain", "snow"] {
+        switcher
+            .register_from_store(name, 36.0e9)
+            .expect("checkpoint stored");
+    }
+    let mut group = c.benchmark_group("model_switch");
+    group.sample_size(if quick() { 3 } else { 10 });
+    let mut flip = 0usize;
+    group.bench_function("activate_real_weights", |b| {
+        b.iter(|| {
+            let names = ["daytime", "rain", "snow"];
+            let name = names[flip % names.len()];
+            flip += 1;
+            black_box(switcher.switch_to(name).expect("registered model"));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, switch_bench);
+criterion_main!(benches);

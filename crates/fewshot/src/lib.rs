@@ -22,4 +22,4 @@ mod episode;
 mod maml;
 
 pub use episode::{sample_episode, Episode};
-pub use maml::{adapt, train_from_scratch, Maml, MamlConfig};
+pub use maml::{adapt, adapt_checkpoint, train_from_scratch, Maml, MamlConfig};

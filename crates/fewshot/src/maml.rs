@@ -2,6 +2,7 @@
 
 use crate::episode::{sample_episode, Episode};
 use safecross_dataset::Dataset;
+use safecross_modelswitch::{ModelManifest, ModelRegistry};
 use safecross_nn::{softmax_cross_entropy, Mode, Optimizer, Sgd};
 use safecross_tensor::{Tensor, TensorRng};
 use safecross_videoclass::{train, TrainConfig, VideoClassifier};
@@ -76,7 +77,7 @@ impl Maml {
         let logits = task_model.forward(&episode.query.0, Mode::Train);
         let (loss, grad) = softmax_cross_entropy(&logits, &episode.query.1);
         task_model.backward(&grad);
-        let grads = task_model.params().iter().map(|p| p.grad.clone()).collect();
+        let grads = task_model.params().iter().map(|p| p.grad_or_zeros()).collect();
         (grads, loss)
     }
 
@@ -129,11 +130,11 @@ impl Maml {
             for (grads, loss) in &results {
                 mean_loss += loss / n;
                 for (p, g) in params.iter_mut().zip(grads) {
-                    p.grad.add_scaled(g, 1.0 / n);
+                    p.grad_mut().add_scaled(g, 1.0 / n);
                 }
             }
             for p in params.iter_mut() {
-                let update = p.grad.clone();
+                let update = p.grad_or_zeros();
                 p.value.add_scaled(&update, -self.config.outer_lr);
                 p.zero_grad();
             }
@@ -167,6 +168,30 @@ where
     };
     inner_adapt(&mut adapted, &episode, steps, lr);
     adapted
+}
+
+/// [`adapt`], persisted: the adapted model is saved into `store` under
+/// `name` as content-addressed layer groups and returned together with
+/// its manifest. Layer groups the adaptation left untouched (e.g. a
+/// trunk the few inner steps barely moved won't dedup, but a frozen one
+/// will, and a re-registration of an identical checkpoint always does)
+/// share blobs with the checkpoints already in the store — so a fleet
+/// keeping daytime/rain/snow plus few-shot-adapted variants pays only
+/// for the groups that actually changed.
+pub fn adapt_checkpoint<M>(
+    meta: &M,
+    support: &(Tensor, Vec<usize>),
+    steps: usize,
+    lr: f32,
+    store: &ModelRegistry,
+    name: &str,
+) -> (M, ModelManifest)
+where
+    M: VideoClassifier + Clone,
+{
+    let adapted = adapt(meta, support, steps, lr);
+    let manifest = store.register_model(name, &adapted.state_groups());
+    (adapted, manifest)
 }
 
 /// The "without few-shot learning" ablation arm: trains a fresh model
@@ -296,6 +321,41 @@ mod tests {
         let all: Vec<usize> = (0..data.len()).collect();
         let model = train_from_scratch(small_model(6), &data, &all, 2, 0.05, 0);
         assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn adapt_checkpoint_persists_the_adapted_weights() {
+        let data = synthetic_dataset(6, 0.0, 11);
+        let meta = small_model(12);
+        let store = ModelRegistry::new();
+        // The meta model itself is a stored checkpoint too.
+        store.register_model("meta", &meta.state_groups());
+        let mut rng = TensorRng::seed_from(2);
+        let ep = sample_episode(&data, &(0..data.len()).collect::<Vec<_>>(), 2, 2, &mut rng);
+        let (adapted, manifest) =
+            adapt_checkpoint(&meta, &ep.support, 3, 0.1, &store, "rain_adapted");
+        assert_eq!(manifest.model, "rain_adapted");
+        assert!(store.contains("rain_adapted"));
+        // The stored state dict is bit-identical to the adapted model's.
+        let stored = store.state_dict("rain_adapted").expect("stored");
+        let live = adapted.state_dict();
+        let as_map = |v: &[(String, Tensor)]| {
+            let mut v: Vec<(String, Vec<u32>)> = v
+                .iter()
+                .map(|(n, t)| (n.clone(), t.data().iter().map(|x| x.to_bits()).collect()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(as_map(&stored), as_map(&live));
+        // Adaptation ran, so at least one group diverged from the meta
+        // checkpoint — but identical groups (batch-norm-free stages the
+        // support gradient never reached, if any) may still be shared.
+        assert_ne!(
+            store.state_dict("meta").map(|s| as_map(&s)),
+            Some(as_map(&live)),
+            "adaptation should move some weights"
+        );
     }
 
     #[test]

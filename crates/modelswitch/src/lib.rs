@@ -23,8 +23,13 @@
 //!   grouping*, found with a Pareto-pruned dynamic programme;
 //! - [`MemoryPool`]: the pinned GPU memory manager that lets the standby
 //!   model stream in next to the active one;
+//! - [`ModelRegistry`]: the content-addressed weight store — layer-group
+//!   blobs with refcounted dedup, shared by every consumer of a model;
 //! - [`ModelSwitcher`]: the registry the SafeCross runtime drives when
-//!   the detected weather scene changes.
+//!   the detected weather scene changes. With a [`ModelRegistry`]
+//!   attached, a switch *activates real weights*: every layer group of
+//!   the target checkpoint is copied into the resident arena in manifest
+//!   order, and the analytic timeline is driven by the same group sizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ mod proptests;
 mod memory;
 mod model_desc;
 mod schedule;
+mod store;
 mod switcher;
 
 pub use gpu::GpuSpec;
@@ -43,4 +49,10 @@ pub use model_desc::{LayerDesc, ModelDesc};
 pub use schedule::{
     optimal_groups, simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase,
 };
+pub use store::ModelRegistry;
 pub use switcher::{ModelSwitcher, SwitchBreakdown, SwitchError, SwitchOutcome, SwitchRecord};
+
+// The manifest types are defined next to the v2 serialisation format in
+// `safecross-nn`; re-exported here because they are the lingua franca
+// between checkpoints on disk, the store, and the switcher.
+pub use safecross_nn::{GroupManifest, ModelManifest};

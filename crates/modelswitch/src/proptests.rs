@@ -3,7 +3,9 @@
 use crate::gpu::GpuSpec;
 use crate::model_desc::{LayerDesc, ModelDesc};
 use crate::schedule::{optimal_groups, simulate_switch, SwitchStrategy};
+use crate::store::ModelRegistry;
 use proptest::prelude::*;
+use safecross_tensor::Tensor;
 
 fn arb_model() -> impl Strategy<Value = ModelDesc> {
     proptest::collection::vec((1_000usize..5_000_000, 1.0e6f64..5.0e8), 1..24).prop_map(
@@ -85,6 +87,66 @@ proptest! {
                 crate::schedule::TimelinePhase::Setup => {}
             }
             prop_assert!(e.end_ms >= e.start_ms);
+        }
+    }
+
+    // The invariants above are stated over hand-written descriptors.
+    // The registry path derives descriptors from real grouped weights
+    // (one timeline layer per manifest group, real byte sizes), and the
+    // same physics must hold there.
+    #[test]
+    fn manifest_derived_descriptors_respect_timeline_invariants(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(64usize..4096, 1..4),
+            1..8,
+        ),
+        flops in 1.0e6f64..5.0e9,
+    ) {
+        let store = ModelRegistry::new();
+        let grouped: Vec<(String, Vec<(String, Tensor)>)> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, elems)| {
+                let tensors = elems
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, &n)| {
+                        (format!("g{gi}.p{pi}"), Tensor::full(&[n], (gi * 31 + pi) as f32))
+                    })
+                    .collect();
+                (format!("g{gi}"), tensors)
+            })
+            .collect();
+        let manifest = store.register_model("prop", &grouped);
+        let model = store.model_desc("prop", flops).expect("registered");
+
+        // Descriptor faithfully mirrors the manifest.
+        prop_assert_eq!(model.num_layers(), manifest.groups.len());
+        for (layer, g) in model.layers.iter().zip(&manifest.groups) {
+            prop_assert_eq!(layer.param_bytes, g.bytes);
+        }
+        prop_assert_eq!(model.total_bytes(), manifest.total_bytes());
+        prop_assert!((model.total_flops() - flops).abs() < flops * 1e-9);
+
+        let gpu = GpuSpec::rtx_2080_ti();
+        let pipe = simulate_switch(&gpu, &model, &SwitchStrategy::PipelinedOptimal);
+        let cold = simulate_switch(&gpu, &model, &SwitchStrategy::StopAndStart);
+        prop_assert!(pipe.total_ms < cold.total_ms);
+
+        // Makespan >= bytes/bandwidth and compute lower bounds.
+        let min_transmit = model.total_bytes() as f64 / gpu.bandwidth_bytes_per_ms;
+        let min_compute = model.total_flops() * gpu.batch_size as f64 / gpu.flops_per_ms;
+        let makespan = pipe.total_ms - gpu.ipc_roundtrip_ms;
+        prop_assert!(makespan + 1e-6 >= min_transmit, "{} < {}", makespan, min_transmit);
+        prop_assert!(makespan + 1e-6 >= min_compute, "{} < {}", makespan, min_compute);
+
+        // Transmit ordering stays serial on the PCIe resource.
+        let mut last_transmit_end = 0.0f64;
+        for e in &pipe.timeline {
+            if e.phase == crate::schedule::TimelinePhase::Transmit {
+                prop_assert!(e.start_ms >= last_transmit_end - 1e-9);
+                last_transmit_end = e.end_ms;
+            }
         }
     }
 }

@@ -4,7 +4,10 @@ use crate::gpu::GpuSpec;
 use crate::memory::{MemoryError, MemoryPool};
 use crate::model_desc::ModelDesc;
 use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase};
+use crate::store::ModelRegistry;
+use safecross_nn::ModelManifest;
 use safecross_telemetry::{Counter, Histogram, Registry};
+use safecross_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -121,6 +124,21 @@ struct SwitchTelemetry {
     latency_ms: Histogram,
     transmit_ms: Histogram,
     compute_ms: Histogram,
+    activate_bytes: Counter,
+}
+
+/// The weights currently resident on the simulated device: every group
+/// of the active model, copied out of the store into one flat arena in
+/// manifest order.
+#[derive(Debug, Default)]
+struct ResidentModel {
+    name: String,
+    /// Flat arena holding all groups back to back. Reused (not
+    /// reallocated) across switches once it has grown to the largest
+    /// activated model.
+    arena: Vec<f32>,
+    /// `(qualified name, dims, offset, len)` per tensor, arena order.
+    params: Vec<(String, Vec<usize>, usize, usize)>,
 }
 
 /// A registry of scene models plus the simulated device state. This is
@@ -143,6 +161,10 @@ struct Inner {
     active: Option<String>,
     switch_log: Vec<SwitchRecord>,
     telemetry: Option<SwitchTelemetry>,
+    /// Weight store for real activations; descriptor-only operation
+    /// (synthetic [`ModelDesc`]s, no weights) works without one.
+    store: Option<ModelRegistry>,
+    resident: ResidentModel,
 }
 
 impl ModelSwitcher {
@@ -155,6 +177,8 @@ impl ModelSwitcher {
                 active: None,
                 switch_log: Vec::new(),
                 telemetry: None,
+                store: None,
+                resident: ResidentModel::default(),
             })),
             gpu,
             strategy,
@@ -173,6 +197,7 @@ impl ModelSwitcher {
             latency_ms: registry.histogram("ms.switch_ms"),
             transmit_ms: registry.histogram("ms.transmit_ms"),
             compute_ms: registry.histogram("ms.compute_ms"),
+            activate_bytes: registry.counter("switch.activate.bytes"),
         };
         self.inner.lock().expect("switcher mutex poisoned").telemetry = Some(tel);
     }
@@ -180,6 +205,42 @@ impl ModelSwitcher {
     /// Registers a scene model under `name` (e.g. `"daytime"`).
     pub fn register(&self, name: &str, model: ModelDesc) {
         self.inner.lock().expect("switcher mutex poisoned").registry.insert(name.to_owned(), model);
+    }
+
+    /// Attaches a weight store. Subsequent switches to models the store
+    /// holds *activate real weights*: each layer group's blob is copied
+    /// into the resident arena in manifest order (readable back through
+    /// [`ModelSwitcher::resident_state_dict`]). Models registered only
+    /// as descriptors keep their analytic-only behaviour.
+    pub fn attach_store(&self, store: &ModelRegistry) {
+        self.inner.lock().expect("switcher mutex poisoned").store = Some(store.clone());
+    }
+
+    /// Registers `name` straight from the attached store: the switch
+    /// descriptor is derived from the checkpoint's manifest — one
+    /// timeline layer per layer group, carrying the group's real byte
+    /// size — with `total_flops` spread proportionally to group bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::UnknownModel`] when no store is attached or the
+    /// store has no checkpoint under `name`.
+    pub fn register_from_store(&self, name: &str, total_flops: f64) -> Result<(), SwitchError> {
+        let store = self
+            .inner
+            .lock()
+            .expect("switcher mutex poisoned")
+            .store
+            .clone();
+        let desc = store
+            .as_ref()
+            .and_then(|s| s.model_desc(name, total_flops))
+            .ok_or_else(|| SwitchError::UnknownModel {
+                name: name.to_owned(),
+                registered: store.as_ref().map(|s| s.models()).unwrap_or_default(),
+            })?;
+        self.register(name, desc);
+        Ok(())
     }
 
     /// Registered model names, sorted.
@@ -257,6 +318,32 @@ impl ModelSwitcher {
         }
         let report = simulate_switch(&self.gpu, &model, &self.strategy);
         let breakdown = SwitchBreakdown::from_timeline(&report.timeline);
+        // Activate real weights when the store holds this checkpoint:
+        // copy each group's blob into the resident arena in manifest
+        // order, mirroring the transmit order of the analytic timeline.
+        // Memory was already reserved above, and on the OOM path we
+        // returned before reaching here, so a failed switch never
+        // disturbs the previously resident weights.
+        let manifest = inner
+            .store
+            .as_ref()
+            .and_then(|s| s.manifest(name))
+            .map(|m| (m, inner.store.clone().expect("store present")));
+        match manifest {
+            Some((manifest, store)) => {
+                let activated = activate(&mut inner.resident, name, &manifest, &store);
+                if let Some(tel) = &inner.telemetry {
+                    tel.activate_bytes.add(activated as u64);
+                }
+            }
+            None => {
+                // Descriptor-only model: nothing to copy, and whatever
+                // the arena held belongs to a no-longer-active model.
+                inner.resident.name.clear();
+                inner.resident.arena.clear();
+                inner.resident.params.clear();
+            }
+        }
         inner.active = Some(name.to_owned());
         inner.switch_log.push(SwitchRecord {
             model: name.to_owned(),
@@ -304,6 +391,76 @@ impl ModelSwitcher {
     pub fn switch_count(&self) -> usize {
         self.with_switch_log(|log| log.len())
     }
+
+    /// The name of the model whose weights sit in the resident arena,
+    /// if the last successful switch activated real weights.
+    pub fn resident_model(&self) -> Option<String> {
+        let inner = self.inner.lock().expect("switcher mutex poisoned");
+        if inner.resident.name.is_empty() {
+            None
+        } else {
+            Some(inner.resident.name.clone())
+        }
+    }
+
+    /// Bytes of weight data currently resident in the arena.
+    pub fn resident_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("switcher mutex poisoned");
+        inner.resident.params.iter().map(|(_, _, _, len)| len * 4).sum()
+    }
+
+    /// Reconstructs the resident weights as a named state dictionary —
+    /// the tensors a consumer would load to run the active model. They
+    /// are bit-identical to the checkpoint registered in the store:
+    /// activation copies bytes, it does not transform them.
+    ///
+    /// Returns `None` when no weight-bearing model is resident (nothing
+    /// switched yet, or the active model was registered descriptor-only).
+    pub fn resident_state_dict(&self) -> Option<Vec<(String, Tensor)>> {
+        let inner = self.inner.lock().expect("switcher mutex poisoned");
+        if inner.resident.name.is_empty() {
+            return None;
+        }
+        Some(
+            inner
+                .resident
+                .params
+                .iter()
+                .map(|(name, dims, offset, len)| {
+                    let data = inner.resident.arena[*offset..*offset + *len].to_vec();
+                    (name.clone(), Tensor::from_vec(data, dims))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Copies every group of `manifest` out of `store` into the resident
+/// arena, group by group in manifest order, and returns the number of
+/// bytes moved. The arena allocation is reused across activations.
+fn activate(
+    resident: &mut ResidentModel,
+    name: &str,
+    manifest: &ModelManifest,
+    store: &ModelRegistry,
+) -> usize {
+    resident.name.clear();
+    resident.arena.clear();
+    resident.params.clear();
+    for group in &manifest.groups {
+        let payload = store
+            .group_payload(group.hash)
+            .expect("manifest group has a stored blob");
+        let base = resident.arena.len();
+        resident.arena.extend_from_slice(&payload.data);
+        for (pname, (dims, offset, len)) in group.params.iter().zip(&payload.spans) {
+            resident
+                .params
+                .push((pname.clone(), dims.clone(), base + offset, *len));
+        }
+    }
+    resident.name = name.to_owned();
+    resident.arena.len() * 4
 }
 
 #[cfg(test)]
@@ -438,6 +595,132 @@ mod tests {
             events[1].field("model").map(|v| v.to_string()),
             Some("rain".to_owned())
         );
+    }
+
+    fn stored_switcher(gpu_memory: usize) -> (ModelSwitcher, ModelRegistry) {
+        let store = ModelRegistry::new();
+        let daytime = vec![
+            ("stem".to_owned(), vec![("stem.w".to_owned(), Tensor::full(&[64], 1.0))]),
+            ("head".to_owned(), vec![("head.w".to_owned(), Tensor::full(&[8], 2.0))]),
+        ];
+        let rain = vec![
+            ("stem".to_owned(), vec![("stem.w".to_owned(), Tensor::full(&[64], 1.0))]),
+            ("head".to_owned(), vec![("head.w".to_owned(), Tensor::full(&[8], 5.0))]),
+        ];
+        store.register_model("daytime", &daytime);
+        store.register_model("rain", &rain);
+        let s = ModelSwitcher::new(
+            GpuSpec::rtx_2080_ti(),
+            gpu_memory,
+            SwitchStrategy::PipelinedOptimal,
+        );
+        s.attach_store(&store);
+        s.register_from_store("daytime", 1.0e9).unwrap();
+        s.register_from_store("rain", 1.0e9).unwrap();
+        (s, store)
+    }
+
+    #[test]
+    fn switch_activates_real_weights_in_manifest_order() {
+        let (s, store) = stored_switcher(1 << 20);
+        assert_eq!(s.resident_state_dict(), None);
+        s.switch_to("daytime").unwrap();
+        assert_eq!(s.resident_model().as_deref(), Some("daytime"));
+        assert_eq!(s.resident_bytes(), (64 + 8) * 4);
+        let resident = s.resident_state_dict().expect("weights activated");
+        assert_eq!(resident, store.state_dict("daytime").expect("registered"));
+        s.switch_to("rain").unwrap();
+        let resident = s.resident_state_dict().expect("weights activated");
+        assert_eq!(resident, store.state_dict("rain").expect("registered"));
+        assert_eq!(resident[1].1, Tensor::full(&[8], 5.0));
+    }
+
+    #[test]
+    fn stored_descriptor_carries_real_group_sizes() {
+        let (s, store) = stored_switcher(1 << 20);
+        let desc = store.model_desc("daytime", 1.0e9).expect("registered");
+        assert_eq!(desc.num_layers(), 2, "one timeline layer per group");
+        assert_eq!(desc.layers[0].param_bytes, 64 * 4);
+        assert_eq!(desc.layers[1].param_bytes, 8 * 4);
+        // The simulated switch moves exactly the manifest's bytes.
+        if let SwitchOutcome::Switched(r) = s.switch_to("daytime").unwrap() {
+            assert!(r.total_ms > 0.0);
+        } else {
+            panic!("expected a switch");
+        }
+        assert_eq!(s.resident_bytes(), desc.total_bytes());
+    }
+
+    #[test]
+    fn failed_switch_keeps_previous_weights_resident() {
+        // Pool fits one small model; "huge" is registered with a
+        // descriptor too big to ever fit.
+        let (s, store) = stored_switcher(80 * 4 + 64);
+        s.register("huge", ModelDesc::resnet152());
+        s.switch_to("daytime").unwrap();
+        let before = s.resident_state_dict().expect("weights activated");
+        let err = s.switch_to("huge").unwrap_err();
+        assert!(matches!(err, SwitchError::OutOfMemory { .. }));
+        assert_eq!(s.active().as_deref(), Some("daytime"));
+        assert_eq!(
+            s.resident_state_dict().expect("rollback keeps weights"),
+            before,
+            "failed switch must not disturb resident weights"
+        );
+        assert_eq!(before, store.state_dict("daytime").expect("registered"));
+    }
+
+    #[test]
+    fn descriptor_only_switch_clears_stale_resident_weights() {
+        let (s, _store) = stored_switcher(1 << 30);
+        s.register("synthetic", ModelDesc::inception_v3());
+        s.switch_to("daytime").unwrap();
+        assert!(s.resident_state_dict().is_some());
+        s.switch_to("synthetic").unwrap();
+        assert_eq!(s.active().as_deref(), Some("synthetic"));
+        assert_eq!(
+            s.resident_state_dict(),
+            None,
+            "a descriptor-only model has no weights to expose"
+        );
+    }
+
+    #[test]
+    fn activation_bytes_land_in_telemetry() {
+        let registry = Registry::new();
+        let (s, _store) = stored_switcher(1 << 20);
+        s.instrument(&registry);
+        s.switch_to("daytime").unwrap();
+        s.switch_to("rain").unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("switch.activate.bytes"),
+            Some((2 * (64 + 8) * 4) as u64),
+        );
+    }
+
+    #[test]
+    fn register_from_store_requires_a_stored_checkpoint() {
+        let s = ModelSwitcher::new(
+            GpuSpec::rtx_2080_ti(),
+            1 << 20,
+            SwitchStrategy::PipelinedOptimal,
+        );
+        // No store attached at all.
+        assert!(matches!(
+            s.register_from_store("daytime", 1.0),
+            Err(SwitchError::UnknownModel { .. })
+        ));
+        let store = ModelRegistry::new();
+        s.attach_store(&store);
+        let err = s.register_from_store("fog", 1.0).unwrap_err();
+        match err {
+            SwitchError::UnknownModel { name, registered } => {
+                assert_eq!(name, "fog");
+                assert!(registered.is_empty());
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
     }
 
     #[test]

@@ -163,9 +163,9 @@ impl Layer for Conv2d {
                 .reshape(&[self.out_channels, plane]);
             // dW += dy * cols^T (transb: cols rows are already packed)
             let dw = dy.matmul_transb(&self.cached_cols[i]);
-            self.weight.grad.add_scaled(&dw, 1.0);
+            self.weight.grad_mut().add_scaled(&dw, 1.0);
             // db += row sums of dy
-            let db = self.bias.grad.data_mut();
+            let db = self.bias.grad_mut().data_mut();
             for (c, dbc) in db.iter_mut().enumerate() {
                 *dbc += dy.data()[c * plane..(c + 1) * plane].iter().sum::<f32>();
             }

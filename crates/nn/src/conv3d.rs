@@ -177,8 +177,8 @@ impl Layer for Conv3d {
                 .index_axis0(i)
                 .reshape(&[self.out_channels, plane]);
             let dw = dy.matmul_transb(&self.cached_cols[i]);
-            self.weight.grad.add_scaled(&dw, 1.0);
-            let db = self.bias.grad.data_mut();
+            self.weight.grad_mut().add_scaled(&dw, 1.0);
+            let db = self.bias.grad_mut().data_mut();
             for (c, dbc) in db.iter_mut().enumerate() {
                 *dbc += dy.data()[c * plane..(c + 1) * plane].iter().sum::<f32>();
             }

@@ -89,7 +89,7 @@ fn check_layer_with_outliers(
     let out = layer.forward(&x, Mode::Train);
     let (_, dout) = scalar_loss(&out, &proj, &labels);
     layer.backward(&dout);
-    let analytic_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+    let analytic_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad_or_zeros()).collect();
 
     let param_count = layer.params().len();
     // `pi` re-borrows `layer.params()` mutably inside the loop, so an

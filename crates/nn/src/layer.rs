@@ -84,6 +84,27 @@ pub trait Layer: Send + Sync {
     /// forward-compatible.
     fn set_buffer(&mut self, _name: &str, _value: Tensor) {}
 
+    /// Visits every named tensor of persistent state — parameters first,
+    /// then buffers — as `(qualified name, tensor)` pairs.
+    ///
+    /// `prefix` is prepended verbatim to each name, so containers can
+    /// qualify their children (e.g. [`crate::Sequential`] recurses with
+    /// `"{prefix}{index}."`). This is the state-dict visitor the model
+    /// artifact IR is built on: serialisation and the model registry
+    /// enumerate weights through it instead of assuming a flat layout.
+    ///
+    /// The default implementation emits `params()` under their own
+    /// [`Param::name`]s followed by `buffers()`; containers should
+    /// override it to recurse so nested names stay stable.
+    fn visit_params(&self, prefix: &str, visit: &mut dyn FnMut(&str, &Tensor)) {
+        for p in self.params() {
+            visit(&format!("{prefix}{}", p.name), &p.value);
+        }
+        for (name, buf) in self.buffers() {
+            visit(&format!("{prefix}{name}"), &buf);
+        }
+    }
+
     /// A short human-readable identifier (`"linear(4->8)"`).
     fn name(&self) -> String;
 

@@ -63,7 +63,10 @@ pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::{Flatten, GlobalAvgPool, MaxPool2d, MaxPool3d};
 pub use sequential::Sequential;
-pub use serialize::{load_tensors, save_tensors, SerializeError};
+pub use serialize::{
+    load_grouped, load_tensors, manifest_for, save_grouped, save_tensors, GroupManifest,
+    ModelManifest, SerializeError, V1_COMPAT_GROUP,
+};
 
 #[cfg(test)]
 mod gradcheck;

@@ -114,11 +114,11 @@ impl Layer for Linear {
             .expect("Linear::backward called before a training forward");
         // dW = dy^T x ; db = column sums of dy ; dx = dy W
         let dw = grad_out.transpose().matmul(x);
-        self.weight.grad.add_scaled(&dw, 1.0);
+        self.weight.grad_mut().add_scaled(&dw, 1.0);
         let n = grad_out.shape().dim(0);
         let out = self.out_features;
         let g = grad_out.data();
-        let db = self.bias.grad.data_mut();
+        let db = self.bias.grad_mut().data_mut();
         for i in 0..n {
             for (j, dbj) in db.iter_mut().enumerate() {
                 *dbj += g[i * out + j];
@@ -168,8 +168,8 @@ mod tests {
         let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
         fc.forward(&x, Mode::Train);
         let dx = fc.backward(&Tensor::ones(&[1, 1]));
-        assert_eq!(fc.weight.grad.data(), &[2.0, 3.0]);
-        assert_eq!(fc.bias.grad.data(), &[1.0]);
+        assert_eq!(fc.weight.grad_or_zeros().data(), &[2.0, 3.0]);
+        assert_eq!(fc.bias.grad_or_zeros().data(), &[1.0]);
         assert_eq!(dx.data(), &[1.0, -1.0]);
     }
 
@@ -180,10 +180,10 @@ mod tests {
         let x = Tensor::ones(&[1, 1]);
         fc.forward(&x, Mode::Train);
         fc.backward(&Tensor::ones(&[1, 1]));
-        let g1 = fc.bias.grad.data()[0];
+        let g1 = fc.bias.grad_or_zeros().data()[0];
         fc.forward(&x, Mode::Train);
         fc.backward(&Tensor::ones(&[1, 1]));
-        assert_eq!(fc.bias.grad.data()[0], 2.0 * g1);
+        assert_eq!(fc.bias.grad_or_zeros().data()[0], 2.0 * g1);
     }
 
     #[test]

@@ -204,8 +204,8 @@ impl Layer for BatchNorm {
                     sum_dy_xhat += dy[base + r] * xh[base + r];
                 }
             }
-            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
-            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad_mut().data_mut()[ch] += sum_dy_xhat;
+            self.beta.grad_mut().data_mut()[ch] += sum_dy;
             let scale = g[ch] * cache.inv_std[ch];
             let mean_dy = sum_dy / count;
             let mean_dy_xhat = sum_dy_xhat / count;

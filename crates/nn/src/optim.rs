@@ -28,7 +28,7 @@ pub trait Optimizer {
 /// use safecross_tensor::Tensor;
 ///
 /// let mut p = Param::new("w", Tensor::ones(&[1]));
-/// p.grad = Tensor::ones(&[1]);
+/// p.set_grad(Tensor::ones(&[1]));
 /// Sgd::new(0.5).step(&mut [&mut p]);
 /// assert_eq!(p.value.data(), &[0.5]);
 /// ```
@@ -90,7 +90,9 @@ impl Optimizer for Sgd {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
-            let mut g = p.grad.clone();
+            // An unallocated gradient is logically zero: weight decay and
+            // momentum must still act exactly as they would on real zeros.
+            let mut g = p.grad_or_zeros();
             if self.weight_decay > 0.0 {
                 g.add_scaled(&p.value, self.weight_decay);
             }
@@ -161,7 +163,9 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.iter_mut().enumerate() {
-            let g = &p.grad;
+            // Unallocated gradients are logically zero; the moment decay
+            // below matches the dense update with gi = 0 exactly.
+            let g = p.grad_or_zeros();
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             for ((mi, vi), &gi) in m
@@ -195,13 +199,20 @@ impl Optimizer for Adam {
 pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     let total: f32 = params
         .iter()
-        .map(|p| p.grad.data().iter().map(|&g| g * g).sum::<f32>())
+        .map(|p| {
+            p.grad()
+                .map_or(0.0, |g| g.data().iter().map(|&g| g * g).sum::<f32>())
+        })
         .sum::<f32>()
         .sqrt();
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for p in params.iter_mut() {
-            p.grad.map_in_place(|g| g * scale);
+            // Scaling an unallocated (all-zero) gradient is a no-op, so
+            // only touch parameters that actually hold one.
+            if p.has_grad() {
+                p.grad_mut().map_in_place(|g| g * scale);
+            }
         }
     }
     total
@@ -221,7 +232,7 @@ mod tests {
         let mut p = Param::new("w", Tensor::zeros(&[4]));
         let mut opt = Sgd::new(0.2);
         for _ in 0..100 {
-            p.grad = quadratic_grad(&p);
+            p.set_grad(quadratic_grad(&p));
             opt.step(&mut [&mut p]);
         }
         assert!(p.value.data().iter().all(|&w| (w - 3.0).abs() < 1e-3));
@@ -232,7 +243,7 @@ mod tests {
         let run = |mut opt: Sgd| {
             let mut p = Param::new("w", Tensor::zeros(&[1]));
             for _ in 0..40 {
-                p.grad = quadratic_grad(&p);
+                p.set_grad(quadratic_grad(&p));
                 opt.step(&mut [&mut p]);
             }
             (p.value.data()[0] - 3.0).abs()
@@ -250,7 +261,7 @@ mod tests {
         let mut p = Param::new("w", Tensor::zeros(&[4]));
         let mut opt = Adam::new(0.1);
         for _ in 0..300 {
-            p.grad = quadratic_grad(&p);
+            p.set_grad(quadratic_grad(&p));
             opt.step(&mut [&mut p]);
         }
         assert!(p.value.data().iter().all(|&w| (w - 3.0).abs() < 1e-2));
@@ -268,20 +279,21 @@ mod tests {
     #[test]
     fn step_clears_gradients() {
         let mut p = Param::new("w", Tensor::zeros(&[2]));
-        p.grad = Tensor::ones(&[2]);
+        p.set_grad(Tensor::ones(&[2]));
         Sgd::new(0.1).step(&mut [&mut p]);
-        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.grad_or_zeros().sum(), 0.0);
     }
 
     #[test]
     fn clip_grad_norm_caps_global_norm() {
         let mut a = Param::new("a", Tensor::zeros(&[2]));
         let mut b = Param::new("b", Tensor::zeros(&[2]));
-        a.grad = Tensor::full(&[2], 3.0);
-        b.grad = Tensor::full(&[2], 4.0);
+        a.set_grad(Tensor::full(&[2], 3.0));
+        b.set_grad(Tensor::full(&[2], 4.0));
         let pre = clip_grad_norm(&mut [&mut a, &mut b], 1.0);
         assert!((pre - 50.0f32.sqrt()).abs() < 1e-4);
-        let post: f32 = (a.grad.data().iter().chain(b.grad.data()))
+        let (ga, gb) = (a.grad_or_zeros(), b.grad_or_zeros());
+        let post: f32 = (ga.data().iter().chain(gb.data()))
             .map(|&g| g * g)
             .sum::<f32>()
             .sqrt();
@@ -291,8 +303,8 @@ mod tests {
     #[test]
     fn clip_grad_norm_leaves_small_gradients_alone() {
         let mut p = Param::new("w", Tensor::zeros(&[1]));
-        p.grad = Tensor::full(&[1], 0.5);
+        p.set_grad(Tensor::full(&[1], 0.5));
         clip_grad_norm(&mut [&mut p], 1.0);
-        assert_eq!(p.grad.data(), &[0.5]);
+        assert_eq!(p.grad_or_zeros().data(), &[0.5]);
     }
 }

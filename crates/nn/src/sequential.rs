@@ -130,6 +130,14 @@ impl Layer for Sequential {
             .collect()
     }
 
+    fn visit_params(&self, prefix: &str, visit: &mut dyn FnMut(&str, &Tensor)) {
+        // Recurse with indexed prefixes so nested stacks yield stable
+        // qualified names ("0.weight", "2.1.running_mean", ...).
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.visit_params(&format!("{prefix}{i}."), visit);
+        }
+    }
+
     fn set_buffer(&mut self, name: &str, value: Tensor) {
         if let Some((idx, rest)) = name.split_once('.') {
             if let Ok(i) = idx.parse::<usize>() {
@@ -199,9 +207,9 @@ mod tests {
         let x = rng.uniform(&[2, 3], -1.0, 1.0);
         net.forward(&x, Mode::Train);
         net.backward(&Tensor::ones(&[2, 2]));
-        assert!(net.params().iter().any(|p| p.grad.norm() > 0.0));
+        assert!(net.params().iter().any(|p| p.grad_or_zeros().norm() > 0.0));
         net.zero_grad();
-        assert!(net.params().iter().all(|p| p.grad.norm() == 0.0));
+        assert!(net.params().iter().all(|p| p.grad_or_zeros().norm() == 0.0));
     }
 
     #[test]

@@ -1,23 +1,51 @@
-//! Weight serialisation: a simple binary state-dictionary format.
+//! Weight serialisation: the SafeCross state-dictionary formats.
 //!
-//! Layout (little-endian):
+//! Two on-disk layouts share the `"SCNN"` magic (all integers
+//! little-endian):
+//!
+//! **v1** — a flat list of named tensors:
 //!
 //! ```text
-//! magic "SCNN" | u32 version | u32 entry count
+//! magic "SCNN" | u32 version = 1 | u32 entry count
 //! per entry: u32 name len | name bytes | u32 ndim | u32 dims... | f32 data...
 //! ```
 //!
-//! The model-switching crate also uses the serialised byte size as the
-//! transmission payload size in its PCIe model.
+//! **v2** — the model artifact IR: a *manifest* of layer groups followed
+//! by the same entry encoding, with entries stored in manifest order:
+//!
+//! ```text
+//! magic "SCNN" | u32 version = 2
+//! u32 model-name len | model-name bytes
+//! u32 group count
+//! per group: u32 name len | name bytes
+//!            | u32 param count | per param: u32 name len | name bytes
+//!            | u64 payload bytes | u64 content hash
+//! u32 entry count | entries as in v1 (concatenated groups, in order)
+//! ```
+//!
+//! The manifest is the contract with `safecross-modelswitch`: each group
+//! records its real payload size (`4 * Σ elements`, the bytes a switch
+//! must move over PCIe) and a content hash ([`safecross_tensor::blob`])
+//! that the model registry uses to deduplicate identical groups across
+//! checkpoints. Transmission payloads in the switch timeline are derived
+//! from these manifest byte counts — not from hand-written descriptors
+//! and not from the total file size.
+//!
+//! [`load_tensors`] and [`load_grouped`] read both versions; a v1 file
+//! surfaces as a single group named `"all"` so older checkpoints keep
+//! working (see `tests/model_io.rs`).
 
-use safecross_tensor::Tensor;
+use safecross_tensor::{content_hash, Tensor};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SCNN";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// Group name synthesised when reading a v1 file through the grouped API.
+pub const V1_COMPAT_GROUP: &str = "all";
 
 /// Errors produced while reading a weight file.
 #[derive(Debug)]
@@ -52,7 +80,83 @@ impl From<io::Error> for SerializeError {
     }
 }
 
-/// Writes named tensors to `path` in the SafeCross weight format.
+/// One layer group in a v2 manifest: a named, contiguous slice of the
+/// state dictionary that moves as a unit during a model switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupManifest {
+    /// Group name (e.g. `"fast1"`, `"head"`).
+    pub name: String,
+    /// Qualified names of the tensors in this group, in storage order.
+    pub params: Vec<String>,
+    /// Payload size in bytes (`4 *` total element count).
+    pub bytes: usize,
+    /// Content hash of the group's tensors (shapes + data, order
+    /// sensitive, name insensitive) — see [`safecross_tensor::blob`].
+    pub hash: u64,
+}
+
+/// The v2 manifest: a model name plus its ordered layer groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelManifest {
+    /// Model identifier (e.g. a weather label or checkpoint name).
+    pub model: String,
+    /// Layer groups in activation/transmission order.
+    pub groups: Vec<GroupManifest>,
+}
+
+impl ModelManifest {
+    /// Total payload bytes across all groups.
+    pub fn total_bytes(&self) -> usize {
+        self.groups.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Total number of tensors across all groups.
+    pub fn total_params(&self) -> usize {
+        self.groups.iter().map(|g| g.params.len()).sum()
+    }
+}
+
+/// Builds the manifest for in-memory groups without writing anything —
+/// the same hashes and byte counts [`save_grouped`] would record.
+pub fn manifest_for(model: &str, groups: &[(String, Vec<(String, Tensor)>)]) -> ModelManifest {
+    ModelManifest {
+        model: model.to_owned(),
+        groups: groups
+            .iter()
+            .map(|(name, entries)| GroupManifest {
+                name: name.clone(),
+                params: entries.iter().map(|(n, _)| n.clone()).collect(),
+                bytes: entries.iter().map(|(_, t)| t.len() * 4).sum(),
+                hash: content_hash(entries.iter().map(|(_, t)| t)),
+            })
+            .collect(),
+    }
+}
+
+fn write_str(f: &mut File, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    f.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    f.write_all(bytes)
+}
+
+fn write_entry(f: &mut File, name: &str, tensor: &Tensor) -> io::Result<()> {
+    write_str(f, name)?;
+    f.write_all(&(tensor.shape().ndim() as u32).to_le_bytes())?;
+    for &d in tensor.dims() {
+        f.write_all(&(d as u32).to_le_bytes())?;
+    }
+    for &v in tensor.data() {
+        f.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes named tensors to `path` in the legacy flat v1 format.
+///
+/// New code should prefer [`save_grouped`], which records the layer-group
+/// manifest the model registry and switcher consume; this writer is kept
+/// so v1 fixtures and pre-manifest checkpoints can still be produced and
+/// read back (see [`load_tensors`]).
 ///
 /// # Errors
 ///
@@ -60,77 +164,212 @@ impl From<io::Error> for SerializeError {
 pub fn save_tensors(path: &Path, named: &[(String, Tensor)]) -> Result<(), SerializeError> {
     let mut f = File::create(path)?;
     f.write_all(MAGIC)?;
-    f.write_all(&VERSION.to_le_bytes())?;
+    f.write_all(&VERSION_V1.to_le_bytes())?;
     f.write_all(&(named.len() as u32).to_le_bytes())?;
     for (name, tensor) in named {
-        let bytes = name.as_bytes();
-        f.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        f.write_all(bytes)?;
-        f.write_all(&(tensor.shape().ndim() as u32).to_le_bytes())?;
-        for &d in tensor.dims() {
-            f.write_all(&(d as u32).to_le_bytes())?;
-        }
-        for &v in tensor.data() {
-            f.write_all(&v.to_le_bytes())?;
-        }
+        write_entry(&mut f, name, tensor)?;
     }
     Ok(())
 }
 
-/// Reads named tensors from a file written by [`save_tensors`].
+/// Writes a grouped state dictionary to `path` in the v2 format and
+/// returns the manifest that was recorded.
+///
+/// Groups are written in the given order; within a group, tensors keep
+/// their order. That order is load-bearing: it is the order a
+/// [`ModelSwitcher`](../safecross_modelswitch/struct.ModelSwitcher.html)
+/// activates groups in.
 ///
 /// # Errors
 ///
-/// Returns [`SerializeError::Format`] on magic/version mismatch or
-/// truncated data, and [`SerializeError::Io`] on read failures.
-pub fn load_tensors(path: &Path) -> Result<Vec<(String, Tensor)>, SerializeError> {
-    let mut f = File::open(path)?;
-    let mut buf = Vec::new();
-    f.read_to_end(&mut buf)?;
-    let mut cursor = 0usize;
+/// Returns any I/O error from creating or writing the file.
+pub fn save_grouped(
+    path: &Path,
+    model: &str,
+    groups: &[(String, Vec<(String, Tensor)>)],
+) -> Result<ModelManifest, SerializeError> {
+    let manifest = manifest_for(model, groups);
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&VERSION_V2.to_le_bytes())?;
+    write_str(&mut f, model)?;
+    f.write_all(&(manifest.groups.len() as u32).to_le_bytes())?;
+    for g in &manifest.groups {
+        write_str(&mut f, &g.name)?;
+        f.write_all(&(g.params.len() as u32).to_le_bytes())?;
+        for p in &g.params {
+            write_str(&mut f, p)?;
+        }
+        f.write_all(&(g.bytes as u64).to_le_bytes())?;
+        f.write_all(&g.hash.to_le_bytes())?;
+    }
+    let total: usize = groups.iter().map(|(_, e)| e.len()).sum();
+    f.write_all(&(total as u32).to_le_bytes())?;
+    for (_, entries) in groups {
+        for (name, tensor) in entries {
+            write_entry(&mut f, name, tensor)?;
+        }
+    }
+    Ok(manifest)
+}
 
-    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], SerializeError> {
-        if *cursor + n > buf.len() {
+struct Reader<'a> {
+    buf: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerializeError> {
+        if self.cursor + n > self.buf.len() {
             return Err(SerializeError::Format("unexpected end of file".into()));
         }
-        let s = &buf[*cursor..*cursor + n];
-        *cursor += n;
+        let s = &self.buf[self.cursor..self.cursor + n];
+        self.cursor += n;
         Ok(s)
-    };
-    let take_u32 = |cursor: &mut usize| -> Result<u32, SerializeError> {
-        let b = take(cursor, 4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    };
+    }
 
-    if take(&mut cursor, 4)? != MAGIC {
-        return Err(SerializeError::Format("bad magic".into()));
+    fn take_u32(&mut self) -> Result<u32, SerializeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    let version = take_u32(&mut cursor)?;
-    if version != VERSION {
-        return Err(SerializeError::Format(format!(
-            "unsupported version {version}"
-        )));
+
+    fn take_u64(&mut self) -> Result<u64, SerializeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
     }
-    let count = take_u32(&mut cursor)? as usize;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let name_len = take_u32(&mut cursor)? as usize;
-        let name = String::from_utf8(take(&mut cursor, name_len)?.to_vec())
-            .map_err(|_| SerializeError::Format("non-utf8 tensor name".into()))?;
-        let ndim = take_u32(&mut cursor)? as usize;
+
+    fn take_str(&mut self) -> Result<String, SerializeError> {
+        let len = self.take_u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| SerializeError::Format("non-utf8 name".into()))
+    }
+
+    fn take_entry(&mut self) -> Result<(String, Tensor), SerializeError> {
+        let name = self.take_str()?;
+        let ndim = self.take_u32()? as usize;
         let mut dims = Vec::with_capacity(ndim);
         for _ in 0..ndim {
-            dims.push(take_u32(&mut cursor)? as usize);
+            dims.push(self.take_u32()? as usize);
         }
         let len: usize = dims.iter().product::<usize>().max(1);
-        let raw = take(&mut cursor, len * 4)?;
+        let raw = self.take(len * 4)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        out.push((name, Tensor::from_vec(data, &dims)));
+        Ok((name, Tensor::from_vec(data, &dims)))
     }
-    Ok(out)
+}
+
+/// Reads a weight file (either version) as a manifest plus the flat
+/// entry list in manifest order.
+///
+/// A v1 file yields a single group named [`V1_COMPAT_GROUP`] with an
+/// empty model name; its byte size and content hash are computed from
+/// the loaded tensors, so v1 checkpoints dedupe correctly once imported
+/// into a registry. For v2 files every group's recorded byte size and
+/// content hash are verified against the loaded tensors.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Format`] on magic/version mismatch,
+/// truncated data, or a manifest that disagrees with the entries, and
+/// [`SerializeError::Io`] on read failures.
+pub fn load_grouped(path: &Path) -> Result<(ModelManifest, Vec<(String, Tensor)>), SerializeError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let mut r = Reader { buf: &buf, cursor: 0 };
+
+    if r.take(4)? != MAGIC {
+        return Err(SerializeError::Format("bad magic".into()));
+    }
+    let version = r.take_u32()?;
+    match version {
+        VERSION_V1 => {
+            let count = r.take_u32()? as usize;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(r.take_entry()?);
+            }
+            let manifest = manifest_for(
+                "",
+                &[(V1_COMPAT_GROUP.to_owned(), entries.clone())],
+            );
+            Ok((manifest, entries))
+        }
+        VERSION_V2 => {
+            let model = r.take_str()?;
+            let group_count = r.take_u32()? as usize;
+            let mut groups = Vec::with_capacity(group_count);
+            for _ in 0..group_count {
+                let name = r.take_str()?;
+                let param_count = r.take_u32()? as usize;
+                let mut params = Vec::with_capacity(param_count);
+                for _ in 0..param_count {
+                    params.push(r.take_str()?);
+                }
+                let bytes = r.take_u64()? as usize;
+                let hash = r.take_u64()?;
+                groups.push(GroupManifest { name, params, bytes, hash });
+            }
+            let manifest = ModelManifest { model, groups };
+            let entry_count = r.take_u32()? as usize;
+            if entry_count != manifest.total_params() {
+                return Err(SerializeError::Format(format!(
+                    "manifest lists {} tensors but file stores {entry_count}",
+                    manifest.total_params()
+                )));
+            }
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                entries.push(r.take_entry()?);
+            }
+            // Verify the manifest against the payload: names, sizes and
+            // content hashes must all agree, group by group.
+            let mut offset = 0usize;
+            for g in &manifest.groups {
+                let slice = &entries[offset..offset + g.params.len()];
+                offset += g.params.len();
+                for (want, (got, _)) in g.params.iter().zip(slice) {
+                    if want != got {
+                        return Err(SerializeError::Format(format!(
+                            "group {:?}: manifest names {want:?} but payload stores {got:?}",
+                            g.name
+                        )));
+                    }
+                }
+                let bytes: usize = slice.iter().map(|(_, t)| t.len() * 4).sum();
+                if bytes != g.bytes {
+                    return Err(SerializeError::Format(format!(
+                        "group {:?}: manifest claims {} bytes but payload holds {bytes}",
+                        g.name, g.bytes
+                    )));
+                }
+                let hash = content_hash(slice.iter().map(|(_, t)| t));
+                if hash != g.hash {
+                    return Err(SerializeError::Format(format!(
+                        "group {:?}: content hash mismatch (corrupted payload?)",
+                        g.name
+                    )));
+                }
+            }
+            Ok((manifest, entries))
+        }
+        v => Err(SerializeError::Format(format!("unsupported version {v}"))),
+    }
+}
+
+/// Reads the named tensors from a weight file of either version,
+/// discarding the v2 manifest if present.
+///
+/// # Errors
+///
+/// Same conditions as [`load_grouped`].
+pub fn load_tensors(path: &Path) -> Result<Vec<(String, Tensor)>, SerializeError> {
+    load_grouped(path).map(|(_, entries)| entries)
 }
 
 #[cfg(test)]
@@ -158,6 +397,76 @@ mod tests {
         for ((n0, t0), (n1, t1)) in named.iter().zip(&loaded) {
             assert_eq!(n0, n1);
             assert_eq!(t0, t1);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn grouped_roundtrip_preserves_manifest_and_tensors() {
+        let mut rng = TensorRng::seed_from(1);
+        let groups = vec![
+            (
+                "stem".to_owned(),
+                vec![
+                    ("stem.weight".to_owned(), rng.uniform(&[4, 3], -1.0, 1.0)),
+                    ("stem.bias".to_owned(), rng.uniform(&[4], -1.0, 1.0)),
+                ],
+            ),
+            (
+                "head".to_owned(),
+                vec![("head.weight".to_owned(), rng.uniform(&[2, 4], -1.0, 1.0))],
+            ),
+        ];
+        let path = tmp("grouped_roundtrip");
+        let written = save_grouped(&path, "daytime", &groups).unwrap();
+        assert_eq!(written.model, "daytime");
+        assert_eq!(written.total_bytes(), (12 + 4 + 8) * 4);
+        let (manifest, entries) = load_grouped(&path).unwrap();
+        assert_eq!(manifest, written);
+        let flat: Vec<(String, Tensor)> = groups
+            .iter()
+            .flat_map(|(_, e)| e.iter().cloned())
+            .collect();
+        assert_eq!(entries, flat);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_file_loads_as_single_compat_group() {
+        let mut rng = TensorRng::seed_from(2);
+        let named = vec![("w".to_owned(), rng.uniform(&[5], -1.0, 1.0))];
+        let path = tmp("v1compat");
+        save_tensors(&path, &named).unwrap();
+        let (manifest, entries) = load_grouped(&path).unwrap();
+        assert_eq!(manifest.model, "");
+        assert_eq!(manifest.groups.len(), 1);
+        assert_eq!(manifest.groups[0].name, V1_COMPAT_GROUP);
+        assert_eq!(manifest.groups[0].bytes, 5 * 4);
+        assert_eq!(
+            manifest.groups[0].hash,
+            content_hash(entries.iter().map(|(_, t)| t))
+        );
+        assert_eq!(entries, named);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_v2_payload_fails_hash_verification() {
+        let mut rng = TensorRng::seed_from(3);
+        let groups = vec![(
+            "g".to_owned(),
+            vec![("w".to_owned(), rng.uniform(&[8], -1.0, 1.0))],
+        )];
+        let path = tmp("v2corrupt");
+        save_grouped(&path, "m", &groups).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the last f32 of the payload.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_grouped(&path) {
+            Err(SerializeError::Format(m)) => assert!(m.contains("hash"), "{m}"),
+            other => panic!("expected hash mismatch, got {other:?}"),
         }
         std::fs::remove_file(path).ok();
     }
@@ -192,5 +501,92 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SerializeError>();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    /// Deterministic pseudo-random f32 payload for a (seed, index) pair:
+    /// spans negatives, zero, and fractional values so the round-trip is
+    /// exercised on more than nice numbers.
+    fn val(seed: u64, i: usize) -> f32 {
+        let x = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i as u64)
+            .wrapping_mul(1442695040888963407);
+        ((x >> 33) as i32 % 10_000) as f32 * 0.0137
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Arbitrary group splits, names, and shapes must round-trip
+        // through the v2 format with bit-identical tensors and an
+        // identical manifest.
+        #[test]
+        fn v2_roundtrip_is_bit_identical(
+            spec in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u64..1_000_000u64, proptest::collection::vec(1usize..5, 1..4)),
+                    1..5,
+                ),
+                1..5,
+            )
+        ) {
+            let groups: Vec<(String, Vec<(String, Tensor)>)> = spec
+                .iter()
+                .enumerate()
+                .map(|(gi, entries)| {
+                    let tensors = entries
+                        .iter()
+                        .enumerate()
+                        .map(|(pi, (seed, dims))| {
+                            let len: usize = dims.iter().product();
+                            let data: Vec<f32> = (0..len).map(|i| val(*seed, i)).collect();
+                            (
+                                format!("group{gi}.param{pi}.s{seed}"),
+                                Tensor::from_vec(data, dims),
+                            )
+                        })
+                        .collect();
+                    (format!("group{gi}"), tensors)
+                })
+                .collect();
+
+            let case = CASE.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "safecross_nn_v2_prop_{}_{case}",
+                std::process::id()
+            ));
+            let written = save_grouped(&path, "prop-model", &groups).unwrap();
+            let (manifest, entries) = load_grouped(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+
+            prop_assert_eq!(&manifest, &written);
+            prop_assert_eq!(manifest.model.as_str(), "prop-model");
+            prop_assert_eq!(manifest.groups.len(), groups.len());
+            let flat: Vec<&(String, Tensor)> =
+                groups.iter().flat_map(|(_, e)| e.iter()).collect();
+            prop_assert_eq!(entries.len(), flat.len());
+            for ((name, tensor), (want_name, want)) in entries.iter().zip(flat) {
+                prop_assert_eq!(name, want_name);
+                prop_assert_eq!(tensor.dims(), want.dims());
+                // Bit-level equality, stricter than f32 ==.
+                for (a, b) in tensor.data().iter().zip(want.data()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // Manifest sizes are the real payload sizes.
+            for (g, (_, e)) in manifest.groups.iter().zip(&groups) {
+                let bytes: usize = e.iter().map(|(_, t)| t.len() * 4).sum();
+                prop_assert_eq!(g.bytes, bytes);
+            }
+        }
     }
 }

@@ -14,7 +14,8 @@ use crate::errors::{ConfigError, SafeCrossError};
 use crate::scene::SceneDetector;
 use safecross_dataset::Class;
 use safecross_modelswitch::{
-    GpuSpec, ModelDesc, ModelSwitcher, SwitchOutcome, SwitchRecord, SwitchReport, SwitchStrategy,
+    GpuSpec, ModelRegistry, ModelSwitcher, SwitchOutcome, SwitchRecord, SwitchReport,
+    SwitchStrategy,
 };
 use safecross_nn::Mode;
 use safecross_telemetry::{Counter, Histogram, Registry};
@@ -450,6 +451,12 @@ pub fn top_class_from_logits(row: &[f32], probs: &mut [f32]) -> (usize, f32) {
 pub struct SafeCross {
     pub(crate) config: SafeCrossConfig,
     pub(crate) registry: Registry,
+    /// Content-addressed store holding every registered checkpoint's
+    /// layer-group blobs. Private to this session unless a serving layer
+    /// shares one handle across sessions
+    /// ([`SafeCross::share_model_store`]), in which case per-weather
+    /// weights are held once for the whole fleet.
+    pub(crate) model_store: ModelRegistry,
     pub(crate) scene_stage: SceneStage,
     pub(crate) vp_stage: VpStage,
     pub(crate) classify_stage: ClassifyStage,
@@ -513,9 +520,14 @@ impl SafeCross {
         } else {
             None
         };
+        let model_store = ModelRegistry::new();
+        model_store.instrument(&registry);
+        let scene_stage = SceneStage::new(config.scene_window, &registry);
+        scene_stage.switcher.attach_store(&model_store);
         Ok(SafeCross {
             config,
-            scene_stage: SceneStage::new(config.scene_window, &registry),
+            model_store,
+            scene_stage,
             vp_stage: VpStage::new(&config, &registry),
             classify_stage: ClassifyStage::new(&config, &registry),
             verdicts: Vec::new(),
@@ -527,8 +539,20 @@ impl SafeCross {
 
     /// Registers the classifier for one weather scene (the FL module's
     /// output). The first registered model becomes active.
+    ///
+    /// The checkpoint is stored in the [`ModelRegistry`] as
+    /// content-addressed layer groups, and the session's resident copy
+    /// is resolved back *through the store* — so the weights this
+    /// session classifies with are bit-identical to the stored
+    /// checkpoint, and identical groups across weather checkpoints are
+    /// held once.
     pub fn register_model(&mut self, weather: Weather, mut model: SlowFastLite) {
         self.register_scene(weather, &model);
+        let state = self
+            .model_store
+            .state_dict(weather.label())
+            .expect("checkpoint was stored by register_scene");
+        model.load_state_dict(&state);
         model.instrument(&self.registry);
         self.classify_stage.models.insert(weather, model);
     }
@@ -546,18 +570,17 @@ impl SafeCross {
     /// set up this way never classifies locally:
     /// [`SafeCross::process_frame`] yields no verdicts; pair
     /// [`SafeCross::prepare_frame`] with external classification and
-    /// [`SafeCross::complete_frame`] instead.
+    /// [`SafeCross::complete_frame`] instead. Either way the checkpoint
+    /// lands in the [`ModelRegistry`] and the switcher's transfer
+    /// descriptor is derived from its layer-group manifest, so a switch
+    /// moves the checkpoint's real bytes.
     pub fn register_scene(&mut self, weather: Weather, model: &SlowFastLite) {
-        let desc = ModelDesc::from_state_sizes(
-            weather.label(),
-            &model
-                .state_dict()
-                .iter()
-                .map(|(n, t)| (n.clone(), t.len()))
-                .collect::<Vec<_>>(),
-            36.0e9,
-        );
-        self.scene_stage.switcher.register(weather.label(), desc);
+        self.model_store
+            .register_model(weather.label(), &model.state_groups());
+        self.scene_stage
+            .switcher
+            .register_from_store(weather.label(), 36.0e9)
+            .expect("checkpoint was just stored");
         if self.scene_stage.registered.is_empty() {
             self.scene_stage
                 .switcher
@@ -574,6 +597,35 @@ impl SafeCross {
     /// [`Registry::snapshot`] on it for a point-in-time export.
     pub fn telemetry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The content-addressed checkpoint store this session registers
+    /// its models into. The returned handle shares state with the
+    /// session (a [`ModelRegistry`] is a shared handle), so few-shot
+    /// adapters or evaluation harnesses can store and resolve
+    /// checkpoints next to the scene models.
+    pub fn model_store(&self) -> &ModelRegistry {
+        &self.model_store
+    }
+
+    /// Replaces this session's private model store with a shared handle
+    /// — the fleet-serving setup, where N sessions register the same
+    /// per-weather checkpoints and each unique layer group must be held
+    /// once, not N times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a model was already registered: the store must be
+    /// shared before any [`SafeCross::register_model`] /
+    /// [`SafeCross::register_scene`] call, otherwise earlier
+    /// checkpoints would be stranded in the private store.
+    pub fn share_model_store(&mut self, store: &ModelRegistry) {
+        assert!(
+            self.scene_stage.registered.is_empty(),
+            "share the model store before registering scene models"
+        );
+        self.model_store = store.clone();
+        self.scene_stage.switcher.attach_store(&self.model_store);
     }
 
     /// The configuration this system was built with.

@@ -7,10 +7,11 @@ use crate::executor::{
 use crate::metrics::{FleetMetrics, StreamMetrics};
 use crate::session::{StreamId, StreamSession, StreamStats};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
+use safecross_modelswitch::ModelRegistry;
 use safecross_telemetry::Registry;
 use safecross_tensor::KernelScratch;
 use safecross_trafficsim::Weather;
-use safecross_videoclass::SlowFastLite;
+use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::GrayFrame;
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
@@ -164,6 +165,11 @@ pub struct FleetServer {
     config: ServeConfig,
     registry: Registry,
     fleet_metrics: FleetMetrics,
+    /// The fleet's single content-addressed checkpoint store. Every
+    /// stream session shares this handle, so N streams registering the
+    /// same per-weather checkpoints hold each unique layer group once
+    /// (refcounted), not once per stream.
+    model_store: ModelRegistry,
     models: HashMap<Weather, SlowFastLite>,
     /// Model registration order — sessions register scenes in this
     /// order so fallback/switch behavior is identical across streams
@@ -186,10 +192,13 @@ impl FleetServer {
             Registry::disabled()
         };
         let fleet_metrics = FleetMetrics::new(&registry);
+        let model_store = ModelRegistry::new();
+        model_store.instrument(&registry);
         Ok(FleetServer {
             config,
             registry,
             fleet_metrics,
+            model_store,
             models: HashMap::new(),
             model_order: Vec::new(),
             sessions: Vec::new(),
@@ -205,11 +214,22 @@ impl FleetServer {
     pub fn register_model(
         &mut self,
         weather: Weather,
-        model: SlowFastLite,
+        mut model: SlowFastLite,
     ) -> Result<(), ServeError> {
         if !self.sessions.is_empty() {
             return Err(ServeError::ModelAfterStream);
         }
+        // The checkpoint lands in the fleet store first, and the shared
+        // inference copy is resolved back out of it — so the weights the
+        // workers run are bit-identical to the blobs every session's
+        // switcher activates.
+        self.model_store
+            .register_model(weather.label(), &model.state_groups());
+        let state = self
+            .model_store
+            .state_dict(weather.label())
+            .expect("checkpoint was just stored");
+        model.load_state_dict(&state);
         if !self.model_order.contains(&weather) {
             self.model_order.push(weather);
         }
@@ -238,6 +258,10 @@ impl FleetServer {
             return Err(ServeError::NoModels);
         }
         let mut inner = SafeCross::try_new(config).map_err(ServeError::Stream)?;
+        // Every stream shares the fleet's checkpoint store: scene
+        // registration below re-registers the same named checkpoints
+        // (idempotent), so per-weather weights are held once fleet-wide.
+        inner.share_model_store(&self.model_store);
         for weather in &self.model_order {
             inner.register_scene(*weather, &self.models[weather]);
         }
@@ -261,6 +285,14 @@ impl FleetServer {
     /// configuration enabled it).
     pub fn telemetry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The fleet's shared checkpoint store. All stream sessions hold
+    /// this same handle; its refcounts prove per-weather weights are
+    /// stored once for the whole fleet
+    /// (`model_count` / `unique_groups` / `dedup_bytes`).
+    pub fn model_store(&self) -> &ModelRegistry {
+        &self.model_store
     }
 
     /// Borrow one stream's underlying SafeCross session — its verdict

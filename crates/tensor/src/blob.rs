@@ -1,0 +1,117 @@
+//! Content hashing for weight blobs.
+//!
+//! The model artifact IR (see `safecross-nn`'s serialisation manifest and
+//! `safecross-modelswitch`'s `ModelRegistry`) addresses layer groups by the
+//! content of their tensors: two groups with the same shapes and the same
+//! bit pattern hash identically, so daytime/rain/snow checkpoints that
+//! share a backbone stage store its weights once. Both crates must agree
+//! on the hash, so it lives here in the substrate.
+//!
+//! The hash is FNV-1a over 64 bits, fed with each tensor's rank, its
+//! dimensions, and the little-endian bytes of its `f32` data, in order.
+//! FNV is not cryptographic; the registry always verifies candidate
+//! matches by comparing the actual bytes before deduplicating, so a
+//! collision can never silently alias two different weight groups.
+
+use crate::Tensor;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over byte streams.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl ContentHasher {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds one tensor: rank, dims, then data bytes.
+    pub fn update_tensor(&mut self, t: &Tensor) {
+        self.update_u64(t.dims().len() as u64);
+        for &d in t.dims() {
+            self.update_u64(d as u64);
+        }
+        for &v in t.data() {
+            self.update(&v.to_le_bytes());
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+/// Content hash of an ordered sequence of tensors (a weight group).
+///
+/// Sensitive to order, shapes, and every bit of the data; insensitive to
+/// the names the tensors travel under, so a few-shot-adapted checkpoint
+/// whose head changed but whose backbone stages did not still shares the
+/// unchanged stages with its parent model.
+pub fn content_hash<'a>(tensors: impl IntoIterator<Item = &'a Tensor>) -> u64 {
+    let mut h = ContentHasher::new();
+    for t in tensors {
+        h.update_tensor(t);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_shape_sensitive() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        assert_eq!(content_hash([&a]), content_hash([&a.clone()]));
+        assert_ne!(content_hash([&a]), content_hash([&b]));
+    }
+
+    #[test]
+    fn hash_is_data_sensitive_and_order_sensitive() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![2.0, 1.0], &[2]);
+        assert_ne!(content_hash([&a]), content_hash([&b]));
+        assert_ne!(content_hash([&a, &b]), content_hash([&b, &a]));
+    }
+
+    #[test]
+    fn hash_distinguishes_group_splits() {
+        // [1.0, 2.0] as one tensor vs two scalars must differ, so a
+        // group's hash pins its internal layout, not just its bytes.
+        let joined = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let a = Tensor::from_vec(vec![1.0], &[1]);
+        let b = Tensor::from_vec(vec![2.0], &[1]);
+        assert_ne!(content_hash([&joined]), content_hash([&a, &b]));
+    }
+
+    #[test]
+    fn empty_iterator_hashes_to_offset_basis() {
+        assert_eq!(content_hash(std::iter::empty()), 0xcbf2_9ce4_8422_2325);
+    }
+}

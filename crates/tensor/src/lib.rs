@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blob;
 mod conv;
 pub mod kernel;
 mod linalg;
@@ -37,6 +38,7 @@ mod random;
 mod shape;
 mod tensor;
 
+pub use blob::{content_hash, ContentHasher};
 pub use conv::{
     col2im, col2vol, im2col, im2col_into, vol2col, vol2col_into, Conv2dGeom, Conv3dGeom,
 };

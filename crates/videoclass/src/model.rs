@@ -107,6 +107,24 @@ pub trait VideoClassifier: Send + Sync {
         out
     }
 
+    /// The state dictionary partitioned into named **layer groups** —
+    /// the unit the model registry stores (content-addressed, deduped)
+    /// and a model switch activates (group by group, in this order).
+    ///
+    /// Contract: the concatenated groups must carry exactly the
+    /// [`VideoClassifier::state_dict`] entries — same qualified names,
+    /// same tensors — so a registry-reconstructed state dict feeds
+    /// straight into [`VideoClassifier::load_state_dict`]. Entry order
+    /// may differ from `state_dict` (restoration is name-based), but
+    /// within a PR of the same model it must be deterministic.
+    ///
+    /// The default is a single group named `"all"`; architectures with
+    /// meaningful stages (e.g. the SlowFast pathways) override this so
+    /// checkpoints that share stages dedupe at stage granularity.
+    fn state_groups(&self) -> Vec<(String, Vec<(String, Tensor)>)> {
+        vec![("all".to_owned(), self.state_dict())]
+    }
+
     /// Restores a state dictionary produced by
     /// [`VideoClassifier::state_dict`] on an identically-shaped model.
     ///

@@ -327,6 +327,35 @@ impl VideoClassifier for SlowFastLite {
         }
     }
 
+    fn state_groups(&self) -> Vec<(String, Vec<(String, Tensor)>)> {
+        // One group per stage so checkpoints that share a pathway (e.g.
+        // few-shot heads fine-tuned on a frozen trunk) dedupe in the
+        // model registry at stage granularity. Names must match
+        // `state_dict` exactly: the param index is *global* across the
+        // stage concatenation order used by `params()`.
+        let stages: [(&str, &Sequential); 5] = [
+            ("fast1", &self.fast1),
+            ("fast2", &self.fast2),
+            ("slow1", &self.slow1),
+            ("slow2", &self.slow2),
+            ("head", &self.head),
+        ];
+        let mut idx = 0usize;
+        let mut groups = Vec::with_capacity(stages.len());
+        for (stage_name, stage) in stages {
+            let mut entries = Vec::new();
+            for p in stage.params() {
+                entries.push((format!("param.{idx}.{}", p.name), p.value.clone()));
+                idx += 1;
+            }
+            for (bname, t) in stage.buffers() {
+                entries.push((format!("buffer.{stage_name}.{bname}"), t));
+            }
+            groups.push((stage_name.to_owned(), entries));
+        }
+        groups
+    }
+
     fn name(&self) -> &'static str {
         "slowfast_lite_4x16"
     }
@@ -379,7 +408,7 @@ mod tests {
         // fast stages — must receive gradient.
         for p in m.params() {
             assert!(
-                p.grad.norm() > 0.0 || p.name == "bias",
+                p.grad().is_some_and(|g| g.norm() > 0.0) || p.name == "bias",
                 "parameter {} got no gradient",
                 p.name
             );
@@ -449,6 +478,29 @@ mod tests {
         let ya = a.forward(&x, Mode::Eval);
         let yb = b.forward(&x, Mode::Eval);
         assert!(ya.allclose(&yb, 1e-5), "{ya:?} vs {yb:?}");
+    }
+
+    #[test]
+    fn state_groups_cover_state_dict_exactly() {
+        let (mut m, mut rng) = model();
+        let x = rng.uniform(&[1, 1, 32, 20, 20], 0.0, 1.0);
+        m.forward(&x, Mode::Train); // non-trivial batch-norm buffers
+        let mut from_groups: Vec<(String, Tensor)> = m
+            .state_groups()
+            .into_iter()
+            .flat_map(|(_, entries)| entries)
+            .collect();
+        let mut flat = m.state_dict();
+        from_groups.sort_by(|a, b| a.0.cmp(&b.0));
+        flat.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(from_groups.len(), flat.len());
+        for ((gn, gt), (fn_, ft)) in from_groups.iter().zip(&flat) {
+            assert_eq!(gn, fn_);
+            assert_eq!(gt, ft, "tensor mismatch for {gn}");
+        }
+        // Stage granularity: one group per pathway stage plus the head.
+        let names: Vec<String> = m.state_groups().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["fast1", "fast2", "slow1", "slow2", "head"]);
     }
 
     #[test]

@@ -10,12 +10,12 @@
 
 use safecross::{SafeCross, SafeCrossConfig};
 use safecross_dataset::{DatasetSpec, SegmentGenerator};
-use safecross_fewshot::adapt;
-use safecross_modelswitch::{simulate_switch, GpuSpec, ModelDesc, SwitchStrategy};
+use safecross_fewshot::adapt_checkpoint;
+use safecross_modelswitch::{simulate_switch, GpuSpec, ModelDesc, ModelRegistry, SwitchStrategy};
 use safecross_tensor::TensorRng;
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{Renderer, RenderConfig, Scenario, Simulator, Weather};
-use safecross_videoclass::{evaluate, train, SlowFastLite, TrainConfig};
+use safecross_videoclass::{evaluate, train, SlowFastLite, TrainConfig, VideoClassifier};
 
 fn main() {
     println!("=== SafeCross weather adaptation (FL + MS) ===\n");
@@ -53,7 +53,29 @@ fn main() {
         test.len()
     );
     let support_batch = data.batch(&support);
-    let mut snow_model = adapt(&daytime, &support_batch, 10, 0.05);
+
+    // The adapted checkpoint is persisted into the content-addressed
+    // model store next to its parent; layer groups the adaptation left
+    // byte-identical are shared, the rest get their own blobs.
+    let store = ModelRegistry::new();
+    store.register_model("daytime", &daytime.state_groups());
+    let (_, manifest) = adapt_checkpoint(&daytime, &support_batch, 10, 0.05, &store, "snow");
+    println!(
+        "stored checkpoints: {} models, {} unique layer groups, {} B deduped",
+        store.model_count(),
+        store.unique_groups(),
+        store.dedup_bytes(),
+    );
+    println!(
+        "snow checkpoint: {} groups, {} B total",
+        manifest.groups.len(),
+        manifest.total_bytes(),
+    );
+
+    // Reload the adapted model from the store — the deployment below
+    // runs the *persisted* weights, bit-identical to the adapted ones.
+    let mut snow_model = SlowFastLite::new(2, &mut rng);
+    snow_model.load_state_dict(&store.state_dict("snow").expect("stored checkpoint"));
 
     let mut day_on_snow = daytime.clone();
     let before = evaluate(&mut day_on_snow, &data, &test);

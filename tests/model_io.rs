@@ -3,7 +3,9 @@
 
 use safecross_dataset::{DatasetSpec, SegmentGenerator};
 use safecross_modelswitch::{simulate_switch, GpuSpec, ModelDesc, SwitchStrategy};
-use safecross_nn::{load_tensors, save_tensors, Mode};
+use safecross_nn::{
+    load_grouped, load_tensors, save_grouped, save_tensors, Mode, V1_COMPAT_GROUP,
+};
 use safecross_tensor::TensorRng;
 use safecross_videoclass::{train, SlowFastLite, TrainConfig, VideoClassifier};
 
@@ -71,4 +73,60 @@ fn switch_payload_matches_real_model_size() {
 
 fn buffer_bytes(model: &SlowFastLite) -> usize {
     model.buffers().iter().map(|(_, t)| t.len() * 4).sum()
+}
+
+#[test]
+fn v1_checkpoints_read_back_through_the_v2_loader() {
+    // Files written by the original flat `save_tensors` (format v1) must
+    // stay readable forever: the v2 loader presents them as a single
+    // compat group holding every entry, bit-identical.
+    let (model, _) = trained_model();
+    let path = std::env::temp_dir().join(format!("safecross_v1_compat_{}.scnn", std::process::id()));
+    let state = model.state_dict();
+    save_tensors(&path, &state).expect("save v1");
+
+    let (manifest, entries) = load_grouped(&path).expect("v2 loader reads v1");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(manifest.groups.len(), 1, "v1 file maps to one group");
+    assert_eq!(manifest.groups[0].name, V1_COMPAT_GROUP);
+    assert_eq!(manifest.groups[0].params.len(), state.len());
+    assert_eq!(entries.len(), state.len());
+    for ((sn, st), (ln, lt)) in state.iter().zip(&entries) {
+        assert_eq!(sn, ln);
+        assert_eq!(st.dims(), lt.dims());
+        let same = st
+            .data()
+            .iter()
+            .zip(lt.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "entry {sn} not bit-identical after v1->v2 read");
+    }
+}
+
+#[test]
+fn grouped_checkpoints_roundtrip_through_both_loaders() {
+    // A v2 grouped save must read back through `load_grouped` (manifest
+    // intact) and through the flat `load_tensors` view.
+    let (mut model, data) = trained_model();
+    let path = std::env::temp_dir().join(format!("safecross_v2_groups_{}.scnn", std::process::id()));
+    let groups = model.state_groups();
+    let manifest = save_grouped(&path, model.name(), &groups).expect("save v2");
+    assert_eq!(
+        manifest.groups.iter().map(|g| g.name.as_str()).collect::<Vec<_>>(),
+        ["fast1", "fast2", "slow1", "slow2", "head"],
+    );
+
+    let (read_manifest, _) = load_grouped(&path).expect("load v2");
+    assert_eq!(read_manifest, manifest);
+    let flat = load_tensors(&path).expect("flat view of v2");
+    std::fs::remove_file(&path).ok();
+    let mut restored = SlowFastLite::new(2, &mut TensorRng::seed_from(123));
+    restored.load_state_dict(&flat);
+    let (clip, _) = data.batch(&[0, 1]);
+    let original = model.forward(&clip, Mode::Eval);
+    let reloaded = restored.forward(&clip, Mode::Eval);
+    assert_eq!(
+        original.data(), reloaded.data(),
+        "grouped roundtrip must preserve behaviour bit-for-bit"
+    );
 }
