@@ -178,12 +178,18 @@ fn write_bench_json(gemms: &[GemmRecord], clips: &[ClipRecord]) {
             )
         })
         .collect();
+    // `thread_scaling_tested` is the machine-readable form of the
+    // note: regression tooling must key on it rather than comparing
+    // threads=1 and threads=max rows that a single-core host renders
+    // identical.
     let json = format!(
-        "{{\n\"bench\": \"kernels\",\n\"host_parallelism\": {},\n\"quick\": {},\n\
+        "{{\n\"bench\": \"kernels\",\n\"host_parallelism\": {},\n\
+         \"thread_scaling_tested\": {},\n\"quick\": {},\n\
          \"note\": \"thread scaling requires host_parallelism > 1; on a single-core \
          host the threads=1 and threads=max rows measure the same serial kernel\",\n\
          \"gemm\": [\n{}\n],\n\"slowfast_forward\": [\n{}\n]\n}}\n",
         host_parallelism(),
+        host_parallelism() > 1,
         quick(),
         gemm_rows.join(",\n"),
         clip_rows.join(",\n")

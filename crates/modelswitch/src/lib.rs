@@ -50,7 +50,9 @@ pub use schedule::{
     optimal_groups, simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase,
 };
 pub use store::ModelRegistry;
-pub use switcher::{ModelSwitcher, SwitchBreakdown, SwitchError, SwitchOutcome, SwitchRecord};
+pub use switcher::{
+    ModelSwitcher, SwitchBreakdown, SwitchError, SwitchFaultHook, SwitchOutcome, SwitchRecord,
+};
 
 // The manifest types are defined next to the v2 serialisation format in
 // `safecross-nn`; re-exported here because they are the lingua franca

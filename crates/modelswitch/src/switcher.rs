@@ -125,6 +125,34 @@ struct SwitchTelemetry {
     transmit_ms: Histogram,
     compute_ms: Histogram,
     activate_bytes: Counter,
+    forced_oom: Counter,
+}
+
+/// A fault-injection seam for chaos testing: decides whether a switch
+/// attempt is sabotaged with a synthetic out-of-memory failure *after*
+/// the old model has been evicted — the worst-case point, exercising
+/// the full rollback path (re-reserve the old model's bytes, keep its
+/// weights resident, keep serving it).
+///
+/// The hook is consulted with a monotonically increasing attempt
+/// counter so a deterministic plan (same seed, same decisions) needs no
+/// interior clock or entropy of its own. Production switchers carry no
+/// hook and pay one `Option` check per switch.
+pub trait SwitchFaultHook: Send + Sync {
+    /// Return `true` to force this switch attempt to fail with
+    /// [`SwitchError::OutOfMemory`]. `name` is the model being switched
+    /// *to*; `attempt` counts real switch attempts on this switcher
+    /// (already-active no-ops are not attempts).
+    fn inject_oom(&self, name: &str, attempt: u64) -> bool;
+}
+
+/// Wrapper keeping `Inner` debuggable around the untyped hook object.
+struct FaultHookHandle(Arc<dyn SwitchFaultHook>);
+
+impl fmt::Debug for FaultHookHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SwitchFaultHook(..)")
+    }
 }
 
 /// The weights currently resident on the simulated device: every group
@@ -165,6 +193,10 @@ struct Inner {
     /// (synthetic [`ModelDesc`]s, no weights) works without one.
     store: Option<ModelRegistry>,
     resident: ResidentModel,
+    /// Chaos seam: consulted once per real switch attempt.
+    fault_hook: Option<FaultHookHandle>,
+    /// Real switch attempts so far (fuel for deterministic fault plans).
+    attempts: u64,
 }
 
 impl ModelSwitcher {
@@ -179,6 +211,8 @@ impl ModelSwitcher {
                 telemetry: None,
                 store: None,
                 resident: ResidentModel::default(),
+                fault_hook: None,
+                attempts: 0,
             })),
             gpu,
             strategy,
@@ -198,8 +232,25 @@ impl ModelSwitcher {
             transmit_ms: registry.histogram("ms.transmit_ms"),
             compute_ms: registry.histogram("ms.compute_ms"),
             activate_bytes: registry.counter("switch.activate.bytes"),
+            forced_oom: registry.counter("ms.forced_oom"),
         };
         self.inner.lock().expect("switcher mutex poisoned").telemetry = Some(tel);
+    }
+
+    /// Installs a chaos fault hook shared by every clone of this
+    /// switcher. Subsequent switch attempts consult
+    /// [`SwitchFaultHook::inject_oom`]; a `true` answer fails the
+    /// attempt exactly like a real pool exhaustion would — after the old
+    /// model was evicted — driving the rollback path under test. Bumps
+    /// `ms.forced_oom` when instrumented.
+    pub fn set_fault_hook(&self, hook: Arc<dyn SwitchFaultHook>) {
+        self.inner.lock().expect("switcher mutex poisoned").fault_hook =
+            Some(FaultHookHandle(hook));
+    }
+
+    /// Removes any installed fault hook.
+    pub fn clear_fault_hook(&self) {
+        self.inner.lock().expect("switcher mutex poisoned").fault_hook = None;
     }
 
     /// Registers a scene model under `name` (e.g. `"daytime"`).
@@ -296,6 +347,12 @@ impl ModelSwitcher {
                 },
             })?
             .clone();
+        inner.attempts += 1;
+        let attempt = inner.attempts;
+        let forced_oom = inner
+            .fault_hook
+            .as_ref()
+            .is_some_and(|h| h.0.inject_oom(name, attempt));
         // Evict the previous model (PipeSwitch keeps one active model
         // plus streaming buffers), remembering enough to roll back.
         let evicted = match inner.active.take() {
@@ -305,7 +362,18 @@ impl ModelSwitcher {
             }
             None => None,
         };
-        if let Err(source) = inner.pool.reserve(name, model.total_bytes()) {
+        // The chaos seam synthesizes pool exhaustion at the worst
+        // possible point — after eviction — so the rollback below runs
+        // exactly as it would for a genuinely oversized model.
+        let reserved = if forced_oom {
+            Err(MemoryError::OutOfMemory {
+                requested: model.total_bytes(),
+                free: inner.pool.free(),
+            })
+        } else {
+            inner.pool.reserve(name, model.total_bytes())
+        };
+        if let Err(source) = reserved {
             // Roll back so the switcher keeps serving the old model.
             if let Some((old, bytes)) = evicted {
                 inner
@@ -313,6 +381,11 @@ impl ModelSwitcher {
                     .reserve(&old, bytes)
                     .expect("re-reserving freed bytes cannot fail");
                 inner.active = Some(old);
+            }
+            if forced_oom {
+                if let Some(tel) = &inner.telemetry {
+                    tel.forced_oom.inc();
+                }
             }
             return Err(SwitchError::OutOfMemory { name: name.to_owned(), source });
         }

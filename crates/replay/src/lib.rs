@@ -1,0 +1,54 @@
+//! safecross-replay: deterministic record/replay and chaos testing for
+//! SafeCross fleet runs.
+//!
+//! The rest of the workspace is built around one invariant: a fleet
+//! run's per-stream verdicts and switch logs are **bit-identical** to a
+//! standalone sequential run. That makes every fleet run perfectly
+//! reproducible from its inputs — and this crate makes the inputs
+//! portable:
+//!
+//! - [`TraceRecorder`] captures a run's full input (per-stream frames
+//!   with arrival timestamps, fleet configuration, model seed) plus the
+//!   outputs it produced into a [`Trace`], serialised as a compact
+//!   versioned binary log with an FNV-1a content-hash trailer
+//!   ([`Trace::to_bytes`]). Record at an intersection, replay in CI.
+//! - [`replay`](replay_trace) feeds a trace back through the
+//!   deterministic reference executor and asserts bit-identity against
+//!   the recorded verdicts and switch logs, reporting the first
+//!   [`Divergence`] when the code under test has drifted.
+//! - [`minimize`] shrinks a failing trace to a (1-)minimal frame subset
+//!   with delta debugging, so a multi-minute soak failure becomes a
+//!   handful of frames somebody can read.
+//! - [`FaultPlan`] and [`chaos_feeds`] inject deterministic,
+//!   seed-scheduled faults — worker deaths, forced `switch_to` OOM,
+//!   stalled / flooding / clock-skewed streams — behind the fault seams
+//!   in `safecross-serve` and `safecross-modelswitch`; [`run_soak`]
+//!   drives them for minutes under a memory ceiling.
+//!
+//! Everything is deterministic by construction: fault schedules are
+//! pure hashes of `(seed, site, index)`, the recorder captures seeds
+//! rather than weights, and no code path consults ambient entropy or
+//! wall-clock time for decisions (`tests/determinism_audit.rs` pins
+//! this down).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chaos;
+mod minimize;
+mod recorder;
+mod replayer;
+mod trace;
+
+#[cfg(test)]
+mod proptests;
+
+pub use chaos::{
+    chaos_feeds, run_soak, ChaosConfig, FaultPlan, FeedChaos, SoakConfig, SoakError, SoakReport,
+};
+pub use minimize::minimize;
+pub use recorder::{fleet_from_spec, record_reference_run, TraceRecorder};
+pub use replayer::{build_fleet, replay_trace, Divergence, ReplayError, ReplayReport};
+pub use trace::{
+    ModelSpec, RecordedFrame, RecordedOutputs, RecordedSwitch, Trace, TraceError, TRACE_VERSION,
+};

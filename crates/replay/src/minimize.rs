@@ -1,0 +1,153 @@
+//! Shrinking a failing trace to a minimal frame subset.
+//!
+//! A soak run that trips an assertion hands you a trace with thousands
+//! of frames across many streams. [`minimize`] applies delta debugging
+//! (Zeller's ddmin) over the flattened `(stream, frame)` list: it
+//! repeatedly re-runs the caller's failure predicate on candidate
+//! subsets, keeping any subset that still fails, until no single chunk
+//! at the finest granularity can be removed. The result is 1-minimal —
+//! removing any one remaining chunk makes the failure disappear —
+//! which in practice collapses a multi-thousand-frame soak trace to a
+//! handful of frames somebody can step through.
+//!
+//! Relative frame order within each stream is always preserved (the
+//! pipeline is stateful — background subtraction, scene voting — so
+//! order is part of the input). Stream count is preserved too: a
+//! stream whose frames are all removed stays as an empty feed, keeping
+//! round-robin interleaving comparable.
+
+use crate::trace::{RecordedOutputs, Trace};
+
+/// Rebuilds an input-only trace from a subset of the flattened frame
+/// list. Outputs and events are cleared: the shrunk trace is a new
+/// *input*, and its outputs are whatever the predicate's replay
+/// produces.
+fn subset_trace(trace: &Trace, keep: &[(usize, usize)]) -> Trace {
+    let mut streams = vec![Vec::new(); trace.streams.len()];
+    for &(stream, index) in keep {
+        streams[stream].push(trace.streams[stream][index].clone());
+    }
+    Trace {
+        serve: trace.serve,
+        models: trace.models.clone(),
+        streams,
+        outputs: RecordedOutputs::default(),
+        events: Vec::new(),
+    }
+}
+
+/// Shrinks `trace` to a 1-minimal frame subset that still satisfies
+/// `still_fails`.
+///
+/// `still_fails` receives a candidate input-only trace (outputs and
+/// events cleared) and returns whether the failure of interest still
+/// reproduces — typically by replaying the candidate through
+/// [`build_fleet`](crate::build_fleet) /
+/// [`run_reference`](safecross_serve::FleetServer::run_reference) and
+/// checking a property of the result. The predicate must be
+/// deterministic; with the reference executor and seeded models it is.
+///
+/// Returns the smallest failing trace found. If the full trace does
+/// not satisfy the predicate, it is returned unchanged (there is
+/// nothing to shrink toward).
+pub fn minimize(trace: &Trace, mut still_fails: impl FnMut(&Trace) -> bool) -> Trace {
+    let mut kept: Vec<(usize, usize)> = trace
+        .streams
+        .iter()
+        .enumerate()
+        .flat_map(|(s, frames)| (0..frames.len()).map(move |i| (s, i)))
+        .collect();
+    if kept.is_empty() || !still_fails(&subset_trace(trace, &kept)) {
+        return subset_trace(trace, &kept);
+    }
+
+    let mut granularity = 2usize;
+    while kept.len() >= 2 {
+        let chunk = kept.len().div_ceil(granularity);
+        let mut reduced = false;
+
+        let mut start = 0;
+        while start < kept.len() {
+            let end = (start + chunk).min(kept.len());
+            // Try the complement: everything except kept[start..end].
+            let candidate: Vec<(usize, usize)> = kept[..start]
+                .iter()
+                .chain(&kept[end..])
+                .copied()
+                .collect();
+            if !candidate.is_empty() && still_fails(&subset_trace(trace, &candidate)) {
+                kept = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep at the same position: indices past
+                // `start` shifted left by the removed chunk.
+            } else {
+                start = end;
+            }
+        }
+
+        if !reduced {
+            if chunk <= 1 {
+                break; // 1-minimal at the finest granularity
+            }
+            granularity = (granularity * 2).min(kept.len());
+        }
+    }
+
+    subset_trace(trace, &kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ModelSpec, RecordedFrame};
+    use safecross_serve::ServeConfig;
+    use safecross_trafficsim::Weather;
+    use safecross_vision::GrayFrame;
+
+    fn toy_trace(per_stream: &[usize]) -> Trace {
+        let streams = per_stream
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|i| RecordedFrame {
+                        arrival_us: i as u64,
+                        frame: GrayFrame::filled(4, 4, i as u8),
+                    })
+                    .collect()
+            })
+            .collect();
+        Trace {
+            serve: ServeConfig::builder().build().expect("default config"),
+            models: ModelSpec {
+                seed: 1,
+                classes: 2,
+                weathers: vec![Weather::Daytime],
+            },
+            streams,
+            outputs: RecordedOutputs::default(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit_frame() {
+        let trace = toy_trace(&[40, 40]);
+        // "Fails" iff stream 1 still contains its frame with value 17.
+        let shrunk = minimize(&trace, |t| {
+            t.streams[1].iter().any(|rf| rf.frame.pixels()[0] == 17)
+        });
+        assert_eq!(shrunk.frame_count(), 1);
+        assert_eq!(shrunk.streams[0].len(), 0);
+        assert_eq!(shrunk.streams[1].len(), 1);
+        assert_eq!(shrunk.streams[1][0].frame.pixels()[0], 17);
+        assert_eq!(shrunk.streams.len(), 2, "stream count preserved");
+    }
+
+    #[test]
+    fn non_failing_trace_returned_whole() {
+        let trace = toy_trace(&[5]);
+        let shrunk = minimize(&trace, |_| false);
+        assert_eq!(shrunk.frame_count(), 5);
+    }
+}

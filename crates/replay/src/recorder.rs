@@ -1,0 +1,175 @@
+//! Capturing a fleet run into a [`Trace`].
+//!
+//! The recorder captures *inputs* (frames, arrival times, config, the
+//! model seed) as they are fed, and *outputs* (verdicts, switch logs,
+//! telemetry events) after the run. It never touches the serving hot
+//! path: recording a frame is a clone into a growing log, and output
+//! capture reads the fleet's already-public accessors.
+
+use crate::trace::{ModelSpec, RecordedFrame, RecordedOutputs, RecordedSwitch, Trace};
+use safecross_serve::{FleetReport, FleetServer, ServeConfig, ServeError};
+use safecross_telemetry::Registry;
+use safecross_tensor::TensorRng;
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+/// Incrementally builds a [`Trace`] while a fleet run is assembled.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    serve: ServeConfig,
+    models: ModelSpec,
+    streams: Vec<Vec<RecordedFrame>>,
+    outputs: RecordedOutputs,
+    events_from_seq: u64,
+    events: Vec<safecross_telemetry::Event>,
+}
+
+impl TraceRecorder {
+    /// Starts a recording for a fleet with the given configuration and
+    /// model build recipe.
+    pub fn new(serve: ServeConfig, models: ModelSpec) -> Self {
+        TraceRecorder {
+            serve,
+            models,
+            streams: Vec::new(),
+            outputs: RecordedOutputs::default(),
+            events_from_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Registers one more stream; returns its index in the trace.
+    /// Call once per [`FleetServer::add_stream`], in the same order.
+    pub fn add_stream(&mut self) -> usize {
+        self.streams.push(Vec::new());
+        self.streams.len() - 1
+    }
+
+    /// Records one input frame for `stream` with its arrival time
+    /// (microseconds from run start).
+    ///
+    /// # Panics
+    ///
+    /// If `stream` was not registered with [`TraceRecorder::add_stream`].
+    pub fn record_frame(&mut self, stream: usize, arrival_us: u64, frame: &GrayFrame) {
+        self.streams[stream].push(RecordedFrame {
+            arrival_us,
+            frame: frame.clone(),
+        });
+    }
+
+    /// Records a whole pre-rendered feed for `stream`, with arrival
+    /// timestamps spaced `interval` apart — the schedule
+    /// [`paced_feed`](safecross_serve::paced_feed) would produce.
+    pub fn record_feed(&mut self, stream: usize, frames: &[GrayFrame], interval: Duration) {
+        let step = interval.as_micros() as u64;
+        for (i, frame) in frames.iter().enumerate() {
+            self.record_frame(stream, i as u64 * step, frame);
+        }
+    }
+
+    /// Marks the telemetry sequence number recording starts at, so
+    /// [`TraceRecorder::record_journal`] captures only this run's
+    /// events. Call just before the run with the journal's next
+    /// sequence value (e.g. current `events().len() as u64`).
+    pub fn journal_from(&mut self, seq: u64) {
+        self.events_from_seq = seq;
+    }
+
+    /// Captures the run's outputs — per-stream verdict sequences and
+    /// switch logs — from the fleet, bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] if the fleet has fewer streams than the trace.
+    pub fn record_outputs(&mut self, fleet: &FleetServer) -> Result<(), ServeError> {
+        self.outputs.verdicts.clear();
+        self.outputs.switches.clear();
+        for stream in 0..self.streams.len() {
+            let id = safecross_serve::StreamId::from_index(stream);
+            self.outputs.verdicts.push(fleet.verdicts(id)?.to_vec());
+            let switches = fleet.session(id)?.with_switch_log(|log| {
+                log.iter()
+                    .map(|r| RecordedSwitch {
+                        model: r.model.clone(),
+                        frame: r.frame,
+                        latency_ms: r.latency_ms,
+                        setup_ms: r.breakdown.setup_ms,
+                        transmit_ms: r.breakdown.transmit_ms,
+                        compute_ms: r.breakdown.compute_ms,
+                    })
+                    .collect()
+            });
+            self.outputs.switches.push(switches);
+        }
+        Ok(())
+    }
+
+    /// Bridges the telemetry journal into the trace: every event at or
+    /// after the sequence set by [`TraceRecorder::journal_from`].
+    pub fn record_journal(&mut self, registry: &Registry) {
+        self.events = registry.events_since(self.events_from_seq);
+    }
+
+    /// Finalises the recording.
+    pub fn finish(self) -> Trace {
+        Trace {
+            serve: self.serve,
+            models: self.models,
+            streams: self.streams,
+            outputs: self.outputs,
+            events: self.events,
+        }
+    }
+}
+
+/// Builds the fleet a [`ModelSpec`] describes: one shared `TensorRng`
+/// seeded with `spec.seed`, one [`SlowFastLite`] drawn per weather in
+/// `spec.weathers` order. This is the workspace-wide model
+/// construction convention (`shared_models` in the equivalence tests),
+/// so a spec plus a seed reconstructs bit-identical weights.
+///
+/// # Errors
+///
+/// Any [`ServeError`] from fleet construction or model registration.
+pub fn fleet_from_spec(serve: ServeConfig, spec: &ModelSpec) -> Result<FleetServer, ServeError> {
+    let mut fleet = FleetServer::new(serve)?;
+    let mut rng = TensorRng::seed_from(spec.seed);
+    for &weather in &spec.weathers {
+        fleet.register_model(weather, SlowFastLite::new(spec.classes, &mut rng))?;
+    }
+    Ok(fleet)
+}
+
+/// Records a complete reference run in one call: builds a fleet from
+/// the configuration and model spec, runs
+/// [`FleetServer::run_reference`] over the feeds, and captures inputs,
+/// outputs, and the telemetry journal into a finished [`Trace`].
+///
+/// `interval` is the arrival spacing stamped on every stream's frames
+/// (the reference executor is clock-free, so the stamps document the
+/// recorded schedule rather than altering results).
+///
+/// # Errors
+///
+/// Any [`ServeError`] from fleet construction or the run itself.
+pub fn record_reference_run(
+    serve: ServeConfig,
+    spec: &ModelSpec,
+    feeds: Vec<Vec<GrayFrame>>,
+    interval: Duration,
+) -> Result<(Trace, FleetReport), ServeError> {
+    let mut fleet = fleet_from_spec(serve, spec)?;
+    let mut recorder = TraceRecorder::new(serve, spec.clone());
+    recorder.journal_from(fleet.telemetry().events().len() as u64);
+    for feed in &feeds {
+        let stream = recorder.add_stream();
+        fleet.add_stream()?;
+        recorder.record_feed(stream, feed, interval);
+    }
+    let report = fleet.run_reference(feeds)?;
+    recorder.record_outputs(&fleet)?;
+    recorder.record_journal(fleet.telemetry());
+    Ok((recorder.finish(), report))
+}

@@ -1,0 +1,271 @@
+//! Replaying a [`Trace`] and checking bit-identity.
+//!
+//! Replay rebuilds the recorded fleet from the trace's configuration
+//! and model seed, feeds the recorded frames through the deterministic
+//! reference executor, and compares every verdict and switch-log entry
+//! against the recorded outputs **bit-exactly** (`f32`/`f64` values are
+//! compared as bits, so an `0.1 + 0.2`-style drift anywhere in the
+//! pipeline is caught, not rounded away).
+
+use crate::recorder::fleet_from_spec;
+use crate::trace::{RecordedSwitch, Trace};
+use safecross::Verdict;
+use safecross_serve::{FleetServer, ServeError, StreamId};
+use std::fmt;
+
+/// Where a replay diverged from the recorded outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// A stream produced a different number of verdicts.
+    VerdictCount {
+        /// Which stream.
+        stream: usize,
+        /// Verdicts in the recording.
+        recorded: usize,
+        /// Verdicts the replay produced.
+        replayed: usize,
+    },
+    /// A verdict differs (class, confidence bits, or weather).
+    Verdict {
+        /// Which stream.
+        stream: usize,
+        /// Index in the stream's verdict sequence.
+        index: usize,
+        /// The recorded verdict.
+        recorded: Box<Verdict>,
+        /// What the replay produced instead.
+        replayed: Box<Verdict>,
+    },
+    /// A stream produced a different number of switch-log entries.
+    SwitchCount {
+        /// Which stream.
+        stream: usize,
+        /// Entries in the recording.
+        recorded: usize,
+        /// Entries the replay produced.
+        replayed: usize,
+    },
+    /// A switch-log entry differs (model, frame, or latency bits).
+    Switch {
+        /// Which stream.
+        stream: usize,
+        /// Index in the stream's switch log.
+        index: usize,
+        /// The recorded entry.
+        recorded: Box<RecordedSwitch>,
+        /// What the replay produced instead.
+        replayed: Box<RecordedSwitch>,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::VerdictCount { stream, recorded, replayed } => write!(
+                f,
+                "stream {stream}: {recorded} verdicts recorded, {replayed} replayed"
+            ),
+            Divergence::Verdict { stream, index, recorded, replayed } => write!(
+                f,
+                "stream {stream} verdict {index}: recorded {recorded:?}, replayed {replayed:?}"
+            ),
+            Divergence::SwitchCount { stream, recorded, replayed } => write!(
+                f,
+                "stream {stream}: {recorded} switches recorded, {replayed} replayed"
+            ),
+            Divergence::Switch { stream, index, recorded, replayed } => write!(
+                f,
+                "stream {stream} switch {index}: recorded {recorded:?}, replayed {replayed:?}"
+            ),
+        }
+    }
+}
+
+/// Why a replay failed.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The rebuilt fleet rejected the trace (configuration error).
+    Serve(ServeError),
+    /// The replay ran but its outputs differ from the recording.
+    Diverged(Divergence),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Serve(e) => write!(f, "replay could not run: {e}"),
+            ReplayError::Diverged(d) => write!(f, "replay diverged: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Serve(e) => Some(e),
+            ReplayError::Diverged(_) => None,
+        }
+    }
+}
+
+impl From<ServeError> for ReplayError {
+    fn from(e: ServeError) -> Self {
+        ReplayError::Serve(e)
+    }
+}
+
+/// What a successful replay verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Streams replayed.
+    pub streams: usize,
+    /// Frames replayed across all streams.
+    pub frames: usize,
+    /// Verdicts compared bit-exactly.
+    pub verdicts_checked: usize,
+    /// Switch-log entries compared bit-exactly.
+    pub switches_checked: usize,
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replayed {} frames over {} streams: {} verdicts and {} switches bit-identical",
+            self.frames, self.streams, self.verdicts_checked, self.switches_checked
+        )
+    }
+}
+
+/// Rebuilds the fleet a trace describes — configuration from the
+/// trace, models from the recorded seed, one stream per recorded
+/// stream — ready for [`FleetServer::run_reference`].
+///
+/// # Errors
+///
+/// Any [`ServeError`] from construction.
+pub fn build_fleet(trace: &Trace) -> Result<FleetServer, ServeError> {
+    let mut fleet = fleet_from_spec(trace.serve, &trace.models)?;
+    for _ in 0..trace.streams.len() {
+        fleet.add_stream()?;
+    }
+    Ok(fleet)
+}
+
+fn verdict_bits_equal(a: &Verdict, b: &Verdict) -> bool {
+    a.class == b.class
+        && a.confidence.to_bits() == b.confidence.to_bits()
+        && a.weather == b.weather
+}
+
+fn switch_bits_equal(a: &RecordedSwitch, b: &RecordedSwitch) -> bool {
+    a.model == b.model
+        && a.frame == b.frame
+        && a.latency_ms.to_bits() == b.latency_ms.to_bits()
+        && a.setup_ms.to_bits() == b.setup_ms.to_bits()
+        && a.transmit_ms.to_bits() == b.transmit_ms.to_bits()
+        && a.compute_ms.to_bits() == b.compute_ms.to_bits()
+}
+
+/// Replays a trace through the reference executor and asserts
+/// bit-identity of every verdict and switch-log entry against the
+/// recorded outputs.
+///
+/// # Errors
+///
+/// [`ReplayError::Serve`] if the fleet cannot be rebuilt or run;
+/// [`ReplayError::Diverged`] with the first [`Divergence`] if the
+/// replayed outputs are not bit-identical to the recording.
+pub fn replay_trace(trace: &Trace) -> Result<ReplayReport, ReplayError> {
+    let mut fleet = build_fleet(trace)?;
+    let feeds: Vec<Vec<_>> = trace
+        .streams
+        .iter()
+        .map(|s| s.iter().map(|rf| rf.frame.clone()).collect())
+        .collect();
+    fleet.run_reference(feeds)?;
+
+    let mut verdicts_checked = 0;
+    let mut switches_checked = 0;
+    for stream in 0..trace.streams.len() {
+        let id = StreamId::from_index(stream);
+        let recorded_verdicts = trace
+            .outputs
+            .verdicts
+            .get(stream)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        let replayed_verdicts = fleet.verdicts(id)?;
+        if recorded_verdicts.len() != replayed_verdicts.len() {
+            return Err(ReplayError::Diverged(Divergence::VerdictCount {
+                stream,
+                recorded: recorded_verdicts.len(),
+                replayed: replayed_verdicts.len(),
+            }));
+        }
+        for (index, (rec, rep)) in recorded_verdicts
+            .iter()
+            .zip(replayed_verdicts.iter())
+            .enumerate()
+        {
+            if !verdict_bits_equal(rec, rep) {
+                return Err(ReplayError::Diverged(Divergence::Verdict {
+                    stream,
+                    index,
+                    recorded: Box::new(*rec),
+                    replayed: Box::new(*rep),
+                }));
+            }
+            verdicts_checked += 1;
+        }
+
+        let recorded_switches = trace
+            .outputs
+            .switches
+            .get(stream)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        let replayed_switches: Vec<RecordedSwitch> =
+            fleet.session(id)?.with_switch_log(|log| {
+                log.iter()
+                    .map(|r| RecordedSwitch {
+                        model: r.model.clone(),
+                        frame: r.frame,
+                        latency_ms: r.latency_ms,
+                        setup_ms: r.breakdown.setup_ms,
+                        transmit_ms: r.breakdown.transmit_ms,
+                        compute_ms: r.breakdown.compute_ms,
+                    })
+                    .collect()
+            });
+        if recorded_switches.len() != replayed_switches.len() {
+            return Err(ReplayError::Diverged(Divergence::SwitchCount {
+                stream,
+                recorded: recorded_switches.len(),
+                replayed: replayed_switches.len(),
+            }));
+        }
+        for (index, (rec, rep)) in recorded_switches
+            .iter()
+            .zip(replayed_switches.iter())
+            .enumerate()
+        {
+            if !switch_bits_equal(rec, rep) {
+                return Err(ReplayError::Diverged(Divergence::Switch {
+                    stream,
+                    index,
+                    recorded: Box::new(rec.clone()),
+                    replayed: Box::new(rep.clone()),
+                }));
+            }
+            switches_checked += 1;
+        }
+    }
+
+    Ok(ReplayReport {
+        streams: trace.streams.len(),
+        frames: trace.frame_count(),
+        verdicts_checked,
+        switches_checked,
+    })
+}

@@ -14,8 +14,8 @@ use crate::errors::{ConfigError, SafeCrossError};
 use crate::scene::SceneDetector;
 use safecross_dataset::Class;
 use safecross_modelswitch::{
-    GpuSpec, ModelRegistry, ModelSwitcher, SwitchOutcome, SwitchRecord, SwitchReport,
-    SwitchStrategy,
+    GpuSpec, ModelRegistry, ModelSwitcher, SwitchFaultHook, SwitchOutcome, SwitchRecord,
+    SwitchReport, SwitchStrategy,
 };
 use safecross_nn::Mode;
 use safecross_telemetry::{Counter, Histogram, Registry};
@@ -673,6 +673,35 @@ impl SafeCross {
     /// How many model swaps have completed, without cloning the log.
     pub fn switch_count(&self) -> usize {
         self.scene_stage.switcher.switch_count()
+    }
+
+    /// Installs a chaos fault hook on this session's model switcher:
+    /// subsequent switch attempts can be forced to fail with a
+    /// synthetic out-of-memory error after evicting the old model,
+    /// exercising the full rollback path (see [`SwitchFaultHook`]).
+    /// Install after registration — the initial activation of the first
+    /// registered scene happens inside
+    /// [`SafeCross::register_model`] / [`SafeCross::register_scene`].
+    pub fn set_switch_fault_hook(&self, hook: Arc<dyn SwitchFaultHook>) {
+        self.scene_stage.switcher.set_fault_hook(hook);
+    }
+
+    /// Removes any installed switch fault hook.
+    pub fn clear_switch_fault_hook(&self) {
+        self.scene_stage.switcher.clear_fault_hook();
+    }
+
+    /// The name of the model whose weights the switcher holds resident,
+    /// if the last successful switch activated real weights.
+    pub fn resident_model(&self) -> Option<String> {
+        self.scene_stage.switcher.resident_model()
+    }
+
+    /// The resident weights as a named state dictionary — bit-identical
+    /// to the stored checkpoint of the active scene model. `None` when
+    /// nothing weight-bearing is resident.
+    pub fn resident_state_dict(&self) -> Option<Vec<(String, Tensor)>> {
+        self.scene_stage.switcher.resident_state_dict()
     }
 
     /// Consumes one camera frame: scene detection (and model switch if

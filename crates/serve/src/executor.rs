@@ -14,6 +14,7 @@
 //! below pins that down, and the serve equivalence tests lean on it.
 
 use crate::config::ServeConfig;
+use crate::fault::{FaultHook, WorkerAction};
 use crate::metrics::FleetMetrics;
 use safecross::{classify_with_model, top_class_from_logits, Verdict};
 use safecross_dataset::Class;
@@ -193,13 +194,23 @@ pub(crate) fn run_batcher(
 /// One inference worker: pulls micro-batches off the shared queue,
 /// lazily clones the scene models it needs, and reports one completion
 /// per clip.
+///
+/// `fault` is the chaos seam: consulted once per dequeued batch, it can
+/// stall the worker or kill it. A killed worker loses every piece of
+/// warm state (model clones, scratch arena) and retries the batch cold
+/// as its own respawned replacement — faults cost latency, never
+/// completions, so lossless runs stay lossless.
 pub(crate) fn run_worker(
     models: &HashMap<Weather, SlowFastLite>,
     batch_rx: &Mutex<Receiver<Batch>>,
     done_tx: Sender<Completion>,
+    fault: Option<&dyn FaultHook>,
+    worker: usize,
+    fleet: &FleetMetrics,
 ) {
     let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
     let mut scratch = KernelScratch::new();
+    let mut batches_done = 0u64;
     loop {
         // Hold the lock only for the dequeue, not the forward pass.
         let batch = {
@@ -207,6 +218,20 @@ pub(crate) fn run_worker(
             rx.recv()
         };
         let Ok(batch) = batch else { break };
+        if let Some(hook) = fault {
+            match hook.before_batch(worker, batches_done) {
+                WorkerAction::Continue => {}
+                WorkerAction::Stall(pause) => std::thread::sleep(pause),
+                WorkerAction::Die => {
+                    // Everything a crashed process would lose dies here;
+                    // the respawned slot rebuilds it on demand below.
+                    local = HashMap::new();
+                    scratch = KernelScratch::new();
+                    fleet.worker_deaths.inc();
+                }
+            }
+        }
+        batches_done += 1;
         let model = local
             .entry(batch.weather)
             .or_insert_with(|| models[&batch.weather].clone());

@@ -67,10 +67,12 @@
 
 mod config;
 mod executor;
+mod fault;
 mod metrics;
 mod server;
 mod session;
 
 pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use fault::{FaultHook, WorkerAction};
 pub use server::{paced_feed, AgeProfile, FleetReport, FleetServer, FrameFeed, StreamReport};
 pub use session::{StreamId, StreamStats};

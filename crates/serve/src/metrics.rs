@@ -25,6 +25,10 @@ pub(crate) struct FleetMetrics {
     pub batch_size: Histogram,
     /// Micro-batches dispatched to the worker pool (`serve.batches`).
     pub batches: Counter,
+    /// Injected worker deaths — simulated crashes a chaos
+    /// [`FaultHook`](crate::FaultHook) forced on the worker pool
+    /// (`serve.worker_deaths`). Zero outside chaos runs.
+    pub worker_deaths: Counter,
 }
 
 impl FleetMetrics {
@@ -37,6 +41,7 @@ impl FleetMetrics {
             frame_age_ms: registry.histogram("serve.frame_age_ms"),
             batch_size: registry.histogram("serve.batch_size"),
             batches: registry.counter("serve.batches"),
+            worker_deaths: registry.counter("serve.worker_deaths"),
         }
     }
 }

@@ -4,10 +4,11 @@ use crate::config::{ServeConfig, ServeError};
 use crate::executor::{
     classify_one, run_batcher, run_worker, BatcherStats, ClipJob, Completion,
 };
+use crate::fault::FaultHook;
 use crate::metrics::{FleetMetrics, StreamMetrics};
 use crate::session::{StreamId, StreamSession, StreamStats};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
-use safecross_modelswitch::ModelRegistry;
+use safecross_modelswitch::{ModelRegistry, SwitchFaultHook};
 use safecross_telemetry::Registry;
 use safecross_tensor::KernelScratch;
 use safecross_trafficsim::Weather;
@@ -15,7 +16,7 @@ use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::GrayFrame;
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -176,6 +177,9 @@ pub struct FleetServer {
     /// (and to any standalone comparator registering the same way).
     model_order: Vec<Weather>,
     sessions: Vec<StreamSession>,
+    /// Chaos seam consulted by every worker once per dequeued batch.
+    /// `None` (the default) outside fault-injection runs.
+    fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl FleetServer {
@@ -202,7 +206,35 @@ impl FleetServer {
             models: HashMap::new(),
             model_order: Vec::new(),
             sessions: Vec::new(),
+            fault_hook: None,
         })
+    }
+
+    /// Installs a chaos fault hook on the worker pool: every worker
+    /// consults it once per dequeued micro-batch and can be stalled or
+    /// killed/respawned (see [`FaultHook`]). Faults never lose a
+    /// completion, so lossless runs stay lossless. Only
+    /// [`FleetServer::run`] is affected; the single-threaded
+    /// [`FleetServer::run_reference`] has no workers to fault.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Removes any installed worker fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
+    }
+
+    /// Installs a switch fault hook on every *existing* stream session's
+    /// model switcher: switch attempts can be forced to fail with a
+    /// synthetic out-of-memory error after evicting the old model,
+    /// driving the rollback path under load (see
+    /// [`SwitchFaultHook`]). Sessions added later are unaffected —
+    /// install hooks after the fleet's streams are set up.
+    pub fn set_switch_fault_hook(&mut self, hook: Arc<dyn SwitchFaultHook>) {
+        for session in &self.sessions {
+            session.inner.set_switch_fault_hook(hook.clone());
+        }
     }
 
     /// Registers the shared classifier for one weather scene. All
@@ -418,6 +450,7 @@ impl FleetServer {
 
         let config = self.config;
         let fleet = self.fleet_metrics.clone();
+        let fault_hook = self.fault_hook.clone();
         let models = &self.models;
         let sessions = &mut self.sessions;
 
@@ -445,10 +478,21 @@ impl FleetServer {
                 let config = &config;
                 s.spawn(move || run_batcher(clip_rx, batch_tx, config, fleet))
             };
-            for _ in 0..config.workers {
+            for worker in 0..config.workers {
                 let done_tx = done_tx.clone();
                 let batch_rx = &batch_rx;
-                s.spawn(move || run_worker(models, batch_rx, done_tx));
+                let fault_hook = fault_hook.clone();
+                let fleet = &fleet;
+                s.spawn(move || {
+                    run_worker(
+                        models,
+                        batch_rx,
+                        done_tx,
+                        fault_hook.as_deref(),
+                        worker,
+                        fleet,
+                    )
+                });
             }
             drop(done_tx);
 

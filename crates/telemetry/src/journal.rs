@@ -140,6 +140,14 @@ impl Journal {
         }
     }
 
+    pub(crate) fn events_since(&self, seq: u64) -> Vec<Event> {
+        let guard = match self.events.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.iter().filter(|e| e.seq >= seq).cloned().collect()
+    }
+
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }

@@ -107,6 +107,16 @@ impl Registry {
         self.inner.journal.events()
     }
 
+    /// The journalled events with sequence number `seq` or later, oldest
+    /// first — the incremental read a trace recorder uses to bridge the
+    /// journal into an external log without re-copying events it has
+    /// already captured. Events older than `seq` that the bounded ring
+    /// already discarded are simply absent (see
+    /// [`Registry::events_dropped`]).
+    pub fn events_since(&self, seq: u64) -> Vec<Event> {
+        self.inner.journal.events_since(seq)
+    }
+
     /// How many events the bounded journal has discarded.
     pub fn events_dropped(&self) -> u64 {
         self.inner.journal.dropped()

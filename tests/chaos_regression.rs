@@ -1,0 +1,200 @@
+//! Chaos faults must be semantically invisible. Two regressions are
+//! pinned here:
+//!
+//! 1. **Worker death mid-batch**: killing a worker's warm state (model
+//!    clone cache, kernel scratch) before every single batch of a
+//!    threaded lossless run must not change one bit of any stream's
+//!    verdict or switch sequence versus the deterministic reference
+//!    executor.
+//! 2. **OOM-failing `switch_to` under load**: forcing switch attempts
+//!    to fail with OOM mid-run must leave the content-addressed store
+//!    accounting, the layer-group refcounts, and every session's
+//!    resident weights bit-identical — the rollback path restores the
+//!    previous model completely (extends the invariants of
+//!    `tests/model_registry.rs`).
+
+use safecross::SafeCrossConfig;
+use safecross_replay::{chaos_feeds, ChaosConfig, FaultPlan, FeedChaos};
+use safecross_serve::{FleetServer, ServeConfig, StreamId};
+use safecross_tensor::{Tensor, TensorRng};
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+const W: usize = 64;
+const H: usize = 48;
+
+fn config(workers: usize) -> ServeConfig {
+    ServeConfig::builder()
+        .workers(workers)
+        .shedding(false)
+        .stream(SafeCrossConfig {
+            frame_width: W,
+            frame_height: H,
+            segment_frames: 8,
+            scene_window: 4,
+            min_confidence: 0.0,
+            ..SafeCrossConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+}
+
+fn shared_models() -> Vec<(Weather, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(3);
+    Weather::ALL
+        .iter()
+        .map(|&w| (w, SlowFastLite::new(2, &mut rng)))
+        .collect()
+}
+
+fn fleet(workers: usize, streams: usize) -> FleetServer {
+    let mut fleet = FleetServer::new(config(workers)).expect("valid config");
+    for (w, m) in shared_models() {
+        fleet.register_model(w, m).expect("no streams yet");
+    }
+    for _ in 0..streams {
+        fleet.add_stream().expect("models registered");
+    }
+    fleet
+}
+
+fn rendered(weather: Weather, frames: usize, seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), seed);
+    let rc = RenderConfig {
+        width: W,
+        height: H,
+        ..RenderConfig::default()
+    };
+    let mut renderer = Renderer::new(rc, weather, seed);
+    (0..frames)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+/// Streams with weather transitions, so switches happen mid-run.
+fn transition_feeds() -> Vec<Vec<GrayFrame>> {
+    let mut rain = rendered(Weather::Daytime, 24, 2);
+    rain.extend(rendered(Weather::Rain, 24, 21));
+    let mut snow = rendered(Weather::Daytime, 24, 3);
+    snow.extend(rendered(Weather::Snow, 24, 31));
+    vec![rendered(Weather::Daytime, 48, 1), rain, snow]
+}
+
+fn tensor_bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn worker_death_before_every_batch_changes_no_output_bit() {
+    let feeds = transition_feeds();
+    let streams = feeds.len();
+
+    // Ground truth: the deterministic reference executor.
+    let mut reference = fleet(1, streams);
+    reference.run_reference(feeds.clone()).expect("reference runs");
+
+    // Chaotic threaded run: every worker loses its warm state before
+    // every batch it dequeues (death period 1 = fire always).
+    let mut chaotic = fleet(2, streams);
+    let plan = FaultPlan::new(ChaosConfig {
+        seed: 7,
+        worker_death_period: 1,
+        ..ChaosConfig::default()
+    });
+    chaotic.set_fault_hook(plan.clone());
+    let report = chaotic
+        .run(chaos_feeds(feeds, Duration::ZERO, &FeedChaos::default()))
+        .expect("chaotic run completes");
+    assert_eq!(report.completed, (48 * 3) as u64, "lossless despite deaths");
+    assert!(plan.deaths() > 0, "the fault actually fired");
+
+    for s in 0..streams {
+        let id = StreamId::from_index(s);
+        assert_eq!(
+            reference.verdicts(id).expect("stream"),
+            chaotic.verdicts(id).expect("stream"),
+            "stream {s} verdicts diverged under worker death"
+        );
+        let expected = reference.session(id).expect("stream").switch_log();
+        let got = chaotic.session(id).expect("stream").switch_log();
+        assert_eq!(expected, got, "stream {s} switch log diverged under worker death");
+    }
+}
+
+#[test]
+fn forced_oom_switches_leave_store_and_resident_weights_intact() {
+    let feeds = transition_feeds();
+    let streams = feeds.len();
+    let mut fleet = fleet(2, streams);
+
+    // Baseline invariants before chaos: store accounting and refcounts.
+    let (refs_before, logical_before): (Vec<(String, u64, usize)>, usize) = {
+        let store = fleet.model_store();
+        let mut refs = Vec::new();
+        for name in store.models() {
+            for g in store.manifest(&name).expect("registered").groups {
+                refs.push((g.name.clone(), g.hash, store.group_refs(g.hash)));
+            }
+        }
+        (refs, store.logical_bytes())
+    };
+
+    // Force every other switch attempt to fail with OOM, fleet-wide.
+    let plan = FaultPlan::new(ChaosConfig {
+        seed: 11,
+        oom_period: 2,
+        ..ChaosConfig::default()
+    });
+    fleet.set_switch_fault_hook(plan.clone());
+
+    let report = fleet
+        .run(chaos_feeds(feeds, Duration::ZERO, &FeedChaos::default()))
+        .expect("run completes despite forced OOM");
+    assert_eq!(report.completed, (48 * 3) as u64, "no frame lost to failed switches");
+    assert!(plan.ooms() > 0, "the fault actually fired");
+
+    let store = fleet.model_store();
+    assert_eq!(
+        store.logical_bytes(),
+        store.stored_bytes() + store.dedup_bytes(),
+        "store accounting drifted after OOM rollbacks"
+    );
+    assert_eq!(store.logical_bytes(), logical_before, "checkpoints mutated");
+    for (name, hash, before) in refs_before {
+        assert_eq!(
+            store.group_refs(hash),
+            before,
+            "group {name} refcount changed: rollback leaked or dropped a reference"
+        );
+    }
+
+    // Every session's resident weights are bit-identical to the stored
+    // checkpoint of whatever model it ended up on: a failed swap
+    // rolled back completely, a successful one activated real bytes.
+    for s in 0..streams {
+        let session = fleet.session(StreamId::from_index(s)).expect("stream");
+        let name = session.resident_model().expect("a model is active");
+        let resident = session
+            .resident_state_dict()
+            .expect("active model has weights");
+        let stored = store.state_dict(&name).expect("resident model is stored");
+        assert_eq!(resident.len(), stored.len(), "stream {s}: state dict shape");
+        for ((rn, rt), (sn, st)) in resident.iter().zip(&stored) {
+            assert_eq!(rn, sn, "stream {s}: state dict entry order");
+            assert!(
+                tensor_bits_equal(rt, st),
+                "stream {s}: resident tensor {rn} diverged from checkpoint after OOM chaos"
+            );
+        }
+    }
+}

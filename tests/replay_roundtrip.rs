@@ -1,0 +1,208 @@
+//! The record/replay contract, end to end: a real multi-stream fleet
+//! run recorded into a trace (1) serialises to bytes and back
+//! bit-identically, (2) replays through the reference executor with
+//! every verdict and switch-log entry bit-identical to the recording,
+//! and (3) surfaces corruption and truncation as typed errors instead
+//! of panics.
+
+use safecross::SafeCrossConfig;
+use safecross_replay::{record_reference_run, replay_trace, ModelSpec, Trace, TraceError};
+use safecross_serve::ServeConfig;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+const W: usize = 64;
+const H: usize = 48;
+
+fn small_config() -> ServeConfig {
+    ServeConfig::builder()
+        .workers(2)
+        .shedding(false)
+        .stream(SafeCrossConfig {
+            frame_width: W,
+            frame_height: H,
+            segment_frames: 8,
+            scene_window: 4,
+            min_confidence: 0.0,
+            ..SafeCrossConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+}
+
+fn spec() -> ModelSpec {
+    ModelSpec {
+        seed: 11,
+        classes: 2,
+        weathers: Weather::ALL.to_vec(),
+    }
+}
+
+/// Renders `frames` simulator frames of one weather at test size.
+fn rendered(weather: Weather, frames: usize, seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), seed);
+    let config = RenderConfig {
+        width: W,
+        height: H,
+        ..RenderConfig::default()
+    };
+    let mut renderer = Renderer::new(config, weather, seed);
+    (0..frames)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+/// Three streams in distinct regimes, including weather transitions so
+/// the recorded switch logs are non-trivial.
+fn feeds() -> Vec<Vec<GrayFrame>> {
+    let mut rain_transition = rendered(Weather::Daytime, 20, 2);
+    rain_transition.extend(rendered(Weather::Rain, 20, 21));
+    let mut snow_round_trip = rendered(Weather::Snow, 20, 3);
+    snow_round_trip.extend(rendered(Weather::Daytime, 20, 31));
+    vec![rendered(Weather::Daytime, 32, 1), rain_transition, snow_round_trip]
+}
+
+#[test]
+fn recorded_fleet_run_replays_bit_identically() {
+    let (trace, report) =
+        record_reference_run(small_config(), &spec(), feeds(), Duration::from_millis(33))
+            .expect("recording runs");
+    assert_eq!(report.completed, 32 + 40 + 40, "reference mode is lossless");
+    assert!(
+        trace.outputs.verdicts.iter().any(|v| !v.is_empty()),
+        "run long enough to produce verdicts"
+    );
+    assert!(
+        trace.outputs.switches.iter().any(|s| !s.is_empty()),
+        "weather transitions produce switch-log entries"
+    );
+
+    // Byte roundtrip is bit-identical: the format is canonical.
+    let bytes = trace.to_bytes();
+    let decoded = Trace::from_bytes(&bytes).expect("own bytes parse");
+    assert_eq!(decoded.to_bytes(), bytes);
+
+    // Replaying the decoded trace reproduces every verdict and switch
+    // bit-for-bit (replay_trace errors on the first divergence).
+    let replayed = replay_trace(&decoded).expect("replay is bit-identical");
+    assert_eq!(replayed.streams, 3);
+    assert_eq!(replayed.frames, 112);
+    let recorded_verdicts: usize = trace.outputs.verdicts.iter().map(Vec::len).sum();
+    let recorded_switches: usize = trace.outputs.switches.iter().map(Vec::len).sum();
+    assert_eq!(replayed.verdicts_checked, recorded_verdicts);
+    assert_eq!(replayed.switches_checked, recorded_switches);
+}
+
+#[test]
+fn tampering_with_recorded_outputs_is_detected_as_divergence() {
+    let (mut trace, _) =
+        record_reference_run(small_config(), &spec(), feeds(), Duration::ZERO)
+            .expect("recording runs");
+    let verdict = trace
+        .outputs
+        .verdicts
+        .iter_mut()
+        .flat_map(|v| v.iter_mut())
+        .next()
+        .expect("at least one verdict");
+    verdict.confidence = f32::from_bits(verdict.confidence.to_bits() ^ 1);
+    assert!(
+        replay_trace(&trace).is_err(),
+        "a single flipped confidence bit must fail replay"
+    );
+}
+
+#[test]
+fn trace_survives_a_file_roundtrip() {
+    let (trace, _) = record_reference_run(
+        small_config(),
+        &spec(),
+        vec![rendered(Weather::Daytime, 16, 5)],
+        Duration::from_millis(40),
+    )
+    .expect("recording runs");
+    let path = std::env::temp_dir().join("safecross_replay_roundtrip.scrt");
+    trace.save(&path).expect("save");
+    let loaded = Trace::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.to_bytes(), trace.to_bytes());
+}
+
+#[test]
+fn corrupted_trailer_reads_back_as_hash_mismatch() {
+    let (trace, _) = record_reference_run(
+        small_config(),
+        &spec(),
+        vec![rendered(Weather::Daytime, 10, 7)],
+        Duration::ZERO,
+    )
+    .expect("recording runs");
+    let mut bytes = trace.to_bytes();
+
+    // Flip a content byte: the trailer no longer matches.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    match Trace::from_bytes(&bytes) {
+        Err(TraceError::HashMismatch { expected, computed }) => {
+            assert_ne!(expected, computed)
+        }
+        other => panic!("expected HashMismatch, got {other:?}"),
+    }
+
+    // Flip a trailer byte instead: also a hash mismatch, attributed the
+    // other way around.
+    let mut bytes = trace.to_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(
+        Trace::from_bytes(&bytes),
+        Err(TraceError::HashMismatch { .. })
+    ));
+}
+
+#[test]
+fn truncated_trace_reads_back_as_typed_error() {
+    let (trace, _) = record_reference_run(
+        small_config(),
+        &spec(),
+        vec![rendered(Weather::Daytime, 10, 9)],
+        Duration::ZERO,
+    )
+    .expect("recording runs");
+    let bytes = trace.to_bytes();
+
+    // Cut mid-record: Truncated. Cut at the record boundary right
+    // before the trailer: MissingTrailer. Never a panic.
+    for cut in [3, 9, bytes.len() / 3, bytes.len() - 4, bytes.len() - 1] {
+        let err = Trace::from_bytes(&bytes[..cut]).expect_err("truncation must error");
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated { .. }
+                    | TraceError::MissingTrailer
+                    | TraceError::Format(_)
+            ),
+            "cut at {cut}: unexpected {err:?}"
+        );
+    }
+    // Empty and magic-only inputs too.
+    assert!(Trace::from_bytes(&[]).is_err());
+    assert!(Trace::from_bytes(b"SCRT").is_err());
+    // Foreign bytes: Format, not a panic.
+    assert!(matches!(
+        Trace::from_bytes(b"not a trace at all"),
+        Err(TraceError::Format(_))
+    ));
+    // A version from the future is refused by number.
+    let mut future = trace.to_bytes();
+    future[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Trace::from_bytes(&future),
+        Err(TraceError::UnsupportedVersion(99))
+    ));
+}
