@@ -28,7 +28,7 @@
 //! - [`ModelSwitcher`]: the registry the SafeCross runtime drives when
 //!   the detected weather scene changes. With a [`ModelRegistry`]
 //!   attached, a switch *activates real weights*: every layer group of
-//!   the target checkpoint is copied into the resident arena in manifest
+//!   the target checkpoint is pinned into the resident set in manifest
 //!   order, and the analytic timeline is driven by the same group sizes.
 
 #![forbid(unsafe_code)]

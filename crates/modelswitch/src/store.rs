@@ -47,12 +47,19 @@ impl Blob {
     }
 }
 
-/// A group's stored payload, as handed to the switcher for activation:
-/// the shared flat buffer plus `(dims, offset, len)` per tensor.
-#[derive(Debug, Clone)]
-pub(crate) struct GroupPayload {
-    pub data: Arc<Vec<f32>>,
-    pub spans: Vec<(Vec<usize>, usize, usize)>,
+/// Everything a switcher needs to make a checkpoint's weights resident:
+/// the group blobs (shared with the store) plus the flattened
+/// `(qualified name, dims, group index, offset, len)` table, both in
+/// manifest order. Built once per checkpoint and cached behind an
+/// `Arc`, so ten thousand sessions resident on the same model hold one
+/// layout, not ten thousand copies of its per-tensor metadata.
+#[derive(Debug, Default)]
+pub(crate) struct ResidentLayout {
+    /// Group blobs in manifest order, shared with the store.
+    pub groups: Vec<Arc<Vec<f32>>>,
+    /// `(qualified name, dims, group index, offset, len)` per tensor,
+    /// manifest order; `offset`/`len` index into `groups[group index]`.
+    pub params: Vec<(String, Vec<usize>, usize, usize, usize)>,
 }
 
 /// Pre-fetched registry gauges (see [`ModelRegistry::instrument`]).
@@ -67,6 +74,12 @@ struct StoreTelemetry {
 struct StoreInner {
     blobs: HashMap<u64, Blob>,
     models: HashMap<String, ModelManifest>,
+    /// Lazily-built shared switch descriptors, keyed by checkpoint name
+    /// (the `u64` is the FLOP budget they were derived with, in bits).
+    /// Invalidated whenever the named checkpoint changes.
+    descs: HashMap<String, (u64, Arc<ModelDesc>)>,
+    /// Lazily-built shared activation layouts, invalidated with `descs`.
+    layouts: HashMap<String, Arc<ResidentLayout>>,
     telemetry: Option<StoreTelemetry>,
 }
 
@@ -168,8 +181,9 @@ impl ModelRegistry {
     ) -> ModelManifest {
         let mut manifest = manifest_for(name, groups);
         let mut inner = self.lock();
-        if let Some(old) = inner.models.remove(name) {
-            inner.release_groups(&old);
+        let old = inner.models.remove(name);
+        if let Some(old) = &old {
+            inner.release_groups(old);
         }
         for (g, (_, entries)) in manifest.groups.iter_mut().zip(groups) {
             let mut key = g.hash;
@@ -193,6 +207,14 @@ impl ModelRegistry {
             }
             g.hash = key;
         }
+        // A re-registration with bit-identical content (every session of
+        // a fleet registers the same scene checkpoints) keeps the cached
+        // shared descriptor and layout; only real content changes
+        // invalidate them.
+        if old.as_ref() != Some(&manifest) {
+            inner.descs.remove(name);
+            inner.layouts.remove(name);
+        }
         inner.models.insert(name.to_owned(), manifest.clone());
         inner.publish_gauges();
         manifest
@@ -202,6 +224,8 @@ impl ModelRegistry {
     /// references. Returns whether the name was present.
     pub fn remove_model(&self, name: &str) -> bool {
         let mut inner = self.lock();
+        inner.descs.remove(name);
+        inner.layouts.remove(name);
         match inner.models.remove(name) {
             Some(manifest) => {
                 inner.release_groups(&manifest);
@@ -268,7 +292,23 @@ impl ModelRegistry {
     /// This is what makes the analytic switch timeline move the same
     /// payload the activation path copies.
     pub fn model_desc(&self, name: &str, total_flops: f64) -> Option<ModelDesc> {
-        let manifest = self.manifest(name)?;
+        self.shared_model_desc(name, total_flops).map(|d| (*d).clone())
+    }
+
+    /// Like [`ModelRegistry::model_desc`], but returns the store's
+    /// cached shared descriptor: the first call for a checkpoint builds
+    /// the layer table, every later call (every further session opened
+    /// on the fleet) clones an `Arc`. The cache is invalidated when the
+    /// checkpoint is re-registered or removed.
+    pub fn shared_model_desc(&self, name: &str, total_flops: f64) -> Option<Arc<ModelDesc>> {
+        let mut inner = self.lock();
+        let bits = total_flops.to_bits();
+        if let Some((b, desc)) = inner.descs.get(name) {
+            if *b == bits {
+                return Some(Arc::clone(desc));
+            }
+        }
+        let manifest = inner.models.get(name)?;
         let total_bytes = manifest.total_bytes().max(1);
         let layers: Vec<LayerDesc> = manifest
             .groups
@@ -279,7 +319,9 @@ impl ModelRegistry {
                 flops: total_flops * g.bytes as f64 / total_bytes as f64,
             })
             .collect();
-        Some(ModelDesc::new(name, layers, manifest.total_params()))
+        let desc = Arc::new(ModelDesc::new(name, layers, manifest.total_params()));
+        inner.descs.insert(name.to_owned(), (bits, Arc::clone(&desc)));
+        Some(desc)
     }
 
     /// Reconstructs the full named state dictionary of checkpoint
@@ -299,19 +341,31 @@ impl ModelRegistry {
         Some(out)
     }
 
-    /// The stored payload of the blob under `hash`, for the switcher's
-    /// activation path.
-    pub(crate) fn group_payload(&self, hash: u64) -> Option<GroupPayload> {
-        let inner = self.lock();
-        let blob = inner.blobs.get(&hash)?;
-        Some(GroupPayload {
-            data: Arc::clone(&blob.data),
-            spans: blob
-                .spans
-                .iter()
-                .map(|s| (s.dims.clone(), s.offset, s.len))
-                .collect(),
-        })
+    /// The shared activation layout of checkpoint `name`, for the
+    /// switcher's activation path: built once, then served from cache
+    /// until the checkpoint changes. The blobs inside are refcounted
+    /// with the store, so a layout (and any switcher pinning it) keeps
+    /// its weights alive even if the checkpoint is later removed.
+    pub(crate) fn resident_layout(&self, name: &str) -> Option<Arc<ResidentLayout>> {
+        let mut inner = self.lock();
+        if let Some(layout) = inner.layouts.get(name) {
+            return Some(Arc::clone(layout));
+        }
+        let manifest = inner.models.get(name)?;
+        let mut layout = ResidentLayout::default();
+        for g in &manifest.groups {
+            let blob = inner.blobs.get(&g.hash).expect("registered group has a blob");
+            let index = layout.groups.len();
+            for (pname, span) in g.params.iter().zip(&blob.spans) {
+                layout
+                    .params
+                    .push((pname.clone(), span.dims.clone(), index, span.offset, span.len));
+            }
+            layout.groups.push(Arc::clone(&blob.data));
+        }
+        let layout = Arc::new(layout);
+        inner.layouts.insert(name.to_owned(), Arc::clone(&layout));
+        Some(layout)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {

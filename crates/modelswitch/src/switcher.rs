@@ -4,8 +4,7 @@ use crate::gpu::GpuSpec;
 use crate::memory::{MemoryError, MemoryPool};
 use crate::model_desc::ModelDesc;
 use crate::schedule::{simulate_switch, SwitchReport, SwitchStrategy, TimelineEvent, TimelinePhase};
-use crate::store::ModelRegistry;
-use safecross_nn::ModelManifest;
+use crate::store::{ModelRegistry, ResidentLayout};
 use safecross_telemetry::{Counter, Histogram, Registry};
 use safecross_tensor::Tensor;
 use std::collections::HashMap;
@@ -155,18 +154,18 @@ impl fmt::Debug for FaultHookHandle {
     }
 }
 
-/// The weights currently resident on the simulated device: every group
-/// of the active model, copied out of the store into one flat arena in
-/// manifest order.
+/// The weights currently resident on the simulated device: the active
+/// model's shared [`ResidentLayout`], pinned straight out of the store.
+/// Activation is zero-copy — the layout (group blobs *and* the
+/// per-tensor metadata table) is refcounted with the content-addressed
+/// store, so N sessions resident on the same checkpoint hold one copy
+/// of everything, not N (the property that lets a 10k-stream fleet fit
+/// in memory). The pinned `Arc` keeps the bytes alive even if the
+/// checkpoint is later unregistered.
 #[derive(Debug, Default)]
 struct ResidentModel {
     name: String,
-    /// Flat arena holding all groups back to back. Reused (not
-    /// reallocated) across switches once it has grown to the largest
-    /// activated model.
-    arena: Vec<f32>,
-    /// `(qualified name, dims, offset, len)` per tensor, arena order.
-    params: Vec<(String, Vec<usize>, usize, usize)>,
+    layout: Arc<ResidentLayout>,
 }
 
 /// A registry of scene models plus the simulated device state. This is
@@ -184,7 +183,9 @@ pub struct ModelSwitcher {
 
 #[derive(Debug)]
 struct Inner {
-    registry: HashMap<String, ModelDesc>,
+    /// Switch descriptors behind `Arc`: models registered straight from
+    /// the store share one descriptor across every session's switcher.
+    registry: HashMap<String, Arc<ModelDesc>>,
     pool: MemoryPool,
     active: Option<String>,
     switch_log: Vec<SwitchRecord>,
@@ -255,12 +256,16 @@ impl ModelSwitcher {
 
     /// Registers a scene model under `name` (e.g. `"daytime"`).
     pub fn register(&self, name: &str, model: ModelDesc) {
-        self.inner.lock().expect("switcher mutex poisoned").registry.insert(name.to_owned(), model);
+        self.inner
+            .lock()
+            .expect("switcher mutex poisoned")
+            .registry
+            .insert(name.to_owned(), Arc::new(model));
     }
 
     /// Attaches a weight store. Subsequent switches to models the store
-    /// holds *activate real weights*: each layer group's blob is copied
-    /// into the resident arena in manifest order (readable back through
+    /// holds *activate real weights*: each layer group's blob is pinned
+    /// into the resident set in manifest order (readable back through
     /// [`ModelSwitcher::resident_state_dict`]). Models registered only
     /// as descriptors keep their analytic-only behaviour.
     pub fn attach_store(&self, store: &ModelRegistry) {
@@ -285,12 +290,16 @@ impl ModelSwitcher {
             .clone();
         let desc = store
             .as_ref()
-            .and_then(|s| s.model_desc(name, total_flops))
+            .and_then(|s| s.shared_model_desc(name, total_flops))
             .ok_or_else(|| SwitchError::UnknownModel {
                 name: name.to_owned(),
                 registered: store.as_ref().map(|s| s.models()).unwrap_or_default(),
             })?;
-        self.register(name, desc);
+        self.inner
+            .lock()
+            .expect("switcher mutex poisoned")
+            .registry
+            .insert(name.to_owned(), desc);
         Ok(())
     }
 
@@ -392,29 +401,26 @@ impl ModelSwitcher {
         let report = simulate_switch(&self.gpu, &model, &self.strategy);
         let breakdown = SwitchBreakdown::from_timeline(&report.timeline);
         // Activate real weights when the store holds this checkpoint:
-        // copy each group's blob into the resident arena in manifest
+        // pin its shared activation layout — group blobs in manifest
         // order, mirroring the transmit order of the analytic timeline.
         // Memory was already reserved above, and on the OOM path we
         // returned before reaching here, so a failed switch never
         // disturbs the previously resident weights.
-        let manifest = inner
-            .store
-            .as_ref()
-            .and_then(|s| s.manifest(name))
-            .map(|m| (m, inner.store.clone().expect("store present")));
-        match manifest {
-            Some((manifest, store)) => {
-                let activated = activate(&mut inner.resident, name, &manifest, &store);
+        match inner.store.as_ref().and_then(|s| s.resident_layout(name)) {
+            Some(layout) => {
+                let floats: usize = layout.groups.iter().map(|g| g.len()).sum();
+                inner.resident.name = name.to_owned();
+                inner.resident.layout = layout;
                 if let Some(tel) = &inner.telemetry {
-                    tel.activate_bytes.add(activated as u64);
+                    tel.activate_bytes.add((floats * 4) as u64);
                 }
             }
             None => {
-                // Descriptor-only model: nothing to copy, and whatever
-                // the arena held belongs to a no-longer-active model.
+                // Descriptor-only model: nothing to pin, and whatever
+                // the resident set held belongs to a no-longer-active
+                // model.
                 inner.resident.name.clear();
-                inner.resident.arena.clear();
-                inner.resident.params.clear();
+                inner.resident.layout = Arc::default();
             }
         }
         inner.active = Some(name.to_owned());
@@ -465,7 +471,7 @@ impl ModelSwitcher {
         self.with_switch_log(|log| log.len())
     }
 
-    /// The name of the model whose weights sit in the resident arena,
+    /// The name of the model whose weights are currently resident,
     /// if the last successful switch activated real weights.
     pub fn resident_model(&self) -> Option<String> {
         let inner = self.inner.lock().expect("switcher mutex poisoned");
@@ -476,16 +482,16 @@ impl ModelSwitcher {
         }
     }
 
-    /// Bytes of weight data currently resident in the arena.
+    /// Bytes of weight data currently resident.
     pub fn resident_bytes(&self) -> usize {
         let inner = self.inner.lock().expect("switcher mutex poisoned");
-        inner.resident.params.iter().map(|(_, _, _, len)| len * 4).sum()
+        inner.resident.layout.params.iter().map(|(_, _, _, _, len)| len * 4).sum()
     }
 
     /// Reconstructs the resident weights as a named state dictionary —
     /// the tensors a consumer would load to run the active model. They
     /// are bit-identical to the checkpoint registered in the store:
-    /// activation copies bytes, it does not transform them.
+    /// activation pins the stored bytes, it does not transform them.
     ///
     /// Returns `None` when no weight-bearing model is resident (nothing
     /// switched yet, or the active model was registered descriptor-only).
@@ -497,43 +503,17 @@ impl ModelSwitcher {
         Some(
             inner
                 .resident
+                .layout
                 .params
                 .iter()
-                .map(|(name, dims, offset, len)| {
-                    let data = inner.resident.arena[*offset..*offset + *len].to_vec();
+                .map(|(name, dims, group, offset, len)| {
+                    let blob = &inner.resident.layout.groups[*group];
+                    let data = blob[*offset..*offset + *len].to_vec();
                     (name.clone(), Tensor::from_vec(data, dims))
                 })
                 .collect(),
         )
     }
-}
-
-/// Copies every group of `manifest` out of `store` into the resident
-/// arena, group by group in manifest order, and returns the number of
-/// bytes moved. The arena allocation is reused across activations.
-fn activate(
-    resident: &mut ResidentModel,
-    name: &str,
-    manifest: &ModelManifest,
-    store: &ModelRegistry,
-) -> usize {
-    resident.name.clear();
-    resident.arena.clear();
-    resident.params.clear();
-    for group in &manifest.groups {
-        let payload = store
-            .group_payload(group.hash)
-            .expect("manifest group has a stored blob");
-        let base = resident.arena.len();
-        resident.arena.extend_from_slice(&payload.data);
-        for (pname, (dims, offset, len)) in group.params.iter().zip(&payload.spans) {
-            resident
-                .params
-                .push((pname.clone(), dims.clone(), base + offset, *len));
-        }
-    }
-    resident.name = name.to_owned();
-    resident.arena.len() * 4
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! deaths at the same batch counts and force the same `switch_to`
 //! failures at the same attempts, so a chaos-found bug reproduces from
 //! its seed. The faults plug into the seams the serving stack exposes:
-//! [`FaultHook`](safecross_serve::FaultHook) on the worker pool and
+//! [`FaultHook`](safecross_serve::FaultHook) on the shard set and
 //! [`SwitchFaultHook`](safecross_modelswitch::SwitchFaultHook) on every
 //! session's model switcher.
 
@@ -15,7 +15,8 @@ use crate::recorder::fleet_from_spec;
 use crate::trace::ModelSpec;
 use safecross_modelswitch::SwitchFaultHook;
 use safecross_serve::{
-    paced_feed, FaultHook, FleetReport, FrameFeed, ServeConfig, ServeError, StreamId, WorkerAction,
+    paced_feed, BoxedSource, FaultHook, FleetReport, FrameSource, IterSource, ServeConfig,
+    ServeError, StreamSpec, WorkerAction,
 };
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
@@ -236,25 +237,30 @@ pub fn chaos_feeds(
     streams: Vec<Vec<GrayFrame>>,
     base_interval: Duration,
     chaos: &FeedChaos,
-) -> Vec<FrameFeed> {
+) -> Vec<BoxedSource> {
     streams
         .into_iter()
         .enumerate()
         .map(|(stream, frames)| {
             let interval = chaos.interval_for(stream, base_interval);
             if chaos.stall_streams.contains(&stream) && chaos.stall_every != 0 {
+                // A stalling feed blocks mid-iteration, so it rides an
+                // `IterSource` (blocking → feeder thread); the rest are
+                // non-blocking paced sources polled inline by their
+                // shard.
                 let chaos = chaos.clone();
                 let mut frame_no = 0u64;
-                Box::new(frames.into_iter().inspect(move |_| {
+                IterSource::new(frames.into_iter().inspect(move |_| {
                     if chaos.would_stall(stream, frame_no) {
                         thread::sleep(chaos.stall_for);
                     } else if frame_no > 0 && interval > Duration::ZERO {
                         thread::sleep(interval);
                     }
                     frame_no += 1;
-                })) as FrameFeed
+                }))
+                .boxed()
             } else {
-                paced_feed(frames, interval)
+                paced_feed(frames, interval).boxed()
             }
         })
         .collect()
@@ -422,7 +428,7 @@ pub fn run_soak(
     loop {
         let mut fleet = fleet_from_spec(config.serve, &config.models)?;
         for _ in 0..config.streams {
-            fleet.add_stream()?;
+            fleet.open_stream(StreamSpec::new())?;
         }
         fleet.set_fault_hook(plan.clone());
         fleet.set_switch_fault_hook(plan.clone());
@@ -441,8 +447,9 @@ pub fn run_soak(
             )));
         }
         let mut switches = 0u64;
-        for s in 0..config.streams {
-            let session = fleet.session(StreamId::from_index(s))?;
+        let handles = fleet.handles();
+        for (s, handle) in handles.iter().enumerate() {
+            let session = handle.session(&fleet);
             if let Some(name) = session.resident_model() {
                 if !store.contains(&name) || store.manifest(&name).is_none() {
                     return Err(SoakError::InvariantViolated(format!(

@@ -7,7 +7,7 @@
 //! capture reads the fleet's already-public accessors.
 
 use crate::trace::{ModelSpec, RecordedFrame, RecordedOutputs, RecordedSwitch, Trace};
-use safecross_serve::{FleetReport, FleetServer, ServeConfig, ServeError};
+use safecross_serve::{FleetReport, FleetServer, ServeConfig, ServeError, StreamSpec};
 use safecross_telemetry::Registry;
 use safecross_tensor::TensorRng;
 use safecross_videoclass::SlowFastLite;
@@ -40,7 +40,7 @@ impl TraceRecorder {
     }
 
     /// Registers one more stream; returns its index in the trace.
-    /// Call once per [`FleetServer::add_stream`], in the same order.
+    /// Call once per [`FleetServer::open_stream`], in the same order.
     pub fn add_stream(&mut self) -> usize {
         self.streams.push(Vec::new());
         self.streams.len() - 1
@@ -84,12 +84,20 @@ impl TraceRecorder {
     ///
     /// [`ServeError`] if the fleet has fewer streams than the trace.
     pub fn record_outputs(&mut self, fleet: &FleetServer) -> Result<(), ServeError> {
+        if fleet.streams() < self.streams.len() {
+            return Err(ServeError::UnknownStream {
+                stream: fleet.streams(),
+                streams: fleet.streams(),
+            });
+        }
         self.outputs.verdicts.clear();
         self.outputs.switches.clear();
-        for stream in 0..self.streams.len() {
-            let id = safecross_serve::StreamId::from_index(stream);
-            self.outputs.verdicts.push(fleet.verdicts(id)?.to_vec());
-            let switches = fleet.session(id)?.with_switch_log(|log| {
+        let handles = fleet.handles();
+        for handle in handles.iter().take(self.streams.len()) {
+            self.outputs
+                .verdicts
+                .push(handle.verdicts(fleet).to_vec());
+            let switches = handle.session(fleet).with_switch_log(|log| {
                 log.iter()
                     .map(|r| RecordedSwitch {
                         model: r.model.clone(),
@@ -165,7 +173,7 @@ pub fn record_reference_run(
     recorder.journal_from(fleet.telemetry().events().len() as u64);
     for feed in &feeds {
         let stream = recorder.add_stream();
-        fleet.add_stream()?;
+        fleet.open_stream(StreamSpec::new())?;
         recorder.record_feed(stream, feed, interval);
     }
     let report = fleet.run_reference(feeds)?;

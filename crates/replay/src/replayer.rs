@@ -10,7 +10,7 @@
 use crate::recorder::fleet_from_spec;
 use crate::trace::{RecordedSwitch, Trace};
 use safecross::Verdict;
-use safecross_serve::{FleetServer, ServeError, StreamId};
+use safecross_serve::{FleetServer, ServeError, StreamSpec};
 use std::fmt;
 
 /// Where a replay diverged from the recorded outputs.
@@ -147,7 +147,7 @@ impl fmt::Display for ReplayReport {
 pub fn build_fleet(trace: &Trace) -> Result<FleetServer, ServeError> {
     let mut fleet = fleet_from_spec(trace.serve, &trace.models)?;
     for _ in 0..trace.streams.len() {
-        fleet.add_stream()?;
+        fleet.open_stream(StreamSpec::new())?;
     }
     Ok(fleet)
 }
@@ -187,15 +187,15 @@ pub fn replay_trace(trace: &Trace) -> Result<ReplayReport, ReplayError> {
 
     let mut verdicts_checked = 0;
     let mut switches_checked = 0;
-    for stream in 0..trace.streams.len() {
-        let id = StreamId::from_index(stream);
+    let handles = fleet.handles();
+    for (stream, handle) in handles.iter().enumerate() {
         let recorded_verdicts = trace
             .outputs
             .verdicts
             .get(stream)
             .map(Vec::as_slice)
             .unwrap_or_default();
-        let replayed_verdicts = fleet.verdicts(id)?;
+        let replayed_verdicts = handle.verdicts(&fleet);
         if recorded_verdicts.len() != replayed_verdicts.len() {
             return Err(ReplayError::Diverged(Divergence::VerdictCount {
                 stream,
@@ -226,7 +226,7 @@ pub fn replay_trace(trace: &Trace) -> Result<ReplayReport, ReplayError> {
             .map(Vec::as_slice)
             .unwrap_or_default();
         let replayed_switches: Vec<RecordedSwitch> =
-            fleet.session(id)?.with_switch_log(|log| {
+            handle.session(&fleet).with_switch_log(|log| {
                 log.iter()
                     .map(|r| RecordedSwitch {
                         model: r.model.clone(),

@@ -7,9 +7,10 @@
 //! journal. Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "SCRT" | u32 version = 1
+//! magic "SCRT" | u32 version = 2
 //! records: u8 tag | u32 payload len | payload
-//!   tag 1 CONFIG  (exactly one, first record)
+//!   tag 1 CONFIG  (exactly one, first record; v2 records the shard
+//!                  count where v1 recorded the worker-pool size)
 //!   tag 2 FRAME   stream u32 | index u32 | arrival_us u64
 //!                 | w u32 | h u32 | enc u8 (0 raw, 1 RLE) | pixels
 //!   tag 3 VERDICT stream u32 | class u8 | confidence bits u32
@@ -20,8 +21,11 @@
 //!   tag 0 TRAILER u64 FNV-1a hash of every preceding byte (last record)
 //! ```
 //!
-//! Like the `"SCNN"` checkpoint format, **v1 stays readable forever**:
-//! future extensions bump the version and add record tags; a v1 reader
+//! Like the `"SCNN"` checkpoint format, **old versions stay readable
+//! forever**: v2 changed only the *meaning* of the CONFIG record's
+//! first field (the worker-pool size became the shard count — same
+//! byte layout, and replaying a v1 trace on `shards = workers` is the
+//! faithful reproduction), so this reader accepts v1 and v2 alike and
 //! rejects versions it does not know with a typed error instead of
 //! misparsing. The trailer hash makes corruption — truncation, bit
 //! flips, a partial upload out of an RSU — a typed [`TraceError`], never
@@ -41,7 +45,9 @@ use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"SCRT";
 /// Current trace format version.
-pub const TRACE_VERSION: u32 = 1;
+pub const TRACE_VERSION: u32 = 2;
+/// Oldest version this reader still decodes.
+pub const MIN_TRACE_VERSION: u32 = 1;
 
 const TAG_TRAILER: u8 = 0;
 const TAG_CONFIG: u8 = 1;
@@ -191,7 +197,8 @@ impl Trace {
         self.streams.iter().map(Vec::len).sum()
     }
 
-    /// Serialises the trace to bytes (v1 layout, trailer hash last).
+    /// Serialises the trace to bytes (current-version layout, trailer
+    /// hash last).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -238,7 +245,7 @@ impl Trace {
             return Err(TraceError::Format("bad magic (not a SafeCross trace)".into()));
         }
         let version = r.take_u32()?;
-        if version != TRACE_VERSION {
+        if !(MIN_TRACE_VERSION..=TRACE_VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
         // The trailer record has a fixed shape (tag + u32 len 8 + u64
@@ -400,7 +407,7 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
 fn encode_config(trace: &Trace) -> Vec<u8> {
     let mut p = Vec::new();
     let sc = &trace.serve;
-    p.extend_from_slice(&(sc.workers as u32).to_le_bytes());
+    p.extend_from_slice(&(sc.shards as u32).to_le_bytes());
     p.extend_from_slice(&(sc.batch_max as u32).to_le_bytes());
     p.extend_from_slice(&(sc.batch_linger.as_micros() as u64).to_le_bytes());
     p.extend_from_slice(&(sc.queue_capacity as u32).to_le_bytes());
@@ -436,7 +443,9 @@ fn encode_config(trace: &Trace) -> Vec<u8> {
 }
 
 fn decode_config(p: &mut Reader<'_>) -> Result<(ServeConfig, ModelSpec, usize), TraceError> {
-    let workers = p.take_u32()? as usize;
+    // v1 wrote the worker-pool size here; v2 writes the shard count.
+    // Same slot, same meaning for replay: partition width of the run.
+    let shards = p.take_u32()? as usize;
     let batch_max = p.take_u32()? as usize;
     let batch_linger = Duration::from_micros(p.take_u64()?);
     let queue_capacity = p.take_u32()? as usize;
@@ -479,7 +488,7 @@ fn decode_config(p: &mut Reader<'_>) -> Result<(ServeConfig, ModelSpec, usize), 
     }
     let n_streams = p.take_u32()? as usize;
     let serve = ServeConfig {
-        workers,
+        shards,
         batch_max,
         batch_linger,
         queue_capacity,
@@ -756,6 +765,60 @@ mod tests {
         // Alternating pixels cannot compress: every run is length 1.
         let noisy: Vec<u8> = (0..100).map(|i| (i % 2) as u8 * 255).collect();
         assert!(rle_encode(&noisy).is_none());
+    }
+
+    #[test]
+    fn v1_traces_stay_readable() {
+        // A v1 trace is byte-for-byte a v2 trace with version = 1 and
+        // the worker-pool size in the CONFIG slot that now holds the
+        // shard count. Forge one from a v2 serialisation and check the
+        // worker count lands in `shards`.
+        let trace = Trace {
+            serve: ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+            models: ModelSpec {
+                seed: 11,
+                classes: 2,
+                weathers: vec![Weather::Daytime],
+            },
+            streams: vec![vec![RecordedFrame {
+                arrival_us: 0,
+                frame: GrayFrame::filled(4, 4, 90),
+            }]],
+            outputs: RecordedOutputs::default(),
+            events: Vec::new(),
+        };
+        let mut bytes = trace.to_bytes();
+        const TRAILER_LEN: usize = 1 + 4 + 8;
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mut hasher = ContentHasher::new();
+        hasher.update(&bytes);
+        let hash = hasher.finish();
+        bytes.push(TAG_TRAILER);
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.extend_from_slice(&hash.to_le_bytes());
+
+        let decoded = Trace::from_bytes(&bytes).expect("v1 trace decodes");
+        assert_eq!(decoded.serve.shards, 3);
+        assert_eq!(decoded.streams.len(), 1);
+
+        // Future versions stay a typed error.
+        let mut future = trace.to_bytes();
+        future.truncate(future.len() - TRAILER_LEN);
+        future[4..8].copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+        let mut hasher = ContentHasher::new();
+        hasher.update(&future);
+        let hash = hasher.finish();
+        future.push(TAG_TRAILER);
+        future.extend_from_slice(&8u32.to_le_bytes());
+        future.extend_from_slice(&hash.to_le_bytes());
+        assert!(matches!(
+            Trace::from_bytes(&future),
+            Err(TraceError::UnsupportedVersion(v)) if v == TRACE_VERSION + 1
+        ));
     }
 
     #[test]

@@ -4,6 +4,16 @@ use safecross::{ConfigError, SafeCrossConfig};
 use std::fmt;
 use std::time::Duration;
 
+/// Upper bound on the shard count — far above any real core count, it
+/// exists to catch a transposed argument (`shards(10_000)` when the
+/// caller meant streams) before 10 000 threads are spawned.
+pub const MAX_SHARDS: usize = 1024;
+
+/// Upper bound on the per-stream admission queue. Each queued entry
+/// holds a full frame, so a larger bound is almost certainly a
+/// misconfiguration (use shedding, not buffering, to absorb overload).
+pub const MAX_QUEUE_CAPACITY: usize = 1 << 20;
+
 /// Configuration of a [`FleetServer`](crate::FleetServer).
 ///
 /// Construct via [`ServeConfig::builder`] for build-time validation, or
@@ -11,8 +21,11 @@ use std::time::Duration;
 /// [`FleetServer::new`](crate::FleetServer::new) validate.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Inference worker threads shared by every stream.
-    pub workers: usize,
+    /// Shard threads the fleet is partitioned across. Stream `i` lives
+    /// on shard `i % shards`; each shard owns its sessions' admission,
+    /// shedding, micro-batching, and classification, and steals batches
+    /// from other shards when its own queue runs dry.
+    pub shards: usize,
     /// Maximum clips per micro-batch; a batch is dispatched as soon as
     /// it reaches this size.
     pub batch_max: usize,
@@ -47,7 +60,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 2,
+            shards: 2,
             batch_max: 4,
             batch_linger: Duration::from_millis(2),
             queue_capacity: 32,
@@ -75,8 +88,14 @@ impl ServeConfig {
     ///
     /// The first violated invariant, as a [`ServeError`].
     pub fn validate(&self) -> Result<(), ServeError> {
-        if self.workers == 0 {
-            return Err(ServeError::NoWorkers);
+        if self.shards == 0 {
+            return Err(ServeError::NoShards);
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(ServeError::TooManyShards {
+                shards: self.shards,
+                max: MAX_SHARDS,
+            });
         }
         if self.batch_max == 0 {
             return Err(ServeError::EmptyBatch);
@@ -84,17 +103,31 @@ impl ServeConfig {
         if self.queue_capacity == 0 {
             return Err(ServeError::EmptyQueue);
         }
+        if self.queue_capacity > MAX_QUEUE_CAPACITY {
+            return Err(ServeError::QueueTooLarge {
+                capacity: self.queue_capacity,
+                max: MAX_QUEUE_CAPACITY,
+            });
+        }
+        if let Some(deadline) = self.frame_deadline {
+            if self.batch_linger >= deadline {
+                return Err(ServeError::LingerExceedsDeadline {
+                    linger: self.batch_linger,
+                    deadline,
+                });
+            }
+        }
         self.stream.validate().map_err(ServeError::Stream)?;
         Ok(())
     }
 
-    /// How many clips may be in flight between the scheduler and the
-    /// worker pool before the scheduler pauses frame preparation —
-    /// the backpressure bound that turns a worker-pool stall into
-    /// queue growth (and, with shedding on, into drops) instead of
-    /// unbounded buffering inside the executor.
+    /// How many clips one shard may have in flight (staged or queued or
+    /// stolen-but-unresolved) before it pauses frame preparation — the
+    /// backpressure bound that turns a slow consumer into queue growth
+    /// (and, with shedding on, into drops) instead of unbounded
+    /// buffering between scheduling and classification.
     pub(crate) fn inflight_limit(&self) -> usize {
-        4 * self.workers * self.batch_max
+        4 * self.batch_max
     }
 }
 
@@ -105,10 +138,21 @@ pub struct ServeConfigBuilder {
 }
 
 impl ServeConfigBuilder {
-    /// Inference worker threads shared by every stream.
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.config.workers = workers;
+    /// Shard threads the fleet is partitioned across.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
         self
+    }
+
+    /// Former name of [`ServeConfigBuilder::shards`]: the serving layer
+    /// no longer has a separate worker pool — each shard thread both
+    /// schedules and classifies.
+    #[deprecated(
+        since = "0.7.0",
+        note = "the worker pool became the shard set; use `shards(n)`"
+    )]
+    pub fn workers(self, workers: usize) -> Self {
+        self.shards(workers)
     }
 
     /// Maximum clips per micro-batch.
@@ -179,23 +223,46 @@ impl ServeConfigBuilder {
 /// Everything that can go wrong constructing or driving a fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// The worker pool would be empty.
-    NoWorkers,
+    /// The fleet would have no shards to run on.
+    NoShards,
+    /// The shard count exceeds [`MAX_SHARDS`].
+    TooManyShards {
+        /// The requested shard count.
+        shards: usize,
+        /// The enforced bound.
+        max: usize,
+    },
     /// Micro-batches must hold at least one clip.
     EmptyBatch,
     /// Admission queues must hold at least one frame.
     EmptyQueue,
+    /// The admission queue bound exceeds [`MAX_QUEUE_CAPACITY`].
+    QueueTooLarge {
+        /// The requested capacity.
+        capacity: usize,
+        /// The enforced bound.
+        max: usize,
+    },
+    /// `batch_linger` is at least as long as `frame_deadline`: every
+    /// under-full batch would out-wait the frames it holds, so the
+    /// scheduler would shed everything it lingers on.
+    LingerExceedsDeadline {
+        /// The configured linger.
+        linger: Duration,
+        /// The configured deadline it must stay under.
+        deadline: Duration,
+    },
     /// The per-stream session template failed validation.
     Stream(ConfigError),
-    /// A stream id that no [`add_stream`](crate::FleetServer::add_stream)
-    /// call returned.
+    /// A stream id that no
+    /// [`open_stream`](crate::FleetServer::open_stream) call returned.
     UnknownStream {
         /// The offending id.
         stream: usize,
         /// How many streams exist.
         streams: usize,
     },
-    /// Models must all be registered before the first stream is added,
+    /// Models must all be registered before the first stream is opened,
     /// so every session sees the same scene set in the same order.
     ModelAfterStream,
     /// A run was started with no registered models.
@@ -213,16 +280,27 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::NoWorkers => write!(f, "worker pool must have at least one thread"),
+            ServeError::NoShards => write!(f, "shard count must be at least 1"),
+            ServeError::TooManyShards { shards, max } => {
+                write!(f, "shard count {shards} exceeds the bound of {max} shard threads")
+            }
             ServeError::EmptyBatch => write!(f, "batch_max must be at least 1"),
             ServeError::EmptyQueue => write!(f, "queue_capacity must be at least 1"),
+            ServeError::QueueTooLarge { capacity, max } => {
+                write!(f, "queue_capacity {capacity} exceeds the bound of {max} frames")
+            }
+            ServeError::LingerExceedsDeadline { linger, deadline } => write!(
+                f,
+                "batch_linger ({linger:?}) must be shorter than frame_deadline \
+                 ({deadline:?}), or every lingered frame would age out"
+            ),
             ServeError::Stream(e) => write!(f, "invalid per-stream configuration: {e}"),
             ServeError::UnknownStream { stream, streams } => {
                 write!(f, "unknown stream id {stream} (fleet has {streams} streams)")
             }
             ServeError::ModelAfterStream => write!(
                 f,
-                "register every shared model before adding streams, so all sessions \
+                "register every shared model before opening streams, so all sessions \
                  see the same scene set"
             ),
             ServeError::NoModels => write!(f, "register at least one model before running"),
@@ -250,8 +328,15 @@ mod tests {
     fn builder_validates() {
         assert!(ServeConfig::builder().build().is_ok());
         assert_eq!(
-            ServeConfig::builder().workers(0).build().unwrap_err(),
-            ServeError::NoWorkers
+            ServeConfig::builder().shards(0).build().unwrap_err(),
+            ServeError::NoShards
+        );
+        assert_eq!(
+            ServeConfig::builder().shards(MAX_SHARDS + 1).build().unwrap_err(),
+            ServeError::TooManyShards {
+                shards: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            }
         );
         assert_eq!(
             ServeConfig::builder().batch_max(0).build().unwrap_err(),
@@ -261,6 +346,32 @@ mod tests {
             ServeConfig::builder().queue_capacity(0).build().unwrap_err(),
             ServeError::EmptyQueue
         );
+        assert_eq!(
+            ServeConfig::builder()
+                .queue_capacity(MAX_QUEUE_CAPACITY + 1)
+                .build()
+                .unwrap_err(),
+            ServeError::QueueTooLarge {
+                capacity: MAX_QUEUE_CAPACITY + 1,
+                max: MAX_QUEUE_CAPACITY
+            }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .batch_linger(Duration::from_millis(10))
+                .frame_deadline(Some(Duration::from_millis(10)))
+                .build()
+                .unwrap_err(),
+            ServeError::LingerExceedsDeadline {
+                linger: Duration::from_millis(10),
+                deadline: Duration::from_millis(10),
+            }
+        );
+        assert!(ServeConfig::builder()
+            .batch_linger(Duration::from_millis(2))
+            .frame_deadline(Some(Duration::from_millis(40)))
+            .build()
+            .is_ok());
         let bad_stream = SafeCrossConfig {
             segment_frames: 0,
             ..SafeCrossConfig::default()
@@ -272,11 +383,24 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_workers_alias_sets_shards() {
+        #[allow(deprecated)]
+        let config = ServeConfig::builder().workers(3).build().unwrap();
+        assert_eq!(config.shards, 3);
+    }
+
+    #[test]
     fn errors_render() {
         let errors = [
-            ServeError::NoWorkers,
+            ServeError::NoShards,
+            ServeError::TooManyShards { shards: 4096, max: MAX_SHARDS },
             ServeError::EmptyBatch,
             ServeError::EmptyQueue,
+            ServeError::QueueTooLarge { capacity: 1 << 30, max: MAX_QUEUE_CAPACITY },
+            ServeError::LingerExceedsDeadline {
+                linger: Duration::from_millis(5),
+                deadline: Duration::from_millis(5),
+            },
             ServeError::UnknownStream { stream: 9, streams: 2 },
             ServeError::ModelAfterStream,
             ServeError::NoModels,

@@ -1,30 +1,26 @@
-//! Shared batched inference.
+//! Shard-local batched inference.
 //!
-//! Classification clips from every stream funnel into one executor: a
-//! *batcher* groups compatible clips (same weather model) into
-//! micro-batches bounded by [`ServeConfig::batch_max`] and a linger
-//! deadline, and a pool of workers runs each micro-batch as **one**
-//! stacked forward pass through a clone of the shared scene model.
+//! Each shard owns a [`ShardCompute`]: lazily-cloned scene models plus
+//! a kernel scratch arena — the warm state a dedicated inference worker
+//! used to carry, now embedded in the shard loop. Micro-batches of
+//! same-weather clips run as **one** stacked forward pass through the
+//! shard's clone of the shared scene model.
 //!
 //! The numeric contract: every layer the classifiers use (eval-mode
 //! batch norm, convolution, pooling, the linear head, row softmax)
 //! processes batch rows independently, so a clip's verdict is
-//! bit-identical whether it rides in a batch of 1 or 16 and regardless
-//! of which clips share its batch. `batched_forward_is_bit_identical`
-//! below pins that down, and the serve equivalence tests lean on it.
+//! bit-identical whether it rides in a batch of 1 or 16, regardless of
+//! which clips share its batch, and regardless of which shard executed
+//! it (clones share the stored weights bit-for-bit).
+//! `batched_forward_is_bit_identical` below pins that down, and the
+//! serve equivalence tests lean on it.
 
-use crate::config::ServeConfig;
-use crate::fault::{FaultHook, WorkerAction};
-use crate::metrics::FleetMetrics;
 use safecross::{classify_with_model, top_class_from_logits, Verdict};
 use safecross_dataset::Class;
 use safecross_tensor::{KernelScratch, Tensor};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::SlowFastLite;
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// One clip awaiting classification.
 pub(crate) struct ClipJob {
@@ -34,31 +30,86 @@ pub(crate) struct ClipJob {
     pub clip: Tensor,
 }
 
-/// A micro-batch of same-weather clips.
+/// A micro-batch of same-weather clips, all owned by one shard.
 pub(crate) struct Batch {
     pub weather: Weather,
     pub jobs: Vec<ClipJob>,
 }
 
-/// The raw (ungated) result for one dispatched clip.
+/// The raw (ungated) result for one dispatched clip, routed back to
+/// the owning shard.
 pub(crate) struct Completion {
     pub stream: usize,
     pub seq: u64,
     pub raw: Option<Verdict>,
 }
 
-/// What the batcher counted over one run.
+/// What one shard counted over a run (merged fleet-wide for the
+/// report).
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct BatcherStats {
+pub(crate) struct ExecStats {
+    /// Micro-batches dispatched to a shard queue.
     pub batches: u64,
+    /// Clips across those batches.
     pub clips: u64,
+    /// Largest dispatched batch, in clips.
     pub max_batch: usize,
+    /// Batches this shard executed out of another shard's queue.
+    pub steals: u64,
+}
+
+impl ExecStats {
+    /// Folds another shard's counters into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.batches += other.batches;
+        self.clips += other.clips;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.steals += other.steals;
+    }
+}
+
+/// A shard's warm compute state: local clones of the shared scene
+/// models (cloned on first use) and the kernel scratch arena the
+/// stacked forwards cycle through. This is exactly what a crashed
+/// inference process would lose, so the chaos seam's `Die` action
+/// drops it wholesale and the shard rebuilds on demand.
+pub(crate) struct ShardCompute<'a> {
+    shared: &'a HashMap<Weather, SlowFastLite>,
+    local: HashMap<Weather, SlowFastLite>,
+    scratch: KernelScratch,
+}
+
+impl<'a> ShardCompute<'a> {
+    pub(crate) fn new(shared: &'a HashMap<Weather, SlowFastLite>) -> Self {
+        ShardCompute {
+            shared,
+            local: HashMap::new(),
+            scratch: KernelScratch::new(),
+        }
+    }
+
+    /// Classifies a micro-batch with one stacked forward, returning one
+    /// raw verdict per job in job order.
+    pub(crate) fn classify(&mut self, batch: &Batch) -> Vec<Verdict> {
+        let model = self
+            .local
+            .entry(batch.weather)
+            .or_insert_with(|| self.shared[&batch.weather].clone());
+        classify_batch(model, batch, &mut self.scratch)
+    }
+
+    /// Simulates a worker crash: every piece of warm state dies and the
+    /// respawned slot rebuilds it on demand.
+    pub(crate) fn drop_warm_state(&mut self) {
+        self.local = HashMap::new();
+        self.scratch = KernelScratch::new();
+    }
 }
 
 /// Classifies a micro-batch with one stacked `[K, 1, T, H, W]` forward
 /// pass, returning one raw verdict per job in job order. The stacked
 /// batch, every layer intermediate, and the per-row probability buffer
-/// all cycle through the worker-owned `scratch` arena, so a warm worker
+/// all cycle through the shard-owned `scratch` arena, so a warm shard
 /// only allocates the verdict vector it returns.
 pub(crate) fn classify_batch(
     model: &mut SlowFastLite,
@@ -104,154 +155,9 @@ pub(crate) fn classify_batch(
     verdicts
 }
 
-/// The batcher loop: greedily groups incoming clips by weather and
-/// dispatches a group when it reaches `batch_max` clips or its oldest
-/// clip has lingered past the deadline. On feed disconnect every
-/// remaining group is flushed, so lossless runs classify every clip.
-pub(crate) fn run_batcher(
-    clip_rx: Receiver<ClipJob>,
-    batch_tx: Sender<Batch>,
-    config: &ServeConfig,
-    fleet: &FleetMetrics,
-) -> BatcherStats {
-    let mut pending: HashMap<Weather, (Vec<ClipJob>, Instant)> = HashMap::new();
-    let mut stats = BatcherStats::default();
-
-    let flush = |jobs: Vec<ClipJob>,
-                 weather: Weather,
-                 stats: &mut BatcherStats,
-                 batch_tx: &Sender<Batch>| {
-        stats.batches += 1;
-        stats.clips += jobs.len() as u64;
-        stats.max_batch = stats.max_batch.max(jobs.len());
-        fleet.batches.inc();
-        fleet.batch_size.observe_ms(jobs.len() as f64);
-        batch_tx.send(Batch { weather, jobs }).is_ok()
-    };
-
-    'outer: loop {
-        // Wait for the next clip — bounded by the oldest group's linger
-        // deadline so an under-full batch never waits forever.
-        let received = if pending.is_empty() {
-            clip_rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
-        } else {
-            let oldest = pending
-                .values()
-                .map(|(_, since)| *since)
-                .min()
-                .expect("pending is non-empty");
-            let wait = config
-                .batch_linger
-                .saturating_sub(oldest.elapsed());
-            clip_rx.recv_timeout(wait)
-        };
-        match received {
-            Ok(job) => {
-                let entry = pending
-                    .entry(job.weather)
-                    .or_insert_with(|| (Vec::with_capacity(config.batch_max), Instant::now()));
-                entry.0.push(job);
-                if entry.0.len() >= config.batch_max {
-                    let weather = *pending
-                        .iter()
-                        .find(|(_, (jobs, _))| jobs.len() >= config.batch_max)
-                        .map(|(w, _)| w)
-                        .expect("a full group exists");
-                    let (jobs, _) = pending.remove(&weather).expect("group exists");
-                    if !flush(jobs, weather, &mut stats, &batch_tx) {
-                        break 'outer;
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                let expired: Vec<Weather> = pending
-                    .iter()
-                    .filter(|(_, (_, since))| since.elapsed() >= config.batch_linger)
-                    .map(|(w, _)| *w)
-                    .collect();
-                for weather in expired {
-                    let (jobs, _) = pending.remove(&weather).expect("group exists");
-                    if !flush(jobs, weather, &mut stats, &batch_tx) {
-                        break 'outer;
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                let remaining: Vec<Weather> = pending.keys().copied().collect();
-                for weather in remaining {
-                    let (jobs, _) = pending.remove(&weather).expect("group exists");
-                    if !flush(jobs, weather, &mut stats, &batch_tx) {
-                        break;
-                    }
-                }
-                break;
-            }
-        }
-    }
-    stats
-}
-
-/// One inference worker: pulls micro-batches off the shared queue,
-/// lazily clones the scene models it needs, and reports one completion
-/// per clip.
-///
-/// `fault` is the chaos seam: consulted once per dequeued batch, it can
-/// stall the worker or kill it. A killed worker loses every piece of
-/// warm state (model clones, scratch arena) and retries the batch cold
-/// as its own respawned replacement — faults cost latency, never
-/// completions, so lossless runs stay lossless.
-pub(crate) fn run_worker(
-    models: &HashMap<Weather, SlowFastLite>,
-    batch_rx: &Mutex<Receiver<Batch>>,
-    done_tx: Sender<Completion>,
-    fault: Option<&dyn FaultHook>,
-    worker: usize,
-    fleet: &FleetMetrics,
-) {
-    let mut local: HashMap<Weather, SlowFastLite> = HashMap::new();
-    let mut scratch = KernelScratch::new();
-    let mut batches_done = 0u64;
-    loop {
-        // Hold the lock only for the dequeue, not the forward pass.
-        let batch = {
-            let rx = batch_rx.lock().expect("batch queue mutex poisoned");
-            rx.recv()
-        };
-        let Ok(batch) = batch else { break };
-        if let Some(hook) = fault {
-            match hook.before_batch(worker, batches_done) {
-                WorkerAction::Continue => {}
-                WorkerAction::Stall(pause) => std::thread::sleep(pause),
-                WorkerAction::Die => {
-                    // Everything a crashed process would lose dies here;
-                    // the respawned slot rebuilds it on demand below.
-                    local = HashMap::new();
-                    scratch = KernelScratch::new();
-                    fleet.worker_deaths.inc();
-                }
-            }
-        }
-        batches_done += 1;
-        let model = local
-            .entry(batch.weather)
-            .or_insert_with(|| models[&batch.weather].clone());
-        let verdicts = classify_batch(model, &batch, &mut scratch);
-        for (job, verdict) in batch.jobs.iter().zip(verdicts) {
-            let sent = done_tx.send(Completion {
-                stream: job.stream,
-                seq: job.seq,
-                raw: Some(verdict),
-            });
-            if sent.is_err() {
-                return;
-            }
-        }
-    }
-}
-
 /// The deterministic in-line classification the reference mode and the
-/// scheduler's no-model path share: classify one clip against the
-/// shared model for `weather`, or `None` when no such model exists.
+/// shard's no-model path share: classify one clip against the shared
+/// model for `weather`, or `None` when no such model exists.
 pub(crate) fn classify_one(
     models: &mut HashMap<Weather, SlowFastLite>,
     weather: Weather,
@@ -294,5 +200,27 @@ mod tests {
         };
         let batched = classify_batch(&mut model, &batch, &mut scratch);
         assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn shard_compute_survives_warm_state_loss() {
+        let mut rng = TensorRng::seed_from(12);
+        let mut shared = HashMap::new();
+        shared.insert(Weather::Snow, SlowFastLite::new(2, &mut rng));
+        let clip = rng.uniform(&[1, 32, 20, 20], 0.0, 1.0);
+        let batch = Batch {
+            weather: Weather::Snow,
+            jobs: vec![ClipJob {
+                stream: 0,
+                seq: 0,
+                weather: Weather::Snow,
+                clip,
+            }],
+        };
+        let mut compute = ShardCompute::new(&shared);
+        let warm = compute.classify(&batch);
+        compute.drop_warm_state();
+        let cold = compute.classify(&batch);
+        assert_eq!(warm, cold, "a cold respawn must not change a verdict bit");
     }
 }

@@ -3,7 +3,7 @@
 //! A city deploys one SafeCross pipeline per signalized intersection;
 //! running each on a dedicated machine wastes most of an accelerator.
 //! This crate multiplexes N independent intersection streams over a
-//! shared inference pool without giving up the property the rest of
+//! shard-per-core runtime without giving up the property the rest of
 //! the workspace is built around: **per-stream results are
 //! bit-identical to a standalone sequential run.**
 //!
@@ -12,23 +12,31 @@
 //! - session layer (internal) — one stream's full SafeCross state
 //!   (scene voting, VP background model, segment buffer, model
 //!   switcher) plus its admission queue and completion reorder buffer.
-//!   Every session mutates only on the scheduler thread, so per-stream
-//!   sequencing is structural.
-//! - executor (internal) — a batcher that groups compatible clips
-//!   (same weather model) into micro-batches under a size cap and
-//!   linger deadline, and a worker pool running each micro-batch as one
-//!   stacked forward pass. Eval-mode layers are row-independent, so
-//!   batching never changes a verdict bit.
-//! - [`FleetServer`] — admission control (bounded per-stream queues,
+//!   A session is an inert state machine: no thread, no lock, no
+//!   blocking call — which is what lets one process hold 10k of them.
+//! - sources ([`FrameSource`]) — every feed shape (pre-rendered
+//!   vectors, paced live stand-ins, replay-timed, arbitrary iterators)
+//!   behind one non-blocking poll contract, so `run`, `run_reference`,
+//!   and trace replay share a single ingestion signature.
+//! - shards (internal) — streams are partitioned `i % shards` across
+//!   [`ServeConfig::shards`] threads. Each shard owns its partition's
+//!   admission, shedding, priority scheduling, and same-weather
+//!   micro-batching, executes batches as one stacked forward pass
+//!   (eval-mode layers are row-independent, so batching never changes
+//!   a verdict bit), and steals batches from other shards' queues when
+//!   its own runs dry. Completions route back to the owning shard, so
+//!   per-stream sequencing stays structural.
+//! - [`FleetServer`] — [`FleetServer::open_stream`] hands out typed
+//!   [`StreamHandle`]s; admission control (bounded per-stream queues,
 //!   drop-oldest), load shedding (frame-age deadline), and two-level
 //!   priority scheduling (danger verdicts and model switches jump the
-//!   line). One stalled or flooded stream never starves the rest.
+//!   line) keep one stalled or flooded stream from starving the rest.
 //!
 //! # Quick start
 //!
 //! ```
 //! use safecross::SafeCrossConfig;
-//! use safecross_serve::{paced_feed, FleetServer, ServeConfig};
+//! use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamSpec};
 //! use safecross_tensor::TensorRng;
 //! use safecross_trafficsim::Weather;
 //! use safecross_videoclass::SlowFastLite;
@@ -36,7 +44,7 @@
 //! use std::time::Duration;
 //!
 //! let config = ServeConfig::builder()
-//!     .workers(2)
+//!     .shards(2)
 //!     .shedding(false) // lossless: every frame completes
 //!     .stream(SafeCrossConfig {
 //!         min_confidence: 0.0,
@@ -46,7 +54,9 @@
 //! let mut fleet = FleetServer::new(config)?;
 //! let mut rng = TensorRng::seed_from(7);
 //! fleet.register_model(Weather::Daytime, SlowFastLite::new(2, &mut rng))?;
-//! let streams: Vec<_> = (0..4).map(|_| fleet.add_stream()).collect::<Result<_, _>>()?;
+//! let cams: Vec<_> = (0..4)
+//!     .map(|_| fleet.open_stream(StreamSpec::new()))
+//!     .collect::<Result<_, _>>()?;
 //!
 //! let feeds = (0..4)
 //!     .map(|i| {
@@ -58,9 +68,23 @@
 //!     .collect();
 //! let report = fleet.run(feeds)?;
 //! assert_eq!(report.completed, 4 * 40);
+//! for cam in &cams {
+//!     assert!(cam.stats(&fleet).completed > 0);
+//! }
 //! println!("{report}");
 //! # Ok::<(), safecross_serve::ServeError>(())
 //! ```
+//!
+//! # Migrating from the worker-pool API
+//!
+//! Pre-shard revisions exposed `workers(n)` plus
+//! `add_stream`/`session(id)`/`verdicts(id)`. Those methods still
+//! compile (as `#[deprecated]` shims) but every capability now hangs
+//! off [`StreamHandle`]: `open_stream(StreamSpec::new())` instead of
+//! `add_stream()`, then `handle.verdicts(&fleet)` /
+//! `handle.stats(&fleet)` / `handle.session(&fleet)` instead of the
+//! id-keyed fleet accessors, and `ServeConfig::builder().shards(n)`
+//! instead of `.workers(n)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,8 +95,15 @@ mod fault;
 mod metrics;
 mod server;
 mod session;
+mod source;
 
-pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use config::{ServeConfig, ServeConfigBuilder, ServeError, MAX_QUEUE_CAPACITY, MAX_SHARDS};
 pub use fault::{FaultHook, WorkerAction};
-pub use server::{paced_feed, AgeProfile, FleetReport, FleetServer, FrameFeed, StreamReport};
+pub use server::{
+    AgeProfile, FleetReport, FleetServer, StreamHandle, StreamReport, StreamSpec,
+};
 pub use session::{StreamId, StreamStats};
+pub use source::{
+    paced_feed, BoxedSource, FrameFeed, FrameSource, IntoFrameSource, IterSource, PacedSource,
+    SourcePoll, TimedSource, VecSource,
+};

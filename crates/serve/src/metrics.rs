@@ -23,11 +23,15 @@ pub(crate) struct FleetMetrics {
     pub frame_age_ms: Histogram,
     /// Dispatched micro-batch sizes, in clips (`serve.batch_size`).
     pub batch_size: Histogram,
-    /// Micro-batches dispatched to the worker pool (`serve.batches`).
+    /// Micro-batches dispatched across all shards (`serve.batches`).
     pub batches: Counter,
-    /// Injected worker deaths — simulated crashes a chaos
-    /// [`FaultHook`](crate::FaultHook) forced on the worker pool
-    /// (`serve.worker_deaths`). Zero outside chaos runs.
+    /// Batches a shard executed out of *another* shard's queue
+    /// (`serve.steals`). High steal counts mean the stream→shard
+    /// partition is skewed and work-stealing is doing its job.
+    pub steals: Counter,
+    /// Injected shard-worker deaths — simulated crashes a chaos
+    /// [`FaultHook`](crate::FaultHook) forced on a shard's compute
+    /// state (`serve.worker_deaths`). Zero outside chaos runs.
     pub worker_deaths: Counter,
 }
 
@@ -41,12 +45,43 @@ impl FleetMetrics {
             frame_age_ms: registry.histogram("serve.frame_age_ms"),
             batch_size: registry.histogram("serve.batch_size"),
             batches: registry.counter("serve.batches"),
+            steals: registry.counter("serve.steals"),
             worker_deaths: registry.counter("serve.worker_deaths"),
         }
     }
 }
 
+/// Per-shard instrument handles (`serve.shard<N>.*`), created at run
+/// start by each shard thread.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMetrics {
+    /// Micro-batches this shard executed (own plus stolen).
+    pub batches: Counter,
+    /// Of those, batches stolen from another shard's queue.
+    pub steals: Counter,
+}
+
+impl ShardMetrics {
+    pub(crate) fn new(registry: &Registry, shard: usize) -> Self {
+        if !registry.is_enabled() {
+            return ShardMetrics {
+                batches: registry.counter("serve.shard.disabled"),
+                steals: registry.counter("serve.shard.disabled"),
+            };
+        }
+        ShardMetrics {
+            batches: registry.counter(&format!("serve.shard{shard}.batches")),
+            steals: registry.counter(&format!("serve.shard{shard}.steals")),
+        }
+    }
+}
+
 /// Per-stream instrument handles (`serve.stream<N>.*`).
+///
+/// When the registry is disabled every stream shares one inert handle
+/// set under a single name: a disabled registry still interns every
+/// distinct instrument name it is asked for, and at 10k streams five
+/// named instruments per stream would be measurable dead weight.
 #[derive(Debug, Clone)]
 pub(crate) struct StreamMetrics {
     /// Current admission-queue depth.
@@ -63,6 +98,15 @@ pub(crate) struct StreamMetrics {
 
 impl StreamMetrics {
     pub(crate) fn new(registry: &Registry, stream: usize) -> Self {
+        if !registry.is_enabled() {
+            return StreamMetrics {
+                queue_depth: registry.gauge("serve.stream.disabled"),
+                queue_high_water: registry.gauge("serve.stream.disabled"),
+                shed_overflow: registry.counter("serve.stream.disabled"),
+                shed_stale: registry.counter("serve.stream.disabled"),
+                completed: registry.counter("serve.stream.disabled"),
+            };
+        }
         let name = |suffix: &str| format!("serve.stream{stream}.{suffix}");
         StreamMetrics {
             queue_depth: registry.gauge(&name("queue_depth")),

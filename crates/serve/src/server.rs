@@ -1,12 +1,11 @@
-//! The fleet front: admission, scheduling, and run orchestration.
+//! The fleet front: admission, scheduling, and shard orchestration.
 
 use crate::config::{ServeConfig, ServeError};
-use crate::executor::{
-    classify_one, run_batcher, run_worker, BatcherStats, ClipJob, Completion,
-};
-use crate::fault::FaultHook;
-use crate::metrics::{FleetMetrics, StreamMetrics};
+use crate::executor::{classify_one, Batch, ClipJob, Completion, ExecStats, ShardCompute};
+use crate::fault::{FaultHook, WorkerAction};
+use crate::metrics::{FleetMetrics, ShardMetrics, StreamMetrics};
 use crate::session::{StreamId, StreamSession, StreamStats};
+use crate::source::{FrameSource, IntoFrameSource, SourcePoll};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
 use safecross_modelswitch::{ModelRegistry, SwitchFaultHook};
 use safecross_telemetry::Registry;
@@ -14,30 +13,20 @@ use safecross_tensor::KernelScratch;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::GrayFrame;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// A stream's frame source for [`FleetServer::run`]: any sendable
-/// iterator. The iterator's `next` is called on a dedicated feeder
-/// thread, so it may block to pace (or stall) its feed.
-pub type FrameFeed = Box<dyn Iterator<Item = GrayFrame> + Send>;
+/// How long an idle shard naps before re-polling its sources, queues,
+/// and the steal ring.
+const IDLE_NAP: Duration = Duration::from_micros(100);
 
-/// Wraps pre-rendered frames as a feed that delivers one frame every
-/// `interval` (the first immediately). `Duration::ZERO` floods the
-/// fleet with the whole clip at once.
-pub fn paced_feed(frames: Vec<GrayFrame>, interval: Duration) -> FrameFeed {
-    let mut first = true;
-    Box::new(frames.into_iter().inspect(move |_| {
-        if first {
-            first = false;
-        } else if interval > Duration::ZERO {
-            thread::sleep(interval);
-        }
-    }))
-}
+/// How long a feeder thread naps when its (nominally blocking) source
+/// reports [`SourcePoll::Pending`] instead of blocking.
+const FEEDER_NAP: Duration = Duration::from_micros(200);
 
 /// Admission-to-completion latency percentiles of one run, in ms.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -93,12 +82,16 @@ pub struct FleetReport {
     pub shed: u64,
     /// Aggregate delivered throughput, frames per second.
     pub aggregate_fps: f64,
-    /// Micro-batches the executor dispatched.
+    /// Micro-batches the shards dispatched.
     pub batches: u64,
     /// Largest micro-batch, in clips.
     pub max_batch: usize,
     /// Mean micro-batch size, in clips.
     pub mean_batch: f64,
+    /// Batches a shard executed out of another shard's queue. High
+    /// steal counts mean the stream→shard partition was skewed and
+    /// work-stealing leveled it.
+    pub steals: u64,
     /// Admission-to-completion latency profile.
     pub frame_age: AgeProfile,
 }
@@ -112,8 +105,8 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  batches: {} dispatched, mean {:.2} max {} clips",
-            self.batches, self.mean_batch, self.max_batch
+            "  batches: {} dispatched, mean {:.2} max {} clips, {} stolen",
+            self.batches, self.mean_batch, self.max_batch, self.steals
         )?;
         writeln!(
             f,
@@ -141,18 +134,114 @@ impl std::fmt::Display for FleetReport {
     }
 }
 
+/// What a new stream should look like — the argument to
+/// [`FleetServer::open_stream`].
+///
+/// The default spec inherits the fleet's session template
+/// ([`ServeConfig::stream`]); [`StreamSpec::with_config`] overrides it
+/// per stream (frame geometry, segment length, confidence gate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamSpec {
+    config: Option<SafeCrossConfig>,
+}
+
+impl StreamSpec {
+    /// A stream using the fleet's session template.
+    pub fn new() -> Self {
+        StreamSpec::default()
+    }
+
+    /// A stream with its own session configuration.
+    pub fn with_config(config: SafeCrossConfig) -> Self {
+        StreamSpec {
+            config: Some(config),
+        }
+    }
+}
+
+/// A typed handle to one open stream — what
+/// [`FleetServer::open_stream`] returns.
+///
+/// The handle is `Copy` and carries the stream's identity plus the
+/// session configuration it was opened with; the per-stream accessors
+/// borrow the fleet, so a handle can be stored anywhere and used
+/// whenever the fleet is at hand. Handles are only meaningful against
+/// the fleet that issued them: using one against a *different* fleet
+/// panics when the id is out of range, and is otherwise a logic error
+/// this type cannot detect.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamHandle {
+    id: StreamId,
+    config: SafeCrossConfig,
+}
+
+impl StreamHandle {
+    /// The stream's fleet-wide identity.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The session configuration this stream was opened with.
+    pub fn config(&self) -> &SafeCrossConfig {
+        &self.config
+    }
+
+    fn lane<'f>(&self, fleet: &'f FleetServer) -> &'f StreamSession {
+        fleet.sessions.get(self.id.0).unwrap_or_else(|| {
+            panic!(
+                "{} handle used against a fleet with {} streams — \
+                 handles only work with the fleet that issued them",
+                self.id,
+                fleet.streams()
+            )
+        })
+    }
+
+    /// This stream's cumulative serving counters.
+    pub fn stats(&self, fleet: &FleetServer) -> StreamStats {
+        self.lane(fleet).stats
+    }
+
+    /// This stream's verdicts so far.
+    pub fn verdicts<'f>(&self, fleet: &'f FleetServer) -> &'f [Verdict] {
+        self.lane(fleet).inner.verdicts()
+    }
+
+    /// This stream's underlying SafeCross session — its verdict
+    /// history, switch log, and scene state.
+    pub fn session<'f>(&self, fleet: &'f FleetServer) -> &'f SafeCross {
+        &self.lane(fleet).inner
+    }
+
+    /// This stream's report slice, over its whole lifetime (a
+    /// [`FleetReport`] row covers one run; this covers every run).
+    pub fn report(&self, fleet: &FleetServer) -> StreamReport {
+        StreamReport {
+            stream: self.id,
+            stats: self.stats(fleet),
+        }
+    }
+}
+
 /// A multi-intersection serving front.
 ///
 /// One `FleetServer` multiplexes N independent intersection streams
-/// over a shared inference worker pool:
+/// over [`ServeConfig::shards`] shard threads — one per core, each
+/// owning its partition's complete serving state:
 ///
 /// - every stream owns a full per-session SafeCross state (scene
-///   detector, VP background model, segment buffer, model switcher),
-///   so its verdict and switch sequences are bit-identical to a
-///   standalone sequential run of the same frames;
-/// - classification clips from all sessions funnel into a shared
-///   executor that micro-batches compatible clips (same weather model)
-///   and fans them out over [`ServeConfig::workers`] threads;
+///   detector, VP background model, segment buffer, model switcher).
+///   Sessions are inert state machines: no thread, no lock, no
+///   blocking call. Stream `i` lives on shard `i % shards`, and only
+///   that shard ever touches it, so per-stream sequential semantics —
+///   and therefore verdict/switch bit-identity with a standalone run —
+///   are structural;
+/// - each shard admits, sheds, priority-schedules, and micro-batches
+///   its own streams' clips (same-weather groups under a size cap and
+///   linger deadline), then pushes batches onto its own stealable
+///   queue. Shards execute their own queue first and steal from
+///   neighbors when idle, so a skewed partition still saturates every
+///   core while completions route back to the owning shard;
 /// - an admission layer bounds each stream's queue (drop-oldest),
 ///   sheds frames that outlive [`ServeConfig::frame_deadline`], and
 ///   schedules streams with a recent danger verdict or model switch
@@ -160,8 +249,8 @@ impl std::fmt::Display for FleetReport {
 ///   starves the rest.
 ///
 /// [`FleetServer::run_reference`] is the deterministic single-threaded
-/// mode the equivalence tests compare against;
-/// [`FleetServer::run`] is the real threaded serving loop.
+/// mode the equivalence tests compare against; [`FleetServer::run`] is
+/// the real sharded serving loop.
 pub struct FleetServer {
     config: ServeConfig,
     registry: Registry,
@@ -177,7 +266,7 @@ pub struct FleetServer {
     /// (and to any standalone comparator registering the same way).
     model_order: Vec<Weather>,
     sessions: Vec<StreamSession>,
-    /// Chaos seam consulted by every worker once per dequeued batch.
+    /// Chaos seam consulted by every shard once per executed batch.
     /// `None` (the default) outside fault-injection runs.
     fault_hook: Option<Arc<dyn FaultHook>>,
 }
@@ -210,17 +299,17 @@ impl FleetServer {
         })
     }
 
-    /// Installs a chaos fault hook on the worker pool: every worker
-    /// consults it once per dequeued micro-batch and can be stalled or
+    /// Installs a chaos fault hook on the shard set: every shard
+    /// consults it once per executed micro-batch and can be stalled or
     /// killed/respawned (see [`FaultHook`]). Faults never lose a
     /// completion, so lossless runs stay lossless. Only
     /// [`FleetServer::run`] is affected; the single-threaded
-    /// [`FleetServer::run_reference`] has no workers to fault.
+    /// [`FleetServer::run_reference`] has no shards to fault.
     pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
         self.fault_hook = Some(hook);
     }
 
-    /// Removes any installed worker fault hook.
+    /// Removes any installed shard fault hook.
     pub fn clear_fault_hook(&mut self) {
         self.fault_hook = None;
     }
@@ -229,7 +318,7 @@ impl FleetServer {
     /// model switcher: switch attempts can be forced to fail with a
     /// synthetic out-of-memory error after evicting the old model,
     /// driving the rollback path under load (see
-    /// [`SwitchFaultHook`]). Sessions added later are unaffected —
+    /// [`SwitchFaultHook`]). Streams opened later are unaffected —
     /// install hooks after the fleet's streams are set up.
     pub fn set_switch_fault_hook(&mut self, hook: Arc<dyn SwitchFaultHook>) {
         for session in &self.sessions {
@@ -238,7 +327,7 @@ impl FleetServer {
     }
 
     /// Registers the shared classifier for one weather scene. All
-    /// models must be registered before the first stream is added.
+    /// models must be registered before the first stream is opened.
     ///
     /// # Errors
     ///
@@ -253,7 +342,7 @@ impl FleetServer {
         }
         // The checkpoint lands in the fleet store first, and the shared
         // inference copy is resolved back out of it — so the weights the
-        // workers run are bit-identical to the blobs every session's
+        // shards run are bit-identical to the blobs every session's
         // switcher activates.
         self.model_store
             .register_model(weather.label(), &model.state_groups());
@@ -269,23 +358,33 @@ impl FleetServer {
         Ok(())
     }
 
-    /// Adds a stream using the configured session template.
+    /// Opens a stream and returns its [`StreamHandle`] — the typed
+    /// entry point to everything per-stream (identity, configuration,
+    /// stats, verdicts, the underlying session).
     ///
-    /// # Errors
-    ///
-    /// [`ServeError::NoModels`] before any model is registered.
-    pub fn add_stream(&mut self) -> Result<StreamId, ServeError> {
-        self.add_stream_with(self.config.stream)
-    }
-
-    /// Adds a stream with its own session configuration (frame
-    /// geometry, segment length, confidence gate).
+    /// ```no_run
+    /// # use safecross_serve::{FleetServer, ServeConfig, StreamSpec};
+    /// # let mut fleet = FleetServer::new(ServeConfig::default()).unwrap();
+    /// let cam = fleet.open_stream(StreamSpec::new())?;
+    /// // ... feed and run the fleet ...
+    /// println!("{} verdicts", cam.verdicts(&fleet).len());
+    /// # Ok::<(), safecross_serve::ServeError>(())
+    /// ```
     ///
     /// # Errors
     ///
     /// [`ServeError::NoModels`] before any model is registered, or
-    /// [`ServeError::Stream`] when `config` fails validation.
-    pub fn add_stream_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
+    /// [`ServeError::Stream`] when the spec's session configuration
+    /// fails validation.
+    pub fn open_stream(&mut self, spec: StreamSpec) -> Result<StreamHandle, ServeError> {
+        let config = spec.config.unwrap_or(self.config.stream);
+        let id = self.open_with(config)?;
+        Ok(StreamHandle { id, config })
+    }
+
+    /// The shared stream-opening path behind [`FleetServer::open_stream`]
+    /// and the deprecated `add_stream*` shims.
+    fn open_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
         if self.models.is_empty() {
             return Err(ServeError::NoModels);
         }
@@ -303,9 +402,51 @@ impl FleetServer {
         Ok(id)
     }
 
+    /// Adds a stream using the configured session template.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] before any model is registered.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `open_stream(StreamSpec::new())` and keep the returned `StreamHandle`"
+    )]
+    pub fn add_stream(&mut self) -> Result<StreamId, ServeError> {
+        self.open_with(self.config.stream)
+    }
+
+    /// Adds a stream with its own session configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] before any model is registered, or
+    /// [`ServeError::Stream`] when `config` fails validation.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `open_stream(StreamSpec::with_config(config))` and keep the returned \
+                `StreamHandle`"
+    )]
+    pub fn add_stream_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
+        self.open_with(config)
+    }
+
     /// How many streams the fleet serves.
     pub fn streams(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Handles for every open stream, in stream order — for callers
+    /// that did not keep the handles [`FleetServer::open_stream`]
+    /// returned (e.g. trace replay rebuilding a fleet wholesale).
+    pub fn handles(&self) -> Vec<StreamHandle> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StreamHandle {
+                id: StreamId(i),
+                config: *s.inner.config(),
+            })
+            .collect()
     }
 
     /// The configuration this fleet was built with.
@@ -327,20 +468,21 @@ impl FleetServer {
         &self.model_store
     }
 
-    /// Borrow one stream's underlying SafeCross session — its verdict
-    /// history, switch log, and scene state.
+    fn session_at(&self, id: StreamId) -> Result<&StreamSession, ServeError> {
+        self.sessions.get(id.0).ok_or(ServeError::UnknownStream {
+            stream: id.0,
+            streams: self.sessions.len(),
+        })
+    }
+
+    /// Borrow one stream's underlying SafeCross session.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    #[deprecated(since = "0.7.0", note = "use `StreamHandle::session` instead")]
     pub fn session(&self, id: StreamId) -> Result<&SafeCross, ServeError> {
-        self.sessions
-            .get(id.0)
-            .map(|s| &s.inner)
-            .ok_or(ServeError::UnknownStream {
-                stream: id.0,
-                streams: self.sessions.len(),
-            })
+        self.session_at(id).map(|s| &s.inner)
     }
 
     /// One stream's cumulative serving counters.
@@ -348,24 +490,19 @@ impl FleetServer {
     /// # Errors
     ///
     /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    #[deprecated(since = "0.7.0", note = "use `StreamHandle::stats` instead")]
     pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, ServeError> {
-        self.sessions
-            .get(id.0)
-            .map(|s| s.stats)
-            .ok_or(ServeError::UnknownStream {
-                stream: id.0,
-                streams: self.sessions.len(),
-            })
+        self.session_at(id).map(|s| s.stats)
     }
 
-    /// One stream's verdicts so far (convenience over
-    /// [`FleetServer::session`]).
+    /// One stream's verdicts so far.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownStream`] for an id the fleet never issued.
+    #[deprecated(since = "0.7.0", note = "use `StreamHandle::verdicts` instead")]
     pub fn verdicts(&self, id: StreamId) -> Result<&[Verdict], ServeError> {
-        self.session(id).map(|s| s.verdicts())
+        self.session_at(id).map(|s| s.inner.verdicts())
     }
 
     fn check_feeds(&self, feeds: usize) -> Result<(), ServeError> {
@@ -381,22 +518,29 @@ impl FleetServer {
         Ok(())
     }
 
-    /// Deterministic single-threaded reference mode: rounds of
-    /// round-robin over the streams, each frame fully processed in
-    /// line (prepare, classify against the shared models, complete).
-    /// No queues, no shedding, no clock-dependent behavior — each
-    /// stream's verdict and switch sequences are bit-identical to a
-    /// standalone [`SafeCross::process_frame`] loop over its frames,
-    /// which is exactly what `tests/serve_equivalence.rs` asserts.
+    /// Deterministic single-threaded reference mode: every source is
+    /// drained to its complete frame sequence up front
+    /// ([`FrameSource::drain`]), then rounds of round-robin over the
+    /// streams process each frame fully in line (prepare, classify
+    /// against the shared models, complete). No queues, no shedding,
+    /// no clock-dependent behavior — each stream's verdict and switch
+    /// sequences are bit-identical to a standalone
+    /// [`SafeCross::process_frame`] loop over its frames, which is
+    /// exactly what `tests/serve_equivalence.rs` asserts (and the
+    /// sharded loop, run losslessly, matches at *any* shard count).
     ///
     /// # Errors
     ///
     /// [`ServeError::NoModels`] or [`ServeError::FeedMismatch`].
-    pub fn run_reference(
+    pub fn run_reference<S: IntoFrameSource>(
         &mut self,
-        feeds: Vec<Vec<GrayFrame>>,
+        feeds: Vec<S>,
     ) -> Result<FleetReport, ServeError> {
         self.check_feeds(feeds.len())?;
+        let feeds: Vec<Vec<GrayFrame>> = feeds
+            .into_iter()
+            .map(|feed| feed.into_source().drain())
+            .collect();
         let start = Instant::now();
         let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
         let mut ages = Vec::new();
@@ -423,103 +567,156 @@ impl FleetServer {
                 session.deliver_ready(hold, &self.fleet_metrics, &mut ages);
             }
         }
-        Ok(self.build_report(start, before, ages, BatcherStats::default()))
+        Ok(self.build_report(start, before, ages, ExecStats::default()))
     }
 
-    /// The threaded serving loop: one feeder thread per stream, a
-    /// scheduler (this thread) owning every session, a batcher
-    /// grouping clips into micro-batches, and
-    /// [`ServeConfig::workers`] inference workers. Returns when every
-    /// feed is exhausted and every admitted-and-not-shed frame has
+    /// The sharded serving loop: streams (with their sessions and
+    /// sources) are partitioned across [`ServeConfig::shards`] shard
+    /// threads — stream `i` on shard `i % shards` — and each shard
+    /// admits, sheds, schedules, micro-batches, and classifies its own
+    /// partition, stealing batches from other shards' queues when its
+    /// own runs dry. Blocking sources get a feeder thread each; inline
+    /// sources are polled by the owning shard. Returns when every
+    /// source is exhausted and every admitted-and-not-shed frame has
     /// completed.
     ///
     /// With shedding disabled this is lossless: backpressure pauses
     /// scheduling rather than dropping frames, and per-stream outputs
-    /// stay bit-identical to a standalone run. With shedding enabled,
-    /// overload turns into bounded queues, overflow/stale drops, and
-    /// priority scheduling — per-stream isolation under load is pinned
-    /// down by `tests/serve_isolation.rs`.
+    /// stay bit-identical to a standalone run — at any shard count,
+    /// which `tests/serve_equivalence.rs` propcheck over shard counts
+    /// pins down. With shedding enabled, overload turns into bounded
+    /// queues, overflow/stale drops, and priority scheduling — per-
+    /// stream isolation under load is pinned by
+    /// `tests/serve_isolation.rs`.
     ///
     /// # Errors
     ///
     /// [`ServeError::NoModels`] or [`ServeError::FeedMismatch`].
-    pub fn run(&mut self, feeds: Vec<FrameFeed>) -> Result<FleetReport, ServeError> {
+    pub fn run<S: IntoFrameSource>(&mut self, feeds: Vec<S>) -> Result<FleetReport, ServeError> {
         self.check_feeds(feeds.len())?;
         let start = Instant::now();
         let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
 
+        let shard_count = self.config.shards.min(self.sessions.len()).max(1);
         let config = self.config;
         let fleet = self.fleet_metrics.clone();
+        let registry = &self.registry;
         let fault_hook = self.fault_hook.clone();
         let models = &self.models;
-        let sessions = &mut self.sessions;
 
-        let (ingress_tx, ingress_rx) = mpsc::channel::<(usize, GrayFrame)>();
-        let (clip_tx, clip_rx) = mpsc::channel::<ClipJob>();
-        let (batch_tx, batch_rx) = mpsc::channel();
-        let (done_tx, done_rx) = mpsc::channel::<Completion>();
-        let batch_rx = Mutex::new(batch_rx);
+        // Partition streams (session + source) across the shards.
+        let sessions = std::mem::take(&mut self.sessions);
+        let total = sessions.len();
+        let mut lanes: Vec<Vec<ShardStream>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut feeders: Vec<(Box<dyn FrameSource>, Sender<GrayFrame>)> = Vec::new();
+        for (global, (session, feed)) in sessions.into_iter().zip(feeds).enumerate() {
+            let source = feed.into_source();
+            let ingest = if source.is_blocking() {
+                // A blocking source gets a feeder thread so its stalls
+                // land on nobody's shard.
+                let (tx, rx) = mpsc::channel();
+                feeders.push((Box::new(source), tx));
+                Ingest::Feeder(rx)
+            } else {
+                Ingest::Inline(Box::new(source))
+            };
+            lanes[global % shard_count].push(ShardStream {
+                global,
+                session,
+                ingest,
+            });
+        }
 
-        let (ages, batcher_stats) = thread::scope(|s| {
-            for (i, feed) in feeds.into_iter().enumerate() {
-                let tx = ingress_tx.clone();
-                s.spawn(move || {
-                    for frame in feed {
-                        if tx.send((i, frame)).is_err() {
-                            break;
+        let shared = SharedRun {
+            queues: (0..shard_count)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            settled: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+        };
+        let mut done_txs = Vec::with_capacity(shard_count);
+        let mut done_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = mpsc::channel::<Completion>();
+            done_txs.push(tx);
+            done_rxs.push(rx);
+        }
+
+        let outcomes: Vec<ShardOutcome> = thread::scope(|s| {
+            for (mut source, tx) in feeders {
+                s.spawn(move || loop {
+                    match source.poll(Instant::now()) {
+                        SourcePoll::Ready(frame) => {
+                            if tx.send(frame).is_err() {
+                                break;
+                            }
                         }
+                        SourcePoll::Pending => thread::sleep(FEEDER_NAP),
+                        SourcePoll::Done => break,
                     }
                 });
             }
-            drop(ingress_tx);
-
-            let batcher = {
-                let fleet = &fleet;
-                let config = &config;
-                s.spawn(move || run_batcher(clip_rx, batch_tx, config, fleet))
-            };
-            for worker in 0..config.workers {
-                let done_tx = done_tx.clone();
-                let batch_rx = &batch_rx;
-                let fault_hook = fault_hook.clone();
-                let fleet = &fleet;
-                s.spawn(move || {
-                    run_worker(
-                        models,
-                        batch_rx,
-                        done_tx,
-                        fault_hook.as_deref(),
-                        worker,
-                        fleet,
-                    )
-                });
-            }
-            drop(done_tx);
-
-            let mut scheduler = Scheduler {
-                sessions,
-                models,
-                config,
-                fleet: &fleet,
-                clip_tx,
-                done_rx,
-                ingress_rx,
-                ingress_open: true,
-                inflight: 0,
-                ages: Vec::new(),
-                rr_hot: 0,
-                rr_norm: 0,
-            };
-            scheduler.serve();
-            let Scheduler { ages, clip_tx, .. } = scheduler;
-            // Close the clip feed so the batcher flushes and exits,
-            // releasing the workers in turn.
-            drop(clip_tx);
-            let batcher_stats = batcher.join().expect("batcher panicked");
-            (ages, batcher_stats)
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .zip(done_rxs)
+                .enumerate()
+                .map(|(index, (streams, done_rx))| {
+                    let shared = &shared;
+                    let fleet = &fleet;
+                    let config = &config;
+                    let done_txs = done_txs.clone();
+                    let fault_hook = fault_hook.clone();
+                    let metrics = ShardMetrics::new(registry, index);
+                    s.spawn(move || {
+                        Shard {
+                            index,
+                            shard_count,
+                            config,
+                            fleet,
+                            metrics,
+                            models,
+                            streams,
+                            shared,
+                            done_rx,
+                            done_txs,
+                            fault_hook,
+                            compute: ShardCompute::new(models),
+                            pending: HashMap::new(),
+                            inflight: 0,
+                            batches_done: 0,
+                            ages: Vec::new(),
+                            stats: ExecStats::default(),
+                            rr_hot: 0,
+                            rr_norm: 0,
+                            settled_flagged: false,
+                        }
+                        .serve()
+                    })
+                })
+                .collect();
+            drop(done_txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .collect()
         });
 
-        Ok(self.build_report(start, before, ages, batcher_stats))
+        // Reassemble the fleet: every shard hands its streams back.
+        let mut slots: Vec<Option<StreamSession>> = (0..total).map(|_| None).collect();
+        let mut ages = Vec::new();
+        let mut exec = ExecStats::default();
+        for outcome in outcomes {
+            for (global, session) in outcome.streams {
+                slots[global] = Some(session);
+            }
+            ages.extend(outcome.ages);
+            exec.merge(&outcome.stats);
+        }
+        self.sessions = slots
+            .into_iter()
+            .map(|s| s.expect("every stream returns from its shard"))
+            .collect();
+
+        Ok(self.build_report(start, before, ages, exec))
     }
 
     fn build_report(
@@ -527,7 +724,7 @@ impl FleetServer {
         start: Instant,
         before: Vec<StreamStats>,
         mut ages: Vec<f64>,
-        batcher: BatcherStats,
+        exec: ExecStats,
     ) -> FleetReport {
         let wall = start.elapsed();
         let streams: Vec<StreamReport> = self
@@ -553,13 +750,14 @@ impl FleetServer {
             completed,
             shed,
             aggregate_fps,
-            batches: batcher.batches,
-            max_batch: batcher.max_batch,
-            mean_batch: if batcher.batches > 0 {
-                batcher.clips as f64 / batcher.batches as f64
+            batches: exec.batches,
+            max_batch: exec.max_batch,
+            mean_batch: if exec.batches > 0 {
+                exec.clips as f64 / exec.batches as f64
             } else {
                 0.0
             },
+            steals: exec.steals,
             frame_age,
         };
         self.registry.event(
@@ -570,6 +768,7 @@ impl FleetServer {
                 ("shed".to_owned(), report.shed.into()),
                 ("aggregate_fps".to_owned(), report.aggregate_fps.into()),
                 ("batches".to_owned(), report.batches.into()),
+                ("steals".to_owned(), report.steals.into()),
                 ("p99_age_ms".to_owned(), report.frame_age.p99_ms.into()),
             ],
         );
@@ -577,101 +776,228 @@ impl FleetServer {
     }
 }
 
-/// The scheduler: the single thread that owns every session during a
-/// threaded run. Owning all per-stream state here (rather than locking
-/// it across workers) is what makes per-stream sequential semantics —
-/// and therefore the bit-identity guarantee — structural.
-struct Scheduler<'a> {
-    sessions: &'a mut Vec<StreamSession>,
-    models: &'a HashMap<Weather, SlowFastLite>,
-    config: ServeConfig,
-    fleet: &'a FleetMetrics,
-    clip_tx: Sender<ClipJob>,
-    done_rx: Receiver<Completion>,
-    ingress_rx: Receiver<(usize, GrayFrame)>,
-    ingress_open: bool,
-    inflight: usize,
-    ages: Vec<f64>,
-    rr_hot: usize,
-    rr_norm: usize,
+/// State shared by every shard of one run: the stealable batch queues
+/// and the per-shard settled flags the termination protocol reads.
+struct SharedRun {
+    /// One batch queue per shard. A shard pushes to and pops from its
+    /// own queue; an idle shard steals from the others', oldest first.
+    queues: Vec<Mutex<VecDeque<Batch>>>,
+    /// Monotone per-shard completion flags: shard `i` sets `settled[i]`
+    /// once its sources are exhausted, its queues and reorder buffers
+    /// are empty, and it has nothing in flight. Nothing can un-settle a
+    /// shard (its streams can't receive new work), so every shard exits
+    /// once all flags are up — and keeps stealing until then.
+    settled: Vec<AtomicBool>,
 }
 
-impl Scheduler<'_> {
-    fn serve(&mut self) {
+impl SharedRun {
+    fn all_settled(&self) -> bool {
+        self.settled.iter().all(|s| s.load(Ordering::Acquire))
+    }
+}
+
+/// Where one stream's frames come from during a sharded run.
+enum Ingest {
+    /// A non-blocking source, polled inline by the owning shard.
+    Inline(Box<dyn FrameSource>),
+    /// A blocking source, pumped by a feeder thread into this channel.
+    Feeder(Receiver<GrayFrame>),
+    /// Exhausted — this stream will never see another frame.
+    Finished,
+}
+
+/// One stream as a shard sees it: the inert session plus its frame
+/// supply and its fleet-wide index.
+struct ShardStream {
+    global: usize,
+    session: StreamSession,
+    ingest: Ingest,
+}
+
+/// A same-weather group of clips accumulating toward a micro-batch.
+struct PendingGroup {
+    jobs: Vec<ClipJob>,
+    opened: Instant,
+}
+
+/// What one shard hands back when the run settles.
+struct ShardOutcome {
+    streams: Vec<(usize, StreamSession)>,
+    ages: Vec<f64>,
+    stats: ExecStats,
+}
+
+/// One shard: the single thread that owns a partition of the fleet's
+/// sessions during a sharded run. Owning all per-stream state here
+/// (rather than locking it across threads) is what makes per-stream
+/// sequential semantics — and therefore the bit-identity guarantee —
+/// structural: frames of stream `i` are prepared, resolved, and
+/// delivered only ever by shard `i % shards`, in sequence order,
+/// regardless of which shard executed their batches.
+struct Shard<'a> {
+    index: usize,
+    shard_count: usize,
+    config: &'a ServeConfig,
+    fleet: &'a FleetMetrics,
+    metrics: ShardMetrics,
+    models: &'a HashMap<Weather, SlowFastLite>,
+    streams: Vec<ShardStream>,
+    shared: &'a SharedRun,
+    done_rx: Receiver<Completion>,
+    done_txs: Vec<Sender<Completion>>,
+    fault_hook: Option<Arc<dyn FaultHook>>,
+    compute: ShardCompute<'a>,
+    /// Same-weather groups accumulating toward dispatch.
+    pending: HashMap<Weather, PendingGroup>,
+    /// Clips staged or dispatched and not yet resolved. Bounded by
+    /// [`ServeConfig::inflight_limit`] per shard.
+    inflight: usize,
+    /// Batches this shard has executed — the deterministic coordinate
+    /// handed to the chaos seam.
+    batches_done: u64,
+    ages: Vec<f64>,
+    stats: ExecStats,
+    rr_hot: usize,
+    rr_norm: usize,
+    settled_flagged: bool,
+}
+
+impl Shard<'_> {
+    fn serve(mut self) -> ShardOutcome {
         loop {
-            while let Ok(done) = self.done_rx.try_recv() {
-                self.on_completion(done);
-            }
-            self.drain_ingress();
-
-            // Backpressure: pause preparation while the executor holds
-            // enough work to keep every worker busy; queues absorb (or
-            // shed) the excess.
-            if self.inflight < self.config.inflight_limit() {
-                if let Some(stream) = self.pick_stream() {
-                    self.schedule_one(stream);
-                    continue;
-                }
-            }
-
-            let queued: usize = self.sessions.iter().map(StreamSession::queue_len).sum();
-            if !self.ingress_open && queued == 0 && self.inflight == 0 {
-                debug_assert!(self.sessions.iter().all(StreamSession::is_settled));
+            let mut progressed = self.drain_completions();
+            progressed |= self.ingest();
+            progressed |= self.schedule();
+            // Tail flush: once this shard's sources are dry and its
+            // queues empty, under-full groups will never fill — flush
+            // them now rather than waiting out the linger.
+            let tail = self.sources_finished()
+                && self.streams.iter().all(|t| t.session.queue_len() == 0);
+            progressed |= self.flush_pending(tail);
+            progressed |= self.execute_one();
+            self.update_settled();
+            if self.shared.all_settled() {
                 break;
             }
-
-            // Nothing runnable: block briefly on whichever side can
-            // unblock us.
-            if self.inflight > 0 {
-                if let Ok(done) = self.done_rx.recv_timeout(Duration::from_millis(1)) {
-                    self.on_completion(done);
-                }
-            } else if self.ingress_open {
-                match self.ingress_rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok((stream, frame)) => self.admit(stream, frame),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => self.ingress_open = false,
+            if !progressed {
+                if self.inflight > 0 {
+                    // Another shard may be executing our batch; wake on
+                    // its completion (or the timeout, to re-check the
+                    // linger clock and the steal ring).
+                    if let Ok(done) = self.done_rx.recv_timeout(Duration::from_millis(1)) {
+                        self.on_completion(done);
+                    }
+                } else {
+                    thread::sleep(IDLE_NAP);
                 }
             }
         }
-    }
-
-    fn drain_ingress(&mut self) {
-        while self.ingress_open {
-            match self.ingress_rx.try_recv() {
-                Ok((stream, frame)) => self.admit(stream, frame),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => self.ingress_open = false,
-            }
+        ShardOutcome {
+            streams: self
+                .streams
+                .into_iter()
+                .map(|t| (t.global, t.session))
+                .collect(),
+            ages: self.ages,
+            stats: self.stats,
         }
     }
 
-    fn admit(&mut self, stream: usize, frame: GrayFrame) {
-        self.sessions[stream].admit(
-            frame,
-            self.config.shedding,
-            self.config.queue_capacity,
-            self.fleet,
-        );
+    fn drain_completions(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.on_completion(done);
+            any = true;
+        }
+        any
     }
 
     fn on_completion(&mut self, done: Completion) {
-        let session = &mut self.sessions[done.stream];
-        session.inflight -= 1;
+        let hold = self.config.priority_hold;
+        let local = done.stream / self.shard_count;
+        let lane = &mut self.streams[local];
+        debug_assert_eq!(lane.global, done.stream, "completion routed to wrong shard");
+        lane.session.inflight -= 1;
         self.inflight -= 1;
-        session.resolve(done.seq, done.raw);
-        session.deliver_ready(self.config.priority_hold, self.fleet, &mut self.ages);
+        lane.session.resolve(done.seq, done.raw);
+        lane.session.deliver_ready(hold, self.fleet, &mut self.ages);
     }
 
-    /// Two-level priority pick: high-priority streams (recent danger
-    /// verdict or model switch) round-robin ahead of the rest; plain
-    /// round-robin within each level keeps every stream live.
+    /// Pulls every frame currently available from this shard's sources
+    /// into the admission queues.
+    fn ingest(&mut self) -> bool {
+        let mut any = false;
+        let now = Instant::now();
+        for lane in &mut self.streams {
+            loop {
+                let mut finished = false;
+                let frame = match &mut lane.ingest {
+                    Ingest::Inline(source) => match source.poll(now) {
+                        SourcePoll::Ready(frame) => Some(frame),
+                        SourcePoll::Pending => None,
+                        SourcePoll::Done => {
+                            finished = true;
+                            None
+                        }
+                    },
+                    Ingest::Feeder(rx) => match rx.try_recv() {
+                        Ok(frame) => Some(frame),
+                        Err(TryRecvError::Empty) => None,
+                        Err(TryRecvError::Disconnected) => {
+                            finished = true;
+                            None
+                        }
+                    },
+                    Ingest::Finished => None,
+                };
+                if finished {
+                    lane.ingest = Ingest::Finished;
+                }
+                let Some(frame) = frame else { break };
+                lane.session.admit(
+                    frame,
+                    self.config.shedding,
+                    self.config.queue_capacity,
+                    self.fleet,
+                );
+                any = true;
+            }
+        }
+        any
+    }
+
+    fn sources_finished(&self) -> bool {
+        self.streams
+            .iter()
+            .all(|t| matches!(t.ingest, Ingest::Finished))
+    }
+
+    /// Prepares queued frames up to the per-shard in-flight cap.
+    fn schedule(&mut self) -> bool {
+        let limit = self.config.inflight_limit();
+        let mut any = false;
+        while self.inflight < limit {
+            let Some(local) = self.pick_stream() else { break };
+            self.schedule_one(local);
+            any = true;
+        }
+        any
+    }
+
+    /// Two-level priority pick within this shard: high-priority streams
+    /// (recent danger verdict or model switch) round-robin ahead of the
+    /// rest; plain round-robin within each level keeps every stream
+    /// live.
     fn pick_stream(&mut self) -> Option<usize> {
-        let n = self.sessions.len();
+        let n = self.streams.len();
+        if n == 0 {
+            return None;
+        }
         if self.config.priority {
             for k in 0..n {
                 let i = (self.rr_hot + k) % n;
-                if self.sessions[i].queue_len() > 0 && self.sessions[i].is_hot() {
+                let session = &self.streams[i].session;
+                if session.queue_len() > 0 && session.is_hot() {
                     self.rr_hot = (i + 1) % n;
                     return Some(i);
                 }
@@ -679,7 +1005,7 @@ impl Scheduler<'_> {
         }
         for k in 0..n {
             let i = (self.rr_norm + k) % n;
-            if self.sessions[i].queue_len() > 0 {
+            if self.streams[i].session.queue_len() > 0 {
                 self.rr_norm = (i + 1) % n;
                 return Some(i);
             }
@@ -687,42 +1013,165 @@ impl Scheduler<'_> {
         None
     }
 
-    fn schedule_one(&mut self, stream: usize) {
+    fn schedule_one(&mut self, local: usize) {
         let hold = self.config.priority_hold;
-        let session = &mut self.sessions[stream];
-        let Some(pending) = session.pop_fresh(
+        let lane = &mut self.streams[local];
+        let Some(pending) = lane.session.pop_fresh(
             self.config.frame_deadline,
             self.config.shedding,
             self.fleet,
         ) else {
             return;
         };
-        let (seq, mut prep) = session.prepare(&pending.frame, hold);
+        let (seq, mut prep) = lane.session.prepare(&pending.frame, hold);
         let dispatch = match (prep.clip.take(), prep.effective) {
             (Some(clip), Some(weather)) if self.models.contains_key(&weather) => {
                 Some((clip, weather))
             }
             _ => None,
         };
-        session.park(seq, prep, pending.admitted);
+        lane.session.park(seq, prep, pending.admitted);
         match dispatch {
             Some((clip, weather)) => {
-                session.inflight += 1;
+                lane.session.inflight += 1;
+                let stream = lane.global;
                 self.inflight += 1;
-                // A send can only fail after the worker pool died, and
-                // workers only exit once this scheduler drops `clip_tx`.
-                let sent = self.clip_tx.send(ClipJob {
+                self.stage(ClipJob {
                     stream,
                     seq,
                     weather,
                     clip,
                 });
-                debug_assert!(sent.is_ok(), "executor hung up mid-run");
             }
             None => {
-                session.resolve(seq, None);
-                session.deliver_ready(hold, self.fleet, &mut self.ages);
+                lane.session.resolve(seq, None);
+                lane.session.deliver_ready(hold, self.fleet, &mut self.ages);
             }
+        }
+    }
+
+    /// Adds a clip to its weather group, dispatching the group the
+    /// moment it fills.
+    fn stage(&mut self, job: ClipJob) {
+        let weather = job.weather;
+        let group = self.pending.entry(weather).or_insert_with(|| PendingGroup {
+            jobs: Vec::with_capacity(self.config.batch_max),
+            opened: Instant::now(),
+        });
+        group.jobs.push(job);
+        if group.jobs.len() >= self.config.batch_max {
+            let group = self.pending.remove(&weather).expect("just inserted");
+            self.dispatch(weather, group.jobs);
+        }
+    }
+
+    /// Dispatches groups whose oldest clip has lingered past the
+    /// deadline (all of them when `force` is set).
+    fn flush_pending(&mut self, force: bool) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let due: Vec<Weather> = self
+            .pending
+            .iter()
+            .filter(|(_, g)| force || now.duration_since(g.opened) >= self.config.batch_linger)
+            .map(|(w, _)| *w)
+            .collect();
+        let mut any = false;
+        for weather in due {
+            let group = self.pending.remove(&weather).expect("listed as due");
+            self.dispatch(weather, group.jobs);
+            any = true;
+        }
+        any
+    }
+
+    fn dispatch(&mut self, weather: Weather, jobs: Vec<ClipJob>) {
+        self.stats.batches += 1;
+        self.stats.clips += jobs.len() as u64;
+        self.stats.max_batch = self.stats.max_batch.max(jobs.len());
+        self.fleet.batches.inc();
+        self.fleet.batch_size.observe_ms(jobs.len() as f64);
+        self.shared.queues[self.index]
+            .lock()
+            .expect("shard queue poisoned")
+            .push_back(Batch { weather, jobs });
+    }
+
+    /// Executes one batch — own queue first, then the steal ring —
+    /// routing each completion back to the clip's owning shard.
+    fn execute_one(&mut self) -> bool {
+        let mut stolen = false;
+        let mut batch = self.shared.queues[self.index]
+            .lock()
+            .expect("shard queue poisoned")
+            .pop_front();
+        if batch.is_none() {
+            for k in 1..self.shard_count {
+                let victim = (self.index + k) % self.shard_count;
+                batch = self.shared.queues[victim]
+                    .lock()
+                    .expect("shard queue poisoned")
+                    .pop_front();
+                if batch.is_some() {
+                    stolen = true;
+                    break;
+                }
+            }
+        }
+        let Some(batch) = batch else { return false };
+        // Chaos seam: consulted once per executed batch. A `Die` drops
+        // this shard's warm compute state (model clones, scratch) —
+        // never a session — and the "respawned" shard retries the same
+        // batch cold, so no completion is ever lost.
+        if let Some(hook) = &self.fault_hook {
+            match hook.before_batch(self.index, self.batches_done) {
+                WorkerAction::Continue => {}
+                WorkerAction::Stall(pause) => thread::sleep(pause),
+                WorkerAction::Die => {
+                    self.compute.drop_warm_state();
+                    self.fleet.worker_deaths.inc();
+                }
+            }
+        }
+        self.batches_done += 1;
+        let verdicts = self.compute.classify(&batch);
+        self.metrics.batches.inc();
+        if stolen {
+            self.stats.steals += 1;
+            self.metrics.steals.inc();
+            self.fleet.steals.inc();
+        }
+        for (job, verdict) in batch.jobs.iter().zip(verdicts) {
+            let owner = job.stream % self.shard_count;
+            let sent = self.done_txs[owner].send(Completion {
+                stream: job.stream,
+                seq: job.seq,
+                raw: Some(verdict),
+            });
+            debug_assert!(sent.is_ok(), "owner shard hung up mid-run");
+        }
+        true
+    }
+
+    /// Raises this shard's monotone settled flag once nothing local can
+    /// ever produce work again. A settled shard keeps looping (and
+    /// stealing) until every shard settles.
+    fn update_settled(&mut self) {
+        if self.settled_flagged {
+            return;
+        }
+        let idle = self.inflight == 0
+            && self.pending.is_empty()
+            && self.sources_finished()
+            && self
+                .streams
+                .iter()
+                .all(|t| t.session.queue_len() == 0 && t.session.is_settled());
+        if idle {
+            self.settled_flagged = true;
+            self.shared.settled[self.index].store(true, Ordering::Release);
         }
     }
 }

@@ -4,10 +4,11 @@
 //! — scene detector, VP background model, segment buffer, and model
 //! switcher — plus the serving bookkeeping wrapped around it: the
 //! bounded admission queue, the completion reorder buffer, and the
-//! priority/shedding counters. All session mutation happens on the
-//! scheduler thread, so per-stream frame order (and therefore verdict
-//! and switch-log bit-identity with a standalone run) is structural,
-//! not locked.
+//! priority/shedding counters. A session is an inert state machine: it
+//! owns no thread and never blocks. All mutation of one session happens
+//! on its owning shard's thread, so per-stream frame order (and
+//! therefore verdict and switch-log bit-identity with a standalone run)
+//! is structural, not locked.
 
 use crate::metrics::{FleetMetrics, StreamMetrics};
 use safecross::{FramePrep, SafeCross, Verdict};
@@ -21,13 +22,13 @@ pub struct StreamId(pub(crate) usize);
 
 impl StreamId {
     /// The stream's index in fleet order (the order of
-    /// [`add_stream`](crate::FleetServer::add_stream) calls).
+    /// [`open_stream`](crate::FleetServer::open_stream) calls).
     pub fn index(&self) -> usize {
         self.0
     }
 
-    /// The id of the `index`-th stream added to a fleet. Fleet
-    /// accessors reject indices no `add_stream` call ever returned.
+    /// The id of the `index`-th stream opened on a fleet. Fleet
+    /// accessors reject indices no `open_stream` call ever returned.
     pub fn from_index(index: usize) -> Self {
         StreamId(index)
     }

@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example fleet_monitor`
 
 use safecross::{SafeCross, SafeCrossConfig};
-use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamId};
+use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::TensorRng;
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
@@ -44,7 +44,7 @@ fn main() {
         .collect();
 
     let config = ServeConfig::builder()
-        .workers(2)
+        .shards(2)
         .batch_max(4)
         .queue_capacity(64)
         .telemetry(true)
@@ -56,9 +56,9 @@ fn main() {
             .register_model(*w, m.clone())
             .expect("models are registered before streams");
     }
-    for _ in 0..9 {
-        fleet.add_stream().expect("models are registered");
-    }
+    let cams: Vec<_> = (0..9)
+        .map(|_| fleet.open_stream(StreamSpec::new()).expect("models are registered"))
+        .collect();
 
     // Feeds: streams 0..7 are healthy daytime cameras (stream 3 sees
     // rain roll in, exercising a mid-run model switch under serving),
@@ -82,9 +82,9 @@ fn main() {
         .collect();
 
     println!(
-        "fleet: 9 streams over {} shared models, {} workers, queue capacity {}\n",
+        "fleet: 9 streams over {} shared models, {} shards, queue capacity {}\n",
         models.len(),
-        fleet.config().workers,
+        fleet.config().shards,
         fleet.config().queue_capacity
     );
 
@@ -108,9 +108,7 @@ fn main() {
     for frame in &standalone_input {
         standalone.process_frame(frame);
     }
-    let served = fleet
-        .session(StreamId::from_index(0))
-        .expect("stream 0 exists");
+    let served = cams[0].session(&fleet);
     println!(
         "stream0 vs standalone run: verdicts {}, switch log {}",
         if served.verdicts() == standalone.verdicts() {
@@ -126,9 +124,7 @@ fn main() {
     );
 
     // The rain switch stream 3 went through, as the fleet saw it.
-    let switcher = fleet
-        .session(StreamId::from_index(3))
-        .expect("stream 3 exists");
+    let switcher = cams[3].session(&fleet);
     switcher.with_switch_log(|log| {
         for record in log {
             println!(

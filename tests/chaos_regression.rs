@@ -15,7 +15,7 @@
 
 use safecross::SafeCrossConfig;
 use safecross_replay::{chaos_feeds, ChaosConfig, FaultPlan, FeedChaos};
-use safecross_serve::{FleetServer, ServeConfig, StreamId};
+use safecross_serve::{FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::{Tensor, TensorRng};
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
@@ -26,9 +26,9 @@ use std::time::Duration;
 const W: usize = 64;
 const H: usize = 48;
 
-fn config(workers: usize) -> ServeConfig {
+fn config(shards: usize) -> ServeConfig {
     ServeConfig::builder()
-        .workers(workers)
+        .shards(shards)
         .shedding(false)
         .stream(SafeCrossConfig {
             frame_width: W,
@@ -50,13 +50,13 @@ fn shared_models() -> Vec<(Weather, SlowFastLite)> {
         .collect()
 }
 
-fn fleet(workers: usize, streams: usize) -> FleetServer {
-    let mut fleet = FleetServer::new(config(workers)).expect("valid config");
+fn fleet(shards: usize, streams: usize) -> FleetServer {
+    let mut fleet = FleetServer::new(config(shards)).expect("valid config");
     for (w, m) in shared_models() {
         fleet.register_model(w, m).expect("no streams yet");
     }
     for _ in 0..streams {
-        fleet.add_stream().expect("models registered");
+        fleet.open_stream(StreamSpec::new()).expect("models registered");
     }
     fleet
 }
@@ -103,8 +103,8 @@ fn worker_death_before_every_batch_changes_no_output_bit() {
     let mut reference = fleet(1, streams);
     reference.run_reference(feeds.clone()).expect("reference runs");
 
-    // Chaotic threaded run: every worker loses its warm state before
-    // every batch it dequeues (death period 1 = fire always).
+    // Chaotic threaded run: every shard loses its warm compute state
+    // before every batch it dequeues (death period 1 = fire always).
     let mut chaotic = fleet(2, streams);
     let plan = FaultPlan::new(ChaosConfig {
         seed: 7,
@@ -118,15 +118,16 @@ fn worker_death_before_every_batch_changes_no_output_bit() {
     assert_eq!(report.completed, (48 * 3) as u64, "lossless despite deaths");
     assert!(plan.deaths() > 0, "the fault actually fired");
 
+    let ref_handles = reference.handles();
+    let chaos_handles = chaotic.handles();
     for s in 0..streams {
-        let id = StreamId::from_index(s);
         assert_eq!(
-            reference.verdicts(id).expect("stream"),
-            chaotic.verdicts(id).expect("stream"),
+            ref_handles[s].verdicts(&reference),
+            chaos_handles[s].verdicts(&chaotic),
             "stream {s} verdicts diverged under worker death"
         );
-        let expected = reference.session(id).expect("stream").switch_log();
-        let got = chaotic.session(id).expect("stream").switch_log();
+        let expected = ref_handles[s].session(&reference).switch_log();
+        let got = chaos_handles[s].session(&chaotic).switch_log();
         assert_eq!(expected, got, "stream {s} switch log diverged under worker death");
     }
 }
@@ -181,8 +182,10 @@ fn forced_oom_switches_leave_store_and_resident_weights_intact() {
     // Every session's resident weights are bit-identical to the stored
     // checkpoint of whatever model it ended up on: a failed swap
     // rolled back completely, a successful one activated real bytes.
-    for s in 0..streams {
-        let session = fleet.session(StreamId::from_index(s)).expect("stream");
+    let handles = fleet.handles();
+    assert_eq!(handles.len(), streams);
+    for (s, handle) in handles.iter().enumerate() {
+        let session = handle.session(&fleet);
         let name = session.resident_model().expect("a model is active");
         let resident = session
             .resident_state_dict()

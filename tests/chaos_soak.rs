@@ -74,7 +74,7 @@ fn soak_secs() -> f64 {
 fn chaos_soak_stays_under_the_memory_ceiling_with_zero_steady_state_allocs() {
     let config = SoakConfig {
         serve: ServeConfig::builder()
-            .workers(2)
+            .shards(2)
             .shedding(false)
             .stream(SafeCrossConfig {
                 frame_width: 64,

@@ -75,7 +75,7 @@ fn serve_and_replay_paths_use_no_ambient_entropy() {
 #[test]
 fn recording_the_same_input_twice_is_byte_identical() {
     let config = ServeConfig::builder()
-        .workers(1)
+        .shards(1)
         .shedding(false)
         .stream(SafeCrossConfig {
             frame_width: 32,

@@ -4,7 +4,7 @@
 
 use safecross_modelswitch::{GpuSpec, ModelRegistry, ModelSwitcher, SwitchStrategy};
 use safecross_nn::Mode;
-use safecross_serve::{FleetServer, ServeConfig};
+use safecross_serve::{FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::{Tensor, TensorRng};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
@@ -76,8 +76,8 @@ fn fleet_stores_each_unique_group_exactly_once() {
     fleet.register_model(Weather::Daytime, daytime).expect("no streams yet");
     fleet.register_model(Weather::Rain, rain).expect("no streams yet");
     fleet.register_model(Weather::Snow, snow).expect("no streams yet");
-    let ids: Vec<_> = (0..4)
-        .map(|_| fleet.add_stream().expect("models registered"))
+    let handles: Vec<_> = (0..4)
+        .map(|_| fleet.open_stream(StreamSpec::new()).expect("models registered"))
         .collect();
 
     let store = fleet.model_store();
@@ -100,8 +100,8 @@ fn fleet_stores_each_unique_group_exactly_once() {
     }
 
     // Every session holds the same store handle as the fleet.
-    for id in ids {
-        let session = fleet.session(id).expect("stream exists");
+    for handle in handles {
+        let session = handle.session(&fleet);
         assert_eq!(session.model_store().unique_groups(), 7);
         assert_eq!(session.model_store().model_count(), 3);
     }

@@ -7,7 +7,7 @@
 use safecross::SafeCrossConfig;
 use safecross_dataset::Class;
 use safecross_replay::{build_fleet, minimize, record_reference_run, ModelSpec};
-use safecross_serve::{ServeConfig, StreamId};
+use safecross_serve::ServeConfig;
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
 use safecross_vision::GrayFrame;
@@ -18,7 +18,7 @@ const H: usize = 48;
 
 fn config() -> ServeConfig {
     ServeConfig::builder()
-        .workers(1)
+        .shards(1)
         .shedding(false)
         .stream(SafeCrossConfig {
             frame_width: W,
@@ -74,16 +74,16 @@ fn minimizer_shrinks_a_failing_trace_below_a_quarter() {
     // legitimately produces different outputs.)
     let still_fails = |candidate: &safecross_replay::Trace| {
         let mut fleet = build_fleet(candidate).expect("candidate builds");
-        let feeds = candidate
+        let feeds: Vec<Vec<GrayFrame>> = candidate
             .streams
             .iter()
             .map(|s| s.iter().map(|rf| rf.frame.clone()).collect())
             .collect();
         fleet.run_reference(feeds).expect("candidate runs");
+        let handles = fleet.handles();
         (0..candidate.streams.len()).any(|s| {
-            fleet
-                .verdicts(StreamId::from_index(s))
-                .expect("stream exists")
+            handles[s]
+                .verdicts(&fleet)
                 .iter()
                 .any(|v| v.class == Class::Danger)
         })

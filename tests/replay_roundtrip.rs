@@ -18,7 +18,7 @@ const H: usize = 48;
 
 fn small_config() -> ServeConfig {
     ServeConfig::builder()
-        .workers(2)
+        .shards(2)
         .shedding(false)
         .stream(SafeCrossConfig {
             frame_width: W,

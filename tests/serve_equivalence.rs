@@ -7,7 +7,7 @@
 //! threaded mode with shedding disabled (lossless serving).
 
 use safecross::{SafeCross, SafeCrossConfig};
-use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamId};
+use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::TensorRng;
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
@@ -92,8 +92,9 @@ fn expected_states(
 }
 
 fn assert_streams_match(fleet: &FleetServer, expected: &[SafeCross]) {
+    let handles = fleet.handles();
     for (i, want) in expected.iter().enumerate() {
-        let got = fleet.session(StreamId::from_index(i)).expect("stream exists");
+        let got = handles[i].session(fleet);
         assert_eq!(got.verdicts(), want.verdicts(), "stream {i} verdicts diverged");
         assert_eq!(
             got.frames_seen(),
@@ -115,7 +116,7 @@ fn assert_streams_match(fleet: &FleetServer, expected: &[SafeCross]) {
 
 fn fleet(models: &[(Weather, SlowFastLite)], streams: usize) -> FleetServer {
     let config = ServeConfig::builder()
-        .workers(2)
+        .shards(2)
         .shedding(false)
         .build()
         .expect("valid serve configuration");
@@ -124,7 +125,7 @@ fn fleet(models: &[(Weather, SlowFastLite)], streams: usize) -> FleetServer {
         fleet.register_model(*w, m.clone()).expect("models first");
     }
     for _ in 0..streams {
-        fleet.add_stream().expect("models are registered");
+        fleet.open_stream(StreamSpec::new()).expect("models are registered");
     }
     fleet
 }
@@ -171,8 +172,8 @@ fn threaded_lossless_mode_is_bit_identical_to_standalone() {
 }
 
 #[test]
-fn threaded_equivalence_is_worker_count_independent() {
-    // Worker count changes executor interleaving, never per-stream
+fn threaded_equivalence_is_shard_count_independent() {
+    // Shard count changes executor interleaving, never per-stream
     // results — same role the channel-capacity sweep plays for the
     // staged pipeline.
     let models = shared_models();
@@ -184,9 +185,9 @@ fn threaded_equivalence_is_worker_count_independent() {
     ];
     let expected = expected_states(&models, &feeds);
 
-    for workers in [1, 4] {
+    for shards in [1, 4] {
         let config = ServeConfig::builder()
-            .workers(workers)
+            .shards(shards)
             .shedding(false)
             .batch_max(3)
             .build()
@@ -196,7 +197,7 @@ fn threaded_equivalence_is_worker_count_independent() {
             served.register_model(*w, m.clone()).expect("models first");
         }
         for _ in 0..feeds.len() {
-            served.add_stream().expect("models are registered");
+            served.open_stream(StreamSpec::new()).expect("models are registered");
         }
         served
             .run(
@@ -230,11 +231,12 @@ fn reference_and_threaded_agree_with_each_other() {
         )
         .expect("threaded run succeeds");
 
+    let ref_handles = reference.handles();
+    let thr_handles = threaded.handles();
     for i in 0..reference.streams() {
-        let id = StreamId::from_index(i);
         assert_eq!(
-            reference.verdicts(id).expect("stream exists"),
-            threaded.verdicts(id).expect("stream exists"),
+            ref_handles[i].verdicts(&reference),
+            thr_handles[i].verdicts(&threaded),
             "stream {i} diverged between modes"
         );
     }

@@ -5,7 +5,7 @@
 //! offender; the stalled stream still completes everything it sends.
 
 use safecross::{SafeCross, SafeCrossConfig};
-use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamId};
+use safecross_serve::{paced_feed, FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::TensorRng;
 use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
@@ -72,7 +72,7 @@ fn overloaded_streams_do_not_perturb_healthy_ones() {
         .collect();
 
     let config = ServeConfig::builder()
-        .workers(2)
+        .shards(2)
         .queue_capacity(QUEUE_CAPACITY)
         .build()
         .expect("valid serve configuration");
@@ -81,9 +81,9 @@ fn overloaded_streams_do_not_perturb_healthy_ones() {
     for (w, m) in &models {
         fleet.register_model(*w, m.clone()).expect("models first");
     }
-    for _ in 0..9 {
-        fleet.add_stream().expect("models are registered");
-    }
+    let handles: Vec<_> = (0..9)
+        .map(|_| fleet.open_stream(StreamSpec::new()).expect("models are registered"))
+        .collect();
 
     // Stream 0 stalls (long gaps between frames), stream 1 floods its
     // whole backlog at once, streams 2..9 deliver a normal clip whose
@@ -103,14 +103,14 @@ fn overloaded_streams_do_not_perturb_healthy_ones() {
     // Healthy streams: complete coverage, zero shed, bit-identical
     // verdicts.
     for (k, i) in HEALTHY.enumerate() {
-        let stats = fleet.stream_stats(StreamId::from_index(i)).expect("stream exists");
+        let stats = handles[i].stats(&fleet);
         assert_eq!(stats.fed, HEALTHY_FRAMES as u64, "stream {i} fed count");
         assert_eq!(
             stats.completed, HEALTHY_FRAMES as u64,
             "healthy stream {i} must complete every frame"
         );
         assert_eq!(stats.shed(), 0, "healthy stream {i} must shed nothing");
-        let session = fleet.session(StreamId::from_index(i)).expect("stream exists");
+        let session = handles[i].session(&fleet);
         assert_eq!(
             session.verdicts(),
             expected[k].verdicts(),
@@ -124,9 +124,7 @@ fn overloaded_streams_do_not_perturb_healthy_ones() {
 
     // The stalled stream is slow, not broken: everything it sent
     // completed, nothing was shed.
-    let stalled = fleet
-        .stream_stats(StreamId::from_index(STALLED))
-        .expect("stream exists");
+    let stalled = handles[STALLED].stats(&fleet);
     assert_eq!(stalled.fed, STALL_FRAMES as u64);
     assert_eq!(stalled.completed, STALL_FRAMES as u64);
     assert_eq!(stalled.shed(), 0, "a slow feed never fills its queue");
@@ -134,9 +132,7 @@ fn overloaded_streams_do_not_perturb_healthy_ones() {
     // The flooded stream overflowed its bounded queue and paid for it
     // alone. Accounting is exact: every fed frame either completed or
     // was counted shed.
-    let flooded = fleet
-        .stream_stats(StreamId::from_index(FLOODED))
-        .expect("stream exists");
+    let flooded = handles[FLOODED].stats(&fleet);
     assert_eq!(flooded.fed, FLOOD_FRAMES as u64);
     assert!(
         flooded.shed_overflow > 0,
