@@ -5,19 +5,27 @@
 //!
 //! Besides the printed summary, the run is written to
 //! `BENCH_switch.json` at the workspace root — activation MB/s,
-//! pipelined vs non-pipelined makespan, and the registry's dedup ratio —
-//! so switching perf is machine-trackable across commits.
+//! pipelined vs non-pipelined makespan, the registry's dedup ratio,
+//! and the continual-learning row (adaptation wall-time, shadow-canary
+//! overhead, promotion activation MB/s) — so switching and adaptation
+//! perf are machine-trackable across commits.
 //!
 //! Set `SAFECROSS_BENCH_QUICK=1` to run a reduced sweep (CI smoke).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safecross::{classify_with_model, Verdict};
+use safecross_dataset::Class;
+use safecross_learn::{ContinualLearner, LearnConfig};
 use safecross_modelswitch::{
     simulate_switch, GpuSpec, ModelRegistry, ModelSwitcher, SwitchStrategy,
 };
 use safecross_nn::Mode;
+use safecross_serve::{HarvestSample, LearnHook};
 use safecross_telemetry::Registry;
-use safecross_tensor::{Tensor, TensorRng};
+use safecross_tensor::{KernelScratch, Tensor, TensorRng};
+use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
+use std::collections::HashMap;
 use std::time::Instant;
 
 fn quick() -> bool {
@@ -125,7 +133,166 @@ fn run_switch_loop(rounds: usize) -> SwitchRun {
     }
 }
 
-fn write_bench_json(run: &SwitchRun) {
+/// The continual-learning row: what one background adaptation costs
+/// (few-shot adapt + shadow canary), what the canary alone costs, and
+/// how fast a won promotion's activation moves challenger bytes.
+struct LearnRun {
+    adaptations: u64,
+    adapt_ms_mean: f64,
+    canary_ms_mean: f64,
+    promo_activation_mb_per_s: f64,
+}
+
+fn run_learn_loop(rounds: usize) -> LearnRun {
+    let registry = Registry::new();
+    let store = ModelRegistry::new();
+    let mut rng = TensorRng::seed_from(2);
+    let base = SlowFastLite::new(2, &mut rng);
+    store.register_model(Weather::Daytime.label(), &base.state_groups());
+    store.pin_model(Weather::Daytime.label());
+    let templates: HashMap<Weather, SlowFastLite> =
+        HashMap::from([(Weather::Daytime, base.clone())]);
+    let clips: Vec<Tensor> = (0..12)
+        .map(|_| rng.uniform(&[1, 32, 20, 20], 0.0, 1.0))
+        .collect();
+    fn sample(seq: u64, clip: &Tensor) -> HarvestSample<'_> {
+        HarvestSample {
+            stream: 0,
+            weather: Weather::Daytime,
+            seq,
+            verdict: Verdict {
+                class: Class::Danger,
+                confidence: 0.5,
+                weather: Weather::Daytime,
+            },
+            clip,
+        }
+    }
+    let config = LearnConfig {
+        seed: 1,
+        harvest_below: 1.1,
+        min_support: 4,
+        canary_k: 4,
+        holdout_period: 2,
+        max_generations: u32::MAX,
+        ..LearnConfig::default()
+    };
+
+    // Adaptation wall-time: each round harvests a fresh support set and
+    // runs one full trainer pass — few-shot adapt, challenger
+    // registration, shadow canary. An impossible win margin retires
+    // every challenger on the spot, so the store stays flat while the
+    // loop measures steady-state adaptation cost.
+    let learner = ContinualLearner::new(
+        LearnConfig {
+            min_win: f32::INFINITY,
+            ..config
+        },
+        store.clone(),
+        templates.clone(),
+        &registry,
+    );
+    let mut seq = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for clip in &clips {
+            learner.observe(sample(seq, clip));
+            seq += 1;
+        }
+        black_box(learner.train_once());
+    }
+    let adapt_wall_s = start.elapsed().as_secs_f64();
+    let adaptations = learner.stats().adaptations;
+
+    // Canary overhead in isolation: what grading `canary_k` held-out
+    // clips on both contenders costs, without the adaptation.
+    let mut challenger = base.clone();
+    let mut incumbent = base.clone();
+    let mut scratch = KernelScratch::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for clip in clips.iter().take(4) {
+            black_box(classify_with_model(
+                &mut challenger,
+                clip,
+                Weather::Daytime,
+                &mut scratch,
+            ));
+            black_box(classify_with_model(
+                &mut incumbent,
+                clip,
+                Weather::Daytime,
+                &mut scratch,
+            ));
+        }
+    }
+    let canary_wall_s = start.elapsed().as_secs_f64();
+
+    // Promotion activation: earn one real canary winner, then measure
+    // the switcher moving its bytes into the resident arena — the same
+    // pipelined-swap path a shard takes when it applies the promotion.
+    let winner = ContinualLearner::new(
+        LearnConfig {
+            min_win: -1.0,
+            ..config
+        },
+        store.clone(),
+        templates,
+        &registry,
+    );
+    for (i, clip) in clips.iter().enumerate() {
+        winner.observe(sample(i as u64, clip));
+    }
+    winner.train_once();
+    let promo = winner
+        .take_promotions(0, 1)
+        .pop()
+        .expect("an eager canary winner");
+    let switcher = ModelSwitcher::new(
+        GpuSpec::rtx_2080_ti(),
+        11_000_000_000,
+        SwitchStrategy::PipelinedOptimal,
+    );
+    switcher.instrument(&registry);
+    switcher.attach_store(&store);
+    for name in [Weather::Daytime.label(), promo.challenger.as_str()] {
+        switcher
+            .register_from_store(name, 36.0e9)
+            .expect("checkpoint stored");
+    }
+    let before = registry
+        .snapshot()
+        .counter("switch.activate.bytes")
+        .unwrap_or(0);
+    let start = Instant::now();
+    for round in 0..rounds.max(2) {
+        let name = if round % 2 == 0 {
+            promo.challenger.as_str()
+        } else {
+            Weather::Daytime.label()
+        };
+        switcher.switch_to(name).expect("registered model");
+    }
+    let promo_wall_s = start.elapsed().as_secs_f64();
+    let promo_bytes = registry
+        .snapshot()
+        .counter("switch.activate.bytes")
+        .unwrap_or(0)
+        - before;
+
+    LearnRun {
+        adaptations,
+        adapt_ms_mean: adapt_wall_s * 1000.0 / adaptations.max(1) as f64,
+        canary_ms_mean: canary_wall_s * 1000.0 / rounds.max(1) as f64,
+        promo_activation_mb_per_s: if promo_wall_s > 0.0 {
+            promo_bytes as f64 / (1024.0 * 1024.0) / promo_wall_s
+        } else {
+            0.0
+        },
+    }
+}
+
+fn write_bench_json(run: &SwitchRun, learn: &LearnRun) {
     let json = format!(
         "{{\n\"bench\": \"switch_bench\",\n\
          \"switches\": {},\n\
@@ -136,7 +303,11 @@ fn write_bench_json(run: &SwitchRun) {
          \"pipelined_speedup\": {:.2},\n\
          \"dedup_ratio\": {:.4},\n\
          \"unique_groups\": {},\n\
-         \"models\": {}\n}}\n",
+         \"models\": {},\n\
+         \"learn_adaptations\": {},\n\
+         \"learn_adapt_ms\": {:.3},\n\
+         \"learn_canary_ms\": {:.3},\n\
+         \"learn_promo_activation_mb_per_s\": {:.2}\n}}\n",
         run.switches,
         run.activated_bytes,
         run.activation_mb_per_s(),
@@ -146,6 +317,10 @@ fn write_bench_json(run: &SwitchRun) {
         run.dedup_ratio,
         run.unique_groups,
         run.models,
+        learn.adaptations,
+        learn.adapt_ms_mean,
+        learn.canary_ms_mean,
+        learn.promo_activation_mb_per_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_switch.json");
     match std::fs::write(path, &json) {
@@ -174,7 +349,18 @@ fn switch_bench(c: &mut Criterion) {
         "registry: {} models, {} unique groups, dedup ratio {:.2}",
         run.models, run.unique_groups, run.dedup_ratio
     );
-    write_bench_json(&run);
+
+    let learn_rounds = if quick() { 5 } else { 60 };
+    let learn = run_learn_loop(learn_rounds);
+    println!(
+        "continual learning: {} adaptations at {:.2} ms each (canary alone {:.2} ms), \
+         promotion activation {:.1} MiB/s",
+        learn.adaptations,
+        learn.adapt_ms_mean,
+        learn.canary_ms_mean,
+        learn.promo_activation_mb_per_s,
+    );
+    write_bench_json(&run, &learn);
 
     // Criterion samples of one full switch (activation included) so
     // regressions show in the regular bench output too.

@@ -1,0 +1,248 @@
+//! Bounded replay buffers for harvested clips.
+//!
+//! One [`ReplayLane`] holds the hard clips harvested from a single
+//! (stream, weather) pair: a byte-budgeted drop-oldest ring. Harvesting
+//! is unbounded over a fleet's lifetime, so the lane must bound memory
+//! structurally — when a push would exceed the budget, the *oldest*
+//! clips are evicted first (the newest evidence of a distribution shift
+//! is always the most valuable).
+//!
+//! Lanes are deliberately dumb: no locking, no cross-lane state. The
+//! learner keys a map by `(stream, weather)`, so one flooding stream
+//! can only ever evict its own history — per-stream isolation is
+//! structural, mirroring the serving layer's admission queues.
+
+use safecross_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Bytes a clip occupies in a lane (its `f32` payload; the few words of
+/// metadata around it are noise at clip sizes).
+pub fn clip_bytes(clip: &Tensor) -> usize {
+    clip.len() * std::mem::size_of::<f32>()
+}
+
+/// One harvested clip: the tensor, its pseudo-label (the raw verdict's
+/// class — self-training uses the incumbent's own predictions), and
+/// whether the holdout split reserved it for canary evaluation.
+#[derive(Debug, Clone)]
+pub struct ReplayClip {
+    /// Per-stream completion sequence number of the source frame.
+    pub seq: u64,
+    /// Pseudo-label: the class index the incumbent predicted.
+    pub label: usize,
+    /// Reserved for the canary holdout set — never used as adaptation
+    /// support, so the canary never grades the challenger on clips it
+    /// trained on.
+    pub holdout: bool,
+    /// The `[C, T, H, W]` occupancy clip.
+    pub clip: Tensor,
+}
+
+/// A byte-budgeted drop-oldest buffer of harvested clips for one
+/// (stream, weather) lane.
+#[derive(Debug)]
+pub struct ReplayLane {
+    budget: usize,
+    bytes: usize,
+    dropped: u64,
+    clips: VecDeque<ReplayClip>,
+}
+
+impl ReplayLane {
+    /// An empty lane with a `budget`-byte ceiling.
+    pub fn new(budget: usize) -> Self {
+        ReplayLane {
+            budget,
+            bytes: 0,
+            dropped: 0,
+            clips: VecDeque::new(),
+        }
+    }
+
+    /// Appends a clip, evicting from the front until the lane fits its
+    /// budget again. The newest clip always survives, even when it
+    /// alone exceeds the budget — so `bytes() <= budget()` holds
+    /// whenever the lane holds more than one clip.
+    pub fn push(&mut self, clip: ReplayClip) {
+        self.bytes += clip_bytes(&clip.clip);
+        self.clips.push_back(clip);
+        while self.bytes > self.budget && self.clips.len() > 1 {
+            let evicted = self.clips.pop_front().expect("len > 1");
+            self.bytes -= clip_bytes(&evicted.clip);
+            self.dropped += 1;
+        }
+    }
+
+    /// The lane's byte ceiling.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Clips currently held.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// Whether the lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Clips evicted by the drop-oldest policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Held clips available as adaptation support (not holdout).
+    pub fn support_len(&self) -> usize {
+        self.clips.iter().filter(|c| !c.holdout).count()
+    }
+
+    /// Held clips reserved for canary evaluation.
+    pub fn holdout_len(&self) -> usize {
+        self.clips.iter().filter(|c| c.holdout).count()
+    }
+
+    /// Iterates the held clips, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &ReplayClip> {
+        self.clips.iter()
+    }
+
+    /// Takes every held clip (oldest first), leaving the lane empty.
+    /// The eviction counter survives — it describes the lane's history,
+    /// not its contents.
+    pub fn drain(&mut self) -> Vec<ReplayClip> {
+        self.bytes = 0;
+        self.clips.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clip_of(seq: u64, elems: usize) -> ReplayClip {
+        ReplayClip {
+            seq,
+            label: (seq % 2) as usize,
+            holdout: seq.is_multiple_of(3),
+            clip: Tensor::full(&[1, 1, 1, elems], seq as f32),
+        }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_newest_clips() {
+        // Budget fits exactly two 16-element clips.
+        let mut lane = ReplayLane::new(2 * 16 * 4);
+        for seq in 0..5 {
+            lane.push(clip_of(seq, 16));
+        }
+        assert_eq!(lane.len(), 2);
+        assert_eq!(lane.dropped(), 3);
+        let seqs: Vec<u64> = lane.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert!(lane.bytes() <= lane.budget());
+    }
+
+    #[test]
+    fn oversized_clip_survives_alone() {
+        let mut lane = ReplayLane::new(8);
+        lane.push(clip_of(0, 16));
+        lane.push(clip_of(1, 64));
+        assert_eq!(lane.len(), 1);
+        assert_eq!(lane.iter().next().map(|c| c.seq), Some(1));
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_history() {
+        let mut lane = ReplayLane::new(16 * 4);
+        for seq in 0..3 {
+            lane.push(clip_of(seq, 16));
+        }
+        let taken = lane.drain();
+        assert_eq!(taken.len(), 1);
+        assert!(lane.is_empty());
+        assert_eq!(lane.bytes(), 0);
+        assert_eq!(lane.dropped(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The lane never exceeds its byte budget (except the documented
+        /// single-oversized-clip case), accounting matches the held
+        /// clips exactly, order is oldest-first, and pushed = held +
+        /// dropped.
+        #[test]
+        fn lane_is_bounded_and_accounts_exactly(
+            budget_clips in 1usize..8,
+            pushes in proptest::collection::vec((1usize..48, any::<bool>()), 1..64),
+        ) {
+            let unit = 16usize; // elements per size step
+            let budget = budget_clips * unit * 4;
+            let mut lane = ReplayLane::new(budget);
+            for (seq, (steps, holdout)) in pushes.iter().enumerate() {
+                lane.push(ReplayClip {
+                    seq: seq as u64,
+                    label: seq % 2,
+                    holdout: *holdout,
+                    clip: Tensor::zeros(&[1, 1, 1, steps * unit]),
+                });
+                prop_assert!(
+                    lane.bytes() <= lane.budget() || lane.len() == 1,
+                    "lane over budget with multiple clips"
+                );
+            }
+            let held: usize = lane.iter().map(|c| clip_bytes(&c.clip)).sum();
+            prop_assert!(lane.bytes() == held, "byte accounting drifted");
+            prop_assert!(
+                lane.len() as u64 + lane.dropped() == pushes.len() as u64,
+                "clips neither held nor counted dropped"
+            );
+            let seqs: Vec<u64> = lane.iter().map(|c| c.seq).collect();
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]), "order not oldest-first");
+            prop_assert!(lane.support_len() + lane.holdout_len() == lane.len());
+        }
+
+        /// Lanes keyed per (stream, weather) are fully isolated: a
+        /// flooding lane evicts only its own clips.
+        #[test]
+        fn lanes_are_isolated_per_stream(
+            ops in proptest::collection::vec((0usize..4, 0u8..3, 1usize..8), 1..128),
+        ) {
+            let unit = 16usize;
+            let budget = 3 * unit * 4;
+            let mut lanes: HashMap<(usize, u8), ReplayLane> = HashMap::new();
+            let mut pushed: HashMap<(usize, u8), u64> = HashMap::new();
+            for (seq, (stream, weather, steps)) in ops.iter().enumerate() {
+                let key = (*stream, *weather);
+                lanes.entry(key).or_insert_with(|| ReplayLane::new(budget)).push(ReplayClip {
+                    seq: seq as u64,
+                    label: 0,
+                    holdout: false,
+                    clip: Tensor::zeros(&[1, 1, 1, steps * unit]),
+                });
+                *pushed.entry(key).or_insert(0) += 1;
+            }
+            for (key, lane) in &lanes {
+                prop_assert!(
+                    lane.len() as u64 + lane.dropped() == pushed[key],
+                    "lane gained or lost another lane's clips"
+                );
+                prop_assert!(lane.bytes() <= lane.budget() || lane.len() == 1);
+            }
+        }
+    }
+}

@@ -20,9 +20,9 @@
 
 use crate::model_desc::{LayerDesc, ModelDesc};
 use safecross_nn::{manifest_for, ModelManifest};
-use safecross_telemetry::{Gauge, Registry};
+use safecross_telemetry::{Counter, Gauge, Registry};
 use safecross_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// Metadata for one tensor inside a blob: shape plus its flat span.
@@ -68,6 +68,8 @@ struct StoreTelemetry {
     models: Gauge,
     unique_groups: Gauge,
     dedup_bytes: Gauge,
+    evicted_bytes: Counter,
+    evictions: Counter,
 }
 
 #[derive(Debug, Default)]
@@ -80,6 +82,14 @@ struct StoreInner {
     descs: HashMap<String, (u64, Arc<ModelDesc>)>,
     /// Lazily-built shared activation layouts, invalidated with `descs`.
     layouts: HashMap<String, Arc<ResidentLayout>>,
+    /// LRU eviction state: `stored_bytes` ceiling (None = unbounded),
+    /// names never evicted, and a monotone access clock per checkpoint.
+    ceiling: Option<usize>,
+    pinned: HashSet<String>,
+    clock: u64,
+    touched: HashMap<String, u64>,
+    evicted_bytes: usize,
+    evictions: u64,
     telemetry: Option<StoreTelemetry>,
 }
 
@@ -114,6 +124,50 @@ impl StoreInner {
             tel.unique_groups.set(self.blobs.len() as f64);
             tel.dedup_bytes
                 .set((self.logical_bytes() - self.stored_bytes()) as f64);
+        }
+    }
+
+    /// Bumps the LRU access clock for `name` (no-op for unknown names).
+    fn touch(&mut self, name: &str) {
+        if self.models.contains_key(name) {
+            self.clock += 1;
+            self.touched.insert(name.to_owned(), self.clock);
+        }
+    }
+
+    /// Evicts least-recently-touched checkpoints until `stored_bytes`
+    /// fits under the ceiling. Pinned checkpoints and checkpoints whose
+    /// resident layout is held outside the store (a switcher has them
+    /// active) are never candidates, so eviction can stall above the
+    /// ceiling rather than drop in-use weights.
+    fn enforce_ceiling(&mut self) {
+        let Some(ceiling) = self.ceiling else { return };
+        while self.stored_bytes() > ceiling {
+            let victim = self
+                .models
+                .keys()
+                .filter(|n| !self.pinned.contains(*n))
+                .filter(|n| {
+                    self.layouts
+                        .get(*n)
+                        .is_none_or(|l| Arc::strong_count(l) == 1)
+                })
+                .min_by_key(|n| (self.touched.get(*n).copied().unwrap_or(0), (*n).clone()))
+                .cloned();
+            let Some(name) = victim else { break };
+            let before = self.stored_bytes();
+            let manifest = self.models.remove(&name).expect("victim is registered");
+            self.release_groups(&manifest);
+            self.descs.remove(&name);
+            self.layouts.remove(&name);
+            self.touched.remove(&name);
+            let freed = before - self.stored_bytes();
+            self.evicted_bytes += freed;
+            self.evictions += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.evicted_bytes.add(freed as u64);
+                tel.evictions.inc();
+            }
         }
     }
 }
@@ -154,13 +208,16 @@ impl ModelRegistry {
     /// Attaches telemetry shared by every handle to this registry. The
     /// gauges `registry.models`, `registry.unique_groups` and
     /// `registry.dedup_bytes` are published immediately and refreshed on
-    /// every registration/removal.
+    /// every registration/removal; the counters `registry.evicted_bytes`
+    /// and `registry.evictions` accumulate LRU eviction activity.
     pub fn instrument(&self, registry: &Registry) {
         let mut inner = self.lock();
         inner.telemetry = Some(StoreTelemetry {
             models: registry.gauge("registry.models"),
             unique_groups: registry.gauge("registry.unique_groups"),
             dedup_bytes: registry.gauge("registry.dedup_bytes"),
+            evicted_bytes: registry.counter("registry.evicted_bytes"),
+            evictions: registry.counter("registry.evictions"),
         });
         inner.publish_gauges();
     }
@@ -216,6 +273,8 @@ impl ModelRegistry {
             inner.layouts.remove(name);
         }
         inner.models.insert(name.to_owned(), manifest.clone());
+        inner.touch(name);
+        inner.enforce_ceiling();
         inner.publish_gauges();
         manifest
     }
@@ -226,6 +285,8 @@ impl ModelRegistry {
         let mut inner = self.lock();
         inner.descs.remove(name);
         inner.layouts.remove(name);
+        inner.touched.remove(name);
+        inner.pinned.remove(name);
         match inner.models.remove(name) {
             Some(manifest) => {
                 inner.release_groups(&manifest);
@@ -302,6 +363,7 @@ impl ModelRegistry {
     /// checkpoint is re-registered or removed.
     pub fn shared_model_desc(&self, name: &str, total_flops: f64) -> Option<Arc<ModelDesc>> {
         let mut inner = self.lock();
+        inner.touch(name);
         let bits = total_flops.to_bits();
         if let Some((b, desc)) = inner.descs.get(name) {
             if *b == bits {
@@ -328,7 +390,9 @@ impl ModelRegistry {
     /// `name` from its stored blobs, in manifest order. The tensors are
     /// bit-identical to the ones registered.
     pub fn state_dict(&self, name: &str) -> Option<Vec<(String, Tensor)>> {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        inner.touch(name);
+        let inner = &*inner;
         let manifest = inner.models.get(name)?;
         let mut out = Vec::with_capacity(manifest.total_params());
         for g in &manifest.groups {
@@ -348,6 +412,7 @@ impl ModelRegistry {
     /// its weights alive even if the checkpoint is later removed.
     pub(crate) fn resident_layout(&self, name: &str) -> Option<Arc<ResidentLayout>> {
         let mut inner = self.lock();
+        inner.touch(name);
         if let Some(layout) = inner.layouts.get(name) {
             return Some(Arc::clone(layout));
         }
@@ -366,6 +431,55 @@ impl ModelRegistry {
         let layout = Arc::new(layout);
         inner.layouts.insert(name.to_owned(), Arc::clone(&layout));
         Some(layout)
+    }
+
+    /// Sets (or clears, with `None`) the `stored_bytes` ceiling.
+    /// Whenever a registration pushes physical storage past the
+    /// ceiling, least-recently-used checkpoints are evicted until it
+    /// fits again — except pinned checkpoints
+    /// ([`ModelRegistry::pin_model`]) and checkpoints whose activation
+    /// layout is currently held by a switcher, which are never evicted
+    /// (so a tight ceiling can be exceeded rather than corrupt a
+    /// resident model). An evicted checkpoint simply disappears from
+    /// the registry: `state_dict` returns `None` and it must be
+    /// re-registered to be used again.
+    pub fn set_memory_ceiling(&self, ceiling: Option<usize>) {
+        let mut inner = self.lock();
+        inner.ceiling = ceiling;
+        inner.enforce_ceiling();
+        inner.publish_gauges();
+    }
+
+    /// The configured `stored_bytes` ceiling, if any.
+    pub fn memory_ceiling(&self) -> Option<usize> {
+        self.lock().ceiling
+    }
+
+    /// Exempts `name` from LRU eviction (base scene checkpoints, the
+    /// incumbent of a live stream). Pinning an unregistered name is
+    /// allowed and takes effect if it is registered later.
+    pub fn pin_model(&self, name: &str) {
+        self.lock().pinned.insert(name.to_owned());
+    }
+
+    /// Makes `name` evictable again. Returns whether it was pinned.
+    pub fn unpin_model(&self, name: &str) -> bool {
+        self.lock().pinned.remove(name)
+    }
+
+    /// Whether `name` is pinned against eviction.
+    pub fn is_pinned(&self, name: &str) -> bool {
+        self.lock().pinned.contains(name)
+    }
+
+    /// Total physical bytes freed by LRU eviction so far.
+    pub fn evicted_bytes(&self) -> usize {
+        self.lock().evicted_bytes
+    }
+
+    /// Number of checkpoints evicted by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
@@ -525,6 +639,87 @@ mod tests {
         });
         h.join().unwrap();
         assert!(store.contains("from-thread"));
+    }
+
+    #[test]
+    fn ceiling_evicts_least_recently_used_first() {
+        let store = ModelRegistry::new();
+        // Three disjoint 400-byte checkpoints under a 900-byte ceiling.
+        store.set_memory_ceiling(Some(900));
+        store.register_model("a", &[group("ga", 1.0, 100)]);
+        store.register_model("b", &[group("gb", 2.0, 100)]);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(store.state_dict("a").is_some());
+        store.register_model("c", &[group("gc", 3.0, 100)]);
+        assert!(!store.contains("b"), "LRU checkpoint evicted");
+        assert!(store.contains("a") && store.contains("c"));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.evicted_bytes(), 400);
+        assert!(store.stored_bytes() <= 900);
+        assert_eq!(
+            store.logical_bytes(),
+            store.stored_bytes() + store.dedup_bytes(),
+            "accounting holds after eviction"
+        );
+    }
+
+    #[test]
+    fn pinned_models_survive_eviction_pressure() {
+        let store = ModelRegistry::new();
+        store.register_model("base", &[group("gb", 1.0, 100)]);
+        store.pin_model("base");
+        store.set_memory_ceiling(Some(500));
+        for i in 0..8 {
+            store.register_model(&format!("gen{i}"), &[group("g", i as f32 + 10.0, 100)]);
+        }
+        assert!(store.contains("base"), "pinned checkpoint never evicted");
+        assert!(store.evictions() > 0, "churn actually evicted something");
+        assert!(store.stored_bytes() <= 500);
+        assert!(store.unpin_model("base"));
+        assert!(!store.is_pinned("base"));
+    }
+
+    #[test]
+    fn eviction_of_shared_groups_frees_only_unshared_bytes() {
+        let store = ModelRegistry::new();
+        let base = vec![group("stem", 1.0, 100), group("head", 2.0, 10)];
+        let adapted = vec![group("stem", 1.0, 100), group("head", 9.0, 10)];
+        store.register_model("meta", &base);
+        store.pin_model("meta");
+        store.register_model("adapted", &adapted);
+        // Ceiling below current stored bytes: "adapted" must go, but
+        // the shared stem stays because "meta" still references it.
+        store.set_memory_ceiling(Some(440));
+        assert!(!store.contains("adapted"));
+        assert_eq!(store.stored_bytes(), 110 * 4);
+        assert_eq!(store.evicted_bytes(), 10 * 4, "only the unshared head freed");
+    }
+
+    #[test]
+    fn resident_layout_holders_are_protected_from_eviction() {
+        let store = ModelRegistry::new();
+        store.register_model("active", &[group("ga", 1.0, 100)]);
+        // Simulate a switcher keeping the model resident: it holds the
+        // shared activation layout, so the store's cached Arc has an
+        // external holder and the checkpoint must not be evicted.
+        let _held = store.resident_layout("active").expect("registered");
+        store.set_memory_ceiling(Some(500));
+        for i in 0..4 {
+            store.register_model(&format!("gen{i}"), &[group("g", i as f32 + 10.0, 100)]);
+        }
+        assert!(store.contains("active"), "resident checkpoint evicted");
+        assert!(store.evictions() > 0);
+    }
+
+    #[test]
+    fn eviction_stalls_rather_than_dropping_pinned_models() {
+        let store = ModelRegistry::new();
+        store.register_model("only", &[group("g", 1.0, 100)]);
+        store.pin_model("only");
+        store.set_memory_ceiling(Some(8));
+        assert!(store.contains("only"), "nothing evictable: ceiling exceeded");
+        assert!(store.stored_bytes() > 8);
+        assert_eq!(store.evictions(), 0);
     }
 
     #[test]

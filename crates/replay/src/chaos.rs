@@ -13,6 +13,7 @@
 
 use crate::recorder::fleet_from_spec;
 use crate::trace::ModelSpec;
+use safecross_learn::TrainerFaultHook;
 use safecross_modelswitch::SwitchFaultHook;
 use safecross_serve::{
     paced_feed, BoxedSource, FaultHook, FleetReport, FrameSource, IterSource, ServeConfig,
@@ -51,6 +52,8 @@ const DOMAIN_STALL: u64 = 0x057A_1100;
 const DOMAIN_OOM: u64 = 0x0000_00B5;
 const DOMAIN_SKEW: u64 = 0x05CE_3000;
 const DOMAIN_FEED_STALL: u64 = 0x0FEE_D000;
+const DOMAIN_TRAINER: u64 = 0x07A1_4E4D;
+const DOMAIN_PROMO_OOM: u64 = 0x0940_3400;
 
 /// What faults a [`FaultPlan`] injects and how often. A period of `0`
 /// disables that fault class; period `n` fires on roughly 1-in-`n`
@@ -68,6 +71,16 @@ pub struct ChaosConfig {
     pub worker_stall_for: Duration,
     /// Force a `switch_to` OOM about one attempt in `n` (0 = never).
     pub oom_period: u64,
+    /// Kill the continual-learning trainer about one adaptation in `n`
+    /// (0 = never) — fires mid-attempt, after the challenger checkpoint
+    /// registered and before its canary, so recovery must clean the
+    /// orphan out of the store.
+    pub trainer_death_period: u64,
+    /// Force a challenger *activation* OOM about one attempt in `n`
+    /// (0 = never). Fires only on continual-learning challenger names
+    /// (`label#sNgM`), so the base scene switch traffic is untouched;
+    /// the switcher's rollback machinery restores the incumbent.
+    pub challenger_oom_period: u64,
 }
 
 impl Default for ChaosConfig {
@@ -78,6 +91,8 @@ impl Default for ChaosConfig {
             worker_stall_period: 0,
             worker_stall_for: Duration::from_millis(1),
             oom_period: 0,
+            trainer_death_period: 0,
+            challenger_oom_period: 0,
         }
     }
 }
@@ -91,6 +106,8 @@ pub struct FaultPlan {
     deaths: AtomicU64,
     stalls: AtomicU64,
     ooms: AtomicU64,
+    trainer_deaths: AtomicU64,
+    challenger_ooms: AtomicU64,
 }
 
 impl FaultPlan {
@@ -101,6 +118,8 @@ impl FaultPlan {
             deaths: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
             ooms: AtomicU64::new(0),
+            trainer_deaths: AtomicU64::new(0),
+            challenger_ooms: AtomicU64::new(0),
         })
     }
 
@@ -126,6 +145,30 @@ impl FaultPlan {
         p != 0 && mix(self.config.seed ^ DOMAIN_OOM ^ fnv1a(name) ^ attempt).is_multiple_of(p)
     }
 
+    /// Whether the schedule kills the continual-learning trainer on
+    /// adaptation `attempt` for `(stream, weather)`. Pure, like
+    /// [`FaultPlan::would_kill`].
+    pub fn would_kill_trainer(&self, stream: usize, weather: Weather, attempt: u64) -> bool {
+        let p = self.config.trainer_death_period;
+        p != 0
+            && mix(
+                self.config.seed
+                    ^ DOMAIN_TRAINER
+                    ^ fnv1a(weather.label())
+                    ^ ((stream as u64) << 32)
+                    ^ attempt,
+            )
+            .is_multiple_of(p)
+    }
+
+    /// Whether the schedule forces the `attempt`-th activation of
+    /// challenger `name` to fail with OOM. Pure, like
+    /// [`FaultPlan::would_kill`].
+    pub fn would_oom_challenger(&self, name: &str, attempt: u64) -> bool {
+        let p = self.config.challenger_oom_period;
+        p != 0 && mix(self.config.seed ^ DOMAIN_PROMO_OOM ^ fnv1a(name) ^ attempt).is_multiple_of(p)
+    }
+
     /// Worker warm-state kills that fired so far.
     pub fn deaths(&self) -> u64 {
         self.deaths.load(Ordering::Relaxed)
@@ -139,6 +182,16 @@ impl FaultPlan {
     /// Forced switch OOMs that fired so far.
     pub fn ooms(&self) -> u64 {
         self.ooms.load(Ordering::Relaxed)
+    }
+
+    /// Trainer deaths that fired so far.
+    pub fn trainer_deaths(&self) -> u64 {
+        self.trainer_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Forced challenger-activation OOMs that fired so far.
+    pub fn challenger_ooms(&self) -> u64 {
+        self.challenger_ooms.load(Ordering::Relaxed)
     }
 }
 
@@ -158,9 +211,29 @@ impl FaultHook for FaultPlan {
 
 impl SwitchFaultHook for FaultPlan {
     fn inject_oom(&self, name: &str, attempt: u64) -> bool {
+        // Challenger checkpoints (`label#sNgM`) get their own schedule
+        // so chaos can hammer the promotion rollback path without
+        // perturbing base scene switches — and vice versa.
+        if name.contains('#') {
+            let fire = self.would_oom_challenger(name, attempt);
+            if fire {
+                self.challenger_ooms.fetch_add(1, Ordering::Relaxed);
+            }
+            return fire;
+        }
         let fire = self.would_oom(name, attempt);
         if fire {
             self.ooms.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+}
+
+impl TrainerFaultHook for FaultPlan {
+    fn kill_adaptation(&self, stream: usize, weather: Weather, attempt: u64) -> bool {
+        let fire = self.would_kill_trainer(stream, weather, attempt);
+        if fire {
+            self.trainer_deaths.fetch_add(1, Ordering::Relaxed);
         }
         fire
     }

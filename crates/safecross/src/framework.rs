@@ -14,8 +14,8 @@ use crate::errors::{ConfigError, SafeCrossError};
 use crate::scene::SceneDetector;
 use safecross_dataset::Class;
 use safecross_modelswitch::{
-    GpuSpec, ModelRegistry, ModelSwitcher, SwitchFaultHook, SwitchOutcome, SwitchRecord,
-    SwitchReport, SwitchStrategy,
+    GpuSpec, ModelRegistry, ModelSwitcher, SwitchError, SwitchFaultHook, SwitchOutcome,
+    SwitchRecord, SwitchReport, SwitchStrategy,
 };
 use safecross_nn::Mode;
 use safecross_telemetry::{Counter, Histogram, Registry};
@@ -220,6 +220,11 @@ pub struct FramePrep {
     pub clip: Option<Tensor>,
 }
 
+/// FLOP budget attributed to a scene checkpoint's switch descriptor —
+/// the cost model every scene registration (and continual-learning
+/// promotion) derives its transfer timeline from.
+pub const SCENE_TOTAL_FLOPS: f64 = 36.0e9;
+
 /// Stage 1: scene detection and model switching.
 ///
 /// Owns the voting-window detector and the MS runtime. Sequential per
@@ -232,6 +237,11 @@ pub(crate) struct SceneStage {
     /// entry doubles as the deterministic fallback when neither the
     /// detected scene nor daytime has a model.
     registered: Vec<Weather>,
+    /// Checkpoint name bound to each scene. Starts as the weather label
+    /// at registration; continual-learning promotions rebind a scene to
+    /// an adapted challenger ([`SafeCross::bind_scene_model`]), and
+    /// every later switch onto that scene activates the bound name.
+    names: HashMap<Weather, Arc<str>>,
     /// Frames this stage has consumed. Owned by the stage (not the
     /// orchestrator) so the frame index attributed to a switch is the
     /// same in sequential and pipelined execution.
@@ -252,6 +262,7 @@ impl SceneStage {
             scene: SceneDetector::new(scene_window),
             switcher,
             registered: Vec::new(),
+            names: HashMap::new(),
             frames: 0,
             frames_total: registry.counter("stage.scene.frames"),
             step_ms: registry.histogram("stage.scene.step_ms"),
@@ -272,16 +283,26 @@ impl SceneStage {
         let mut scene_switch = None;
         if let Some(new_scene) = self.scene.observe(frame) {
             if self.registered.contains(&new_scene) {
+                let name = self.model_name(new_scene);
                 // The registered-scene guard makes an error here
                 // unreachable; a refused switch just means no swap.
                 if let Ok(SwitchOutcome::Switched(report)) =
-                    self.switcher.switch_to_at(new_scene.label(), frame_index)
+                    self.switcher.switch_to_at(name.as_ref(), frame_index)
                 {
                     scene_switch = Some((new_scene, report));
                 }
             }
         }
         (scene_switch, self.effective_scene())
+    }
+
+    /// The checkpoint name bound to `weather`: the promotion-bound
+    /// challenger if one was promoted, else the weather label itself.
+    fn model_name(&self, weather: Weather) -> Arc<str> {
+        self.names
+            .get(&weather)
+            .cloned()
+            .unwrap_or_else(|| Arc::from(weather.label()))
     }
 
     /// The scene whose model should run: the detected scene when a model
@@ -579,7 +600,7 @@ impl SafeCross {
             .register_model(weather.label(), &model.state_groups());
         self.scene_stage
             .switcher
-            .register_from_store(weather.label(), 36.0e9)
+            .register_from_store(weather.label(), SCENE_TOTAL_FLOPS)
             .expect("checkpoint was just stored");
         if self.scene_stage.registered.is_empty() {
             self.scene_stage
@@ -589,7 +610,76 @@ impl SafeCross {
         }
         if !self.scene_stage.registered.contains(&weather) {
             self.scene_stage.registered.push(weather);
+            self.scene_stage
+                .names
+                .insert(weather, Arc::from(weather.label()));
         }
+    }
+
+    /// Rebinds the scene `weather` to the stored checkpoint `name` and
+    /// activates it — the continual-learning promotion entry point.
+    ///
+    /// Returns `Ok(true)` when the challenger was activated (the
+    /// switcher swapped onto its real weights and every later switch
+    /// onto this scene uses it), or `Ok(false)` when the promotion was
+    /// *deferred* without binding anything: the scene is not the one
+    /// currently classified, and activating a model the stream is not
+    /// running would perturb the switch log of an unaffected scene.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::UnknownModel`] if `weather` has no registered
+    /// scene or `name` is not in the model store;
+    /// [`SwitchError::OutOfMemory`] if activation failed — the
+    /// switcher's rollback machinery has already restored the previous
+    /// resident model, and no binding is changed.
+    pub fn bind_scene_model(&mut self, weather: Weather, name: &str) -> Result<bool, SwitchError> {
+        if !self.scene_stage.registered.contains(&weather) {
+            return Err(SwitchError::UnknownModel {
+                name: name.to_owned(),
+                registered: self
+                    .scene_stage
+                    .registered
+                    .iter()
+                    .map(|w| w.label().to_owned())
+                    .collect(),
+            });
+        }
+        if !self.model_store.contains(name) {
+            return Err(SwitchError::UnknownModel {
+                name: name.to_owned(),
+                registered: self.model_store.models(),
+            });
+        }
+        if self.scene_stage.effective_scene() != Some(weather) {
+            return Ok(false);
+        }
+        self.scene_stage
+            .switcher
+            .register_from_store(name, SCENE_TOTAL_FLOPS)?;
+        self.scene_stage
+            .switcher
+            .switch_to_at(name, self.scene_stage.frames)?;
+        self.scene_stage.names.insert(weather, Arc::from(name));
+        // Standalone sessions classify locally: refresh that replica so
+        // the local path serves the promoted weights too.
+        if let Some(model) = self.classify_stage.models.get_mut(&weather) {
+            if let Some(state) = self.model_store.state_dict(name) {
+                model.load_state_dict(&state);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The checkpoint name currently bound to `weather`: the weather
+    /// label after [`SafeCross::register_scene`], or the promoted
+    /// challenger after a successful [`SafeCross::bind_scene_model`].
+    /// `None` when the scene has no registered model.
+    pub fn scene_model_name(&self, weather: Weather) -> Option<Arc<str>> {
+        if !self.scene_stage.registered.contains(&weather) {
+            return None;
+        }
+        Some(self.scene_stage.model_name(weather))
     }
 
     /// The telemetry registry the frame path records into. Disabled (all

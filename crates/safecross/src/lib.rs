@@ -53,7 +53,7 @@ mod proptests;
 pub use errors::{ConfigError, SafeCrossError};
 pub use framework::{
     classify_with_model, top_class_from_logits, FrameOutcome, FramePrep, SafeCross,
-    SafeCrossConfig, SafeCrossConfigBuilder, Verdict,
+    SafeCrossConfig, SafeCrossConfigBuilder, Verdict, SCENE_TOTAL_FLOPS,
 };
 pub use pipeline::{PipelineConfig, PipelineRun, PipelineStats, StageStats};
 pub use scene::{SceneDetector, SceneFeatures};

@@ -144,17 +144,6 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Former name of [`ServeConfigBuilder::shards`]: the serving layer
-    /// no longer has a separate worker pool — each shard thread both
-    /// schedules and classifies.
-    #[deprecated(
-        since = "0.7.0",
-        note = "the worker pool became the shard set; use `shards(n)`"
-    )]
-    pub fn workers(self, workers: usize) -> Self {
-        self.shards(workers)
-    }
-
     /// Maximum clips per micro-batch.
     pub fn batch_max(mut self, batch_max: usize) -> Self {
         self.config.batch_max = batch_max;
@@ -380,13 +369,6 @@ mod tests {
             ServeConfig::builder().stream(bad_stream).build(),
             Err(ServeError::Stream(_))
         ));
-    }
-
-    #[test]
-    fn deprecated_workers_alias_sets_shards() {
-        #[allow(deprecated)]
-        let config = ServeConfig::builder().workers(3).build().unwrap();
-        assert_eq!(config.shards, 3);
     }
 
     #[test]

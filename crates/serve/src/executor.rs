@@ -1,38 +1,55 @@
 //! Shard-local batched inference.
 //!
-//! Each shard owns a [`ShardCompute`]: lazily-cloned scene models plus
-//! a kernel scratch arena — the warm state a dedicated inference worker
-//! used to carry, now embedded in the shard loop. Micro-batches of
-//! same-weather clips run as **one** stacked forward pass through the
-//! shard's clone of the shared scene model.
+//! Each shard owns a [`ShardCompute`]: lazily-materialized model
+//! replicas plus a kernel scratch arena — the warm state a dedicated
+//! inference worker used to carry, now embedded in the shard loop.
+//! Micro-batches of clips bound for the *same checkpoint* run as
+//! **one** stacked forward pass through the shard's replica of that
+//! checkpoint.
+//!
+//! Replicas are keyed by checkpoint name, not weather: a stream whose
+//! scene was rebound to a promoted challenger
+//! (see [`crate::LearnHook`]) batches under the challenger's name,
+//! whose weights are resolved out of the fleet's shared
+//! [`ModelRegistry`]. Streams still on the base scene checkpoints key
+//! by the weather label, so without promotions the grouping — and
+//! therefore every output bit — is identical to weather-keyed
+//! batching.
 //!
 //! The numeric contract: every layer the classifiers use (eval-mode
 //! batch norm, convolution, pooling, the linear head, row softmax)
 //! processes batch rows independently, so a clip's verdict is
 //! bit-identical whether it rides in a batch of 1 or 16, regardless of
 //! which clips share its batch, and regardless of which shard executed
-//! it (clones share the stored weights bit-for-bit).
+//! it (replicas share the stored weights bit-for-bit).
 //! `batched_forward_is_bit_identical` below pins that down, and the
 //! serve equivalence tests lean on it.
 
 use safecross::{classify_with_model, top_class_from_logits, Verdict};
 use safecross_dataset::Class;
+use safecross_modelswitch::ModelRegistry;
 use safecross_tensor::{KernelScratch, Tensor};
 use safecross_trafficsim::Weather;
-use safecross_videoclass::SlowFastLite;
+use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One clip awaiting classification.
 pub(crate) struct ClipJob {
     pub stream: usize,
     pub seq: u64,
     pub weather: Weather,
+    /// Checkpoint the owning session has bound for `weather` — the
+    /// weather label unless a challenger was promoted on that stream.
+    pub model: Arc<str>,
     pub clip: Tensor,
 }
 
-/// A micro-batch of same-weather clips, all owned by one shard.
+/// A micro-batch of clips bound for one checkpoint, all owned by one
+/// shard.
 pub(crate) struct Batch {
     pub weather: Weather,
+    pub model: Arc<str>,
     pub jobs: Vec<ClipJob>,
 }
 
@@ -68,34 +85,70 @@ impl ExecStats {
     }
 }
 
-/// A shard's warm compute state: local clones of the shared scene
-/// models (cloned on first use) and the kernel scratch arena the
-/// stacked forwards cycle through. This is exactly what a crashed
+/// A shard's warm compute state: local model replicas (materialized on
+/// first use, keyed by checkpoint name) and the kernel scratch arena
+/// the stacked forwards cycle through. This is exactly what a crashed
 /// inference process would lose, so the chaos seam's `Die` action
-/// drops it wholesale and the shard rebuilds on demand.
+/// drops it wholesale and the shard rebuilds on demand — base replicas
+/// by re-cloning the shared scene models, promoted replicas by
+/// re-resolving their checkpoints out of the store.
 pub(crate) struct ShardCompute<'a> {
     shared: &'a HashMap<Weather, SlowFastLite>,
-    local: HashMap<Weather, SlowFastLite>,
+    store: ModelRegistry,
+    local: HashMap<Arc<str>, SlowFastLite>,
     scratch: KernelScratch,
 }
 
 impl<'a> ShardCompute<'a> {
-    pub(crate) fn new(shared: &'a HashMap<Weather, SlowFastLite>) -> Self {
+    pub(crate) fn new(shared: &'a HashMap<Weather, SlowFastLite>, store: ModelRegistry) -> Self {
         ShardCompute {
             shared,
+            store,
             local: HashMap::new(),
             scratch: KernelScratch::new(),
         }
     }
 
+    /// Materializes the replica for checkpoint `name`, cloning the
+    /// shared `weather` model as the architecture template and — for
+    /// promoted checkpoints — loading the stored weights over it. A
+    /// promoted checkpoint missing from the store (evicted after its
+    /// last user unpinned it) deterministically falls back to the base
+    /// scene weights. `None` only when `weather` has no shared model.
+    fn ensure_replica(&mut self, name: &Arc<str>, weather: Weather) -> Option<()> {
+        if !self.local.contains_key(name) {
+            let mut model = self.shared.get(&weather)?.clone();
+            if name.as_ref() != weather.label() {
+                if let Some(state) = self.store.state_dict(name) {
+                    model.load_state_dict(&state);
+                }
+            }
+            self.local.insert(Arc::clone(name), model);
+        }
+        Some(())
+    }
+
     /// Classifies a micro-batch with one stacked forward, returning one
     /// raw verdict per job in job order.
     pub(crate) fn classify(&mut self, batch: &Batch) -> Vec<Verdict> {
-        let model = self
-            .local
-            .entry(batch.weather)
-            .or_insert_with(|| self.shared[&batch.weather].clone());
+        self.ensure_replica(&batch.model, batch.weather)
+            .expect("dispatched batch has a shared scene model");
+        let model = self.local.get_mut(&batch.model).expect("just materialized");
         classify_batch(model, batch, &mut self.scratch)
+    }
+
+    /// Classifies one clip against the replica for `name` — the
+    /// reference mode's in-line path. `None` when `weather` has no
+    /// shared model.
+    pub(crate) fn classify_single(
+        &mut self,
+        name: &Arc<str>,
+        weather: Weather,
+        clip: &Tensor,
+    ) -> Option<Verdict> {
+        self.ensure_replica(name, weather)?;
+        let model = self.local.get_mut(name).expect("just materialized");
+        Some(classify_with_model(model, clip, weather, &mut self.scratch))
     }
 
     /// Simulates a worker crash: every piece of warm state dies and the
@@ -117,7 +170,6 @@ pub(crate) fn classify_batch(
     scratch: &mut KernelScratch,
 ) -> Vec<Verdict> {
     use safecross_nn::Mode;
-    use safecross_videoclass::VideoClassifier;
 
     let k = batch.jobs.len();
     debug_assert!(k > 0, "empty batch dispatched");
@@ -155,23 +207,14 @@ pub(crate) fn classify_batch(
     verdicts
 }
 
-/// The deterministic in-line classification the reference mode and the
-/// shard's no-model path share: classify one clip against the shared
-/// model for `weather`, or `None` when no such model exists.
-pub(crate) fn classify_one(
-    models: &mut HashMap<Weather, SlowFastLite>,
-    weather: Weather,
-    clip: &Tensor,
-    scratch: &mut KernelScratch,
-) -> Option<Verdict> {
-    let model = models.get_mut(&weather)?;
-    Some(classify_with_model(model, clip, weather, scratch))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use safecross_tensor::TensorRng;
+
+    fn label(weather: Weather) -> Arc<str> {
+        Arc::from(weather.label())
+    }
 
     #[test]
     fn batched_forward_is_bit_identical() {
@@ -187,6 +230,7 @@ mod tests {
             .collect();
         let batch = Batch {
             weather: Weather::Rain,
+            model: label(Weather::Rain),
             jobs: clips
                 .into_iter()
                 .enumerate()
@@ -194,6 +238,7 @@ mod tests {
                     stream: i,
                     seq: i as u64,
                     weather: Weather::Rain,
+                    model: label(Weather::Rain),
                     clip,
                 })
                 .collect(),
@@ -210,17 +255,66 @@ mod tests {
         let clip = rng.uniform(&[1, 32, 20, 20], 0.0, 1.0);
         let batch = Batch {
             weather: Weather::Snow,
+            model: label(Weather::Snow),
             jobs: vec![ClipJob {
                 stream: 0,
                 seq: 0,
                 weather: Weather::Snow,
+                model: label(Weather::Snow),
                 clip,
             }],
         };
-        let mut compute = ShardCompute::new(&shared);
+        let mut compute = ShardCompute::new(&shared, ModelRegistry::new());
         let warm = compute.classify(&batch);
         compute.drop_warm_state();
         let cold = compute.classify(&batch);
         assert_eq!(warm, cold, "a cold respawn must not change a verdict bit");
+    }
+
+    #[test]
+    fn promoted_replicas_resolve_store_weights() {
+        let mut rng = TensorRng::seed_from(13);
+        let base = SlowFastLite::new(2, &mut rng);
+        let mut adapted = base.clone();
+        // Perturb one parameter so the adapted checkpoint really
+        // differs, then park it in the store under a challenger name.
+        if let Some(p) = adapted.params_mut().into_iter().next() {
+            let bump = Tensor::full(p.value.dims(), 0.125);
+            p.value.add_scaled(&bump, 1.0);
+        }
+        let store = ModelRegistry::new();
+        store.register_model("rain#s0g1", &adapted.state_groups());
+
+        let mut shared = HashMap::new();
+        shared.insert(Weather::Rain, base);
+        let clip = rng.uniform(&[1, 32, 20, 20], 0.0, 1.0);
+        let job = |model: Arc<str>| Batch {
+            weather: Weather::Rain,
+            model: Arc::clone(&model),
+            jobs: vec![ClipJob {
+                stream: 0,
+                seq: 0,
+                weather: Weather::Rain,
+                model,
+                clip: clip.clone(),
+            }],
+        };
+        let mut compute = ShardCompute::new(&shared, store);
+        let base_v = compute.classify(&job(label(Weather::Rain)));
+        let promoted_v = compute.classify(&job(Arc::from("rain#s0g1")));
+
+        // The challenger replica ran the stored (perturbed) weights.
+        let mut direct_scratch = KernelScratch::new();
+        let direct = classify_with_model(&mut adapted, &clip, Weather::Rain, &mut direct_scratch);
+        assert_eq!(promoted_v[0], direct);
+        assert_ne!(
+            base_v[0].confidence.to_bits(),
+            promoted_v[0].confidence.to_bits(),
+            "perturbed checkpoint produced the base confidence — store weights not loaded"
+        );
+
+        // An evicted challenger falls back to the base scene weights.
+        let missing = compute.classify(&job(Arc::from("rain#s0g9")));
+        assert_eq!(missing[0], base_v[0]);
     }
 }

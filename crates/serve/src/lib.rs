@@ -75,20 +75,19 @@
 //! # Ok::<(), safecross_serve::ServeError>(())
 //! ```
 //!
-//! # Migrating from the worker-pool API
+//! # Continual learning
 //!
-//! Pre-shard revisions exposed `workers(n)` plus
-//! `add_stream`/`session(id)`/`verdicts(id)`. Those methods still
-//! compile (as `#[deprecated]` shims) but every capability now hangs
-//! off [`StreamHandle`]: `open_stream(StreamSpec::new())` instead of
-//! `add_stream()`, then `handle.verdicts(&fleet)` /
-//! `handle.stats(&fleet)` / `handle.session(&fleet)` instead of the
-//! id-keyed fleet accessors, and `ServeConfig::builder().shards(n)`
-//! instead of `.workers(n)`.
+//! A [`LearnHook`] installed via [`FleetServer::set_learn_hook`] rides
+//! the verdict path of every sharded run: each classified clip is
+//! offered to the hook for harvesting, and challenger checkpoints the
+//! learner promotes are activated by the owning shard between frames
+//! (see the `safecross-learn` crate for the concrete
+//! harvester/trainer/canary subsystem).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adapt;
 mod config;
 mod executor;
 mod fault;
@@ -97,6 +96,7 @@ mod server;
 mod session;
 mod source;
 
+pub use adapt::{HarvestSample, LearnHook, Promotion, PromotionOutcome};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeError, MAX_QUEUE_CAPACITY, MAX_SHARDS};
 pub use fault::{FaultHook, WorkerAction};
 pub use server::{

@@ -33,6 +33,13 @@ pub(crate) struct FleetMetrics {
     /// [`FaultHook`](crate::FaultHook) forced on a shard's compute
     /// state (`serve.worker_deaths`). Zero outside chaos runs.
     pub worker_deaths: Counter,
+    /// Continual-learning challenger activations a shard applied
+    /// through a session's model-binding path (`serve.promotions`).
+    pub promotions: Counter,
+    /// Challenger activations the switcher rejected (synthetic OOM or
+    /// other switch failure) and rolled back to the incumbent
+    /// (`serve.promotion_rollbacks`).
+    pub promotion_rollbacks: Counter,
 }
 
 impl FleetMetrics {
@@ -47,6 +54,8 @@ impl FleetMetrics {
             batches: registry.counter("serve.batches"),
             steals: registry.counter("serve.steals"),
             worker_deaths: registry.counter("serve.worker_deaths"),
+            promotions: registry.counter("serve.promotions"),
+            promotion_rollbacks: registry.counter("serve.promotion_rollbacks"),
         }
     }
 }

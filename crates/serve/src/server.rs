@@ -1,7 +1,8 @@
 //! The fleet front: admission, scheduling, and shard orchestration.
 
+use crate::adapt::{HarvestSample, LearnHook, PromotionOutcome};
 use crate::config::{ServeConfig, ServeError};
-use crate::executor::{classify_one, Batch, ClipJob, Completion, ExecStats, ShardCompute};
+use crate::executor::{Batch, ClipJob, Completion, ExecStats, ShardCompute};
 use crate::fault::{FaultHook, WorkerAction};
 use crate::metrics::{FleetMetrics, ShardMetrics, StreamMetrics};
 use crate::session::{StreamId, StreamSession, StreamStats};
@@ -9,7 +10,6 @@ use crate::source::{FrameSource, IntoFrameSource, SourcePoll};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
 use safecross_modelswitch::{ModelRegistry, SwitchFaultHook};
 use safecross_telemetry::Registry;
-use safecross_tensor::KernelScratch;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::GrayFrame;
@@ -269,6 +269,10 @@ pub struct FleetServer {
     /// Chaos seam consulted by every shard once per executed batch.
     /// `None` (the default) outside fault-injection runs.
     fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Continual-learning seam: offered every classified clip, drained
+    /// for promotions at the top of each shard loop iteration. `None`
+    /// (the default) for fleets without a learner.
+    learn_hook: Option<Arc<dyn LearnHook>>,
 }
 
 impl FleetServer {
@@ -296,6 +300,7 @@ impl FleetServer {
             model_order: Vec::new(),
             sessions: Vec::new(),
             fault_hook: None,
+            learn_hook: None,
         })
     }
 
@@ -312,6 +317,23 @@ impl FleetServer {
     /// Removes any installed shard fault hook.
     pub fn clear_fault_hook(&mut self) {
         self.fault_hook = None;
+    }
+
+    /// Installs a continual-learning hook (see [`LearnHook`]): every
+    /// clip a shard classifies during [`FleetServer::run`] is offered
+    /// to it, and promotions it queues are applied by the owning shard
+    /// through the session's model-binding path. The hook's
+    /// `on_run_start`/`on_run_end` bracket every sharded run, so a
+    /// learner can scope its background trainer thread to the run. The
+    /// single-threaded [`FleetServer::run_reference`] never consults
+    /// the hook — reference mode stays the fixed comparator.
+    pub fn set_learn_hook(&mut self, hook: Arc<dyn LearnHook>) {
+        self.learn_hook = Some(hook);
+    }
+
+    /// Removes any installed continual-learning hook.
+    pub fn clear_learn_hook(&mut self) {
+        self.learn_hook = None;
     }
 
     /// Installs a switch fault hook on every *existing* stream session's
@@ -346,6 +368,10 @@ impl FleetServer {
         // switcher activates.
         self.model_store
             .register_model(weather.label(), &model.state_groups());
+        // Base scene checkpoints are the fleet's bedrock: pin them so
+        // continual-learning churn under a store memory ceiling can
+        // never evict them.
+        self.model_store.pin_model(weather.label());
         let state = self
             .model_store
             .state_dict(weather.label())
@@ -382,8 +408,7 @@ impl FleetServer {
         Ok(StreamHandle { id, config })
     }
 
-    /// The shared stream-opening path behind [`FleetServer::open_stream`]
-    /// and the deprecated `add_stream*` shims.
+    /// The shared stream-opening path behind [`FleetServer::open_stream`].
     fn open_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
         if self.models.is_empty() {
             return Err(ServeError::NoModels);
@@ -400,34 +425,6 @@ impl FleetServer {
         let metrics = StreamMetrics::new(&self.registry, id.0);
         self.sessions.push(StreamSession::new(inner, metrics));
         Ok(id)
-    }
-
-    /// Adds a stream using the configured session template.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::NoModels`] before any model is registered.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `open_stream(StreamSpec::new())` and keep the returned `StreamHandle`"
-    )]
-    pub fn add_stream(&mut self) -> Result<StreamId, ServeError> {
-        self.open_with(self.config.stream)
-    }
-
-    /// Adds a stream with its own session configuration.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::NoModels`] before any model is registered, or
-    /// [`ServeError::Stream`] when `config` fails validation.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `open_stream(StreamSpec::with_config(config))` and keep the returned \
-                `StreamHandle`"
-    )]
-    pub fn add_stream_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
-        self.open_with(config)
     }
 
     /// How many streams the fleet serves.
@@ -466,43 +463,6 @@ impl FleetServer {
     /// (`model_count` / `unique_groups` / `dedup_bytes`).
     pub fn model_store(&self) -> &ModelRegistry {
         &self.model_store
-    }
-
-    fn session_at(&self, id: StreamId) -> Result<&StreamSession, ServeError> {
-        self.sessions.get(id.0).ok_or(ServeError::UnknownStream {
-            stream: id.0,
-            streams: self.sessions.len(),
-        })
-    }
-
-    /// Borrow one stream's underlying SafeCross session.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
-    #[deprecated(since = "0.7.0", note = "use `StreamHandle::session` instead")]
-    pub fn session(&self, id: StreamId) -> Result<&SafeCross, ServeError> {
-        self.session_at(id).map(|s| &s.inner)
-    }
-
-    /// One stream's cumulative serving counters.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
-    #[deprecated(since = "0.7.0", note = "use `StreamHandle::stats` instead")]
-    pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, ServeError> {
-        self.session_at(id).map(|s| s.stats)
-    }
-
-    /// One stream's verdicts so far.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::UnknownStream`] for an id the fleet never issued.
-    #[deprecated(since = "0.7.0", note = "use `StreamHandle::verdicts` instead")]
-    pub fn verdicts(&self, id: StreamId) -> Result<&[Verdict], ServeError> {
-        self.session_at(id).map(|s| s.inner.verdicts())
     }
 
     fn check_feeds(&self, feeds: usize) -> Result<(), ServeError> {
@@ -544,27 +504,31 @@ impl FleetServer {
         let start = Instant::now();
         let before: Vec<StreamStats> = self.sessions.iter().map(|s| s.stats).collect();
         let mut ages = Vec::new();
-        let mut scratch = KernelScratch::new();
+        let models = &self.models;
+        let mut compute = ShardCompute::new(models, self.model_store.clone());
+        let fleet_metrics = &self.fleet_metrics;
+        let sessions = &mut self.sessions;
         let hold = self.config.priority_hold;
         let rounds = feeds.iter().map(Vec::len).max().unwrap_or(0);
         for round in 0..rounds {
             for (i, feed) in feeds.iter().enumerate() {
                 let Some(frame) = feed.get(round) else { continue };
-                let session = &mut self.sessions[i];
+                let session = &mut sessions[i];
                 let admitted = Instant::now();
                 session.stats.fed += 1;
                 session.stats.admitted += 1;
-                self.fleet_metrics.admitted.inc();
+                fleet_metrics.admitted.inc();
                 let (seq, mut prep) = session.prepare(frame, hold);
                 let raw = match (prep.clip.take(), prep.effective) {
                     (Some(clip), Some(weather)) => {
-                        classify_one(&mut self.models, weather, &clip, &mut scratch)
+                        let name = session.model_for(weather);
+                        compute.classify_single(&name, weather, &clip)
                     }
                     _ => None,
                 };
                 session.park(seq, prep, admitted);
                 session.resolve(seq, raw);
-                session.deliver_ready(hold, &self.fleet_metrics, &mut ages);
+                session.deliver_ready(hold, fleet_metrics, &mut ages);
             }
         }
         Ok(self.build_report(start, before, ages, ExecStats::default()))
@@ -602,7 +566,12 @@ impl FleetServer {
         let fleet = self.fleet_metrics.clone();
         let registry = &self.registry;
         let fault_hook = self.fault_hook.clone();
+        let learn_hook = self.learn_hook.clone();
+        let store = self.model_store.clone();
         let models = &self.models;
+        if let Some(hook) = &learn_hook {
+            hook.on_run_start();
+        }
 
         // Partition streams (session + source) across the shards.
         let sessions = std::mem::take(&mut self.sessions);
@@ -665,6 +634,8 @@ impl FleetServer {
                     let config = &config;
                     let done_txs = done_txs.clone();
                     let fault_hook = fault_hook.clone();
+                    let learn_hook = learn_hook.clone();
+                    let store = store.clone();
                     let metrics = ShardMetrics::new(registry, index);
                     s.spawn(move || {
                         Shard {
@@ -679,7 +650,8 @@ impl FleetServer {
                             done_rx,
                             done_txs,
                             fault_hook,
-                            compute: ShardCompute::new(models),
+                            learn_hook,
+                            compute: ShardCompute::new(models, store),
                             pending: HashMap::new(),
                             inflight: 0,
                             batches_done: 0,
@@ -716,6 +688,9 @@ impl FleetServer {
             .map(|s| s.expect("every stream returns from its shard"))
             .collect();
 
+        if let Some(hook) = &self.learn_hook {
+            hook.on_run_end();
+        }
         Ok(self.build_report(start, before, ages, exec))
     }
 
@@ -814,8 +789,12 @@ struct ShardStream {
     ingest: Ingest,
 }
 
-/// A same-weather group of clips accumulating toward a micro-batch.
+/// A same-checkpoint group of clips accumulating toward a micro-batch.
+/// Keyed by checkpoint name in [`Shard::pending`]; the weather rides
+/// along because the executor resolves replicas from the shared scene
+/// model of that weather.
 struct PendingGroup {
+    weather: Weather,
     jobs: Vec<ClipJob>,
     opened: Instant,
 }
@@ -846,9 +825,10 @@ struct Shard<'a> {
     done_rx: Receiver<Completion>,
     done_txs: Vec<Sender<Completion>>,
     fault_hook: Option<Arc<dyn FaultHook>>,
+    learn_hook: Option<Arc<dyn LearnHook>>,
     compute: ShardCompute<'a>,
-    /// Same-weather groups accumulating toward dispatch.
-    pending: HashMap<Weather, PendingGroup>,
+    /// Same-checkpoint groups accumulating toward dispatch.
+    pending: HashMap<Arc<str>, PendingGroup>,
     /// Clips staged or dispatched and not yet resolved. Bounded by
     /// [`ServeConfig::inflight_limit`] per shard.
     inflight: usize,
@@ -865,6 +845,7 @@ struct Shard<'a> {
 impl Shard<'_> {
     fn serve(mut self) -> ShardOutcome {
         loop {
+            self.apply_promotions();
             let mut progressed = self.drain_completions();
             progressed |= self.ingest();
             progressed |= self.schedule();
@@ -900,6 +881,44 @@ impl Shard<'_> {
                 .collect(),
             ages: self.ages,
             stats: self.stats,
+        }
+    }
+
+    /// Applies the learner's queued promotions addressed to this
+    /// shard's streams through the owning session's model-binding path.
+    /// Runs at the top of every serve-loop iteration so an activation
+    /// lands between two frames of the stream, never inside a batch.
+    fn apply_promotions(&mut self) {
+        let Some(hook) = &self.learn_hook else { return };
+        let promotions = hook.take_promotions(self.index, self.shard_count);
+        for promo in promotions {
+            debug_assert_eq!(
+                promo.stream % self.shard_count,
+                self.index,
+                "promotion routed to wrong shard"
+            );
+            let local = promo.stream / self.shard_count;
+            let Some(lane) = self.streams.get_mut(local) else {
+                hook.promotion_result(&promo, PromotionOutcome::RolledBack);
+                continue;
+            };
+            debug_assert_eq!(lane.global, promo.stream, "promotion stream mismatch");
+            let outcome = match lane
+                .session
+                .inner
+                .bind_scene_model(promo.weather, &promo.challenger)
+            {
+                Ok(true) => {
+                    self.fleet.promotions.inc();
+                    PromotionOutcome::Activated
+                }
+                Ok(false) => PromotionOutcome::Deferred,
+                Err(_) => {
+                    self.fleet.promotion_rollbacks.inc();
+                    PromotionOutcome::RolledBack
+                }
+            };
+            hook.promotion_result(&promo, outcome);
         }
     }
 
@@ -1026,13 +1045,13 @@ impl Shard<'_> {
         let (seq, mut prep) = lane.session.prepare(&pending.frame, hold);
         let dispatch = match (prep.clip.take(), prep.effective) {
             (Some(clip), Some(weather)) if self.models.contains_key(&weather) => {
-                Some((clip, weather))
+                Some((clip, weather, lane.session.model_for(weather)))
             }
             _ => None,
         };
         lane.session.park(seq, prep, pending.admitted);
         match dispatch {
-            Some((clip, weather)) => {
+            Some((clip, weather, model)) => {
                 lane.session.inflight += 1;
                 let stream = lane.global;
                 self.inflight += 1;
@@ -1040,6 +1059,7 @@ impl Shard<'_> {
                     stream,
                     seq,
                     weather,
+                    model,
                     clip,
                 });
             }
@@ -1050,18 +1070,24 @@ impl Shard<'_> {
         }
     }
 
-    /// Adds a clip to its weather group, dispatching the group the
-    /// moment it fills.
+    /// Adds a clip to its checkpoint group, dispatching the group the
+    /// moment it fills. Streams still on the base scene checkpoints
+    /// group by the weather label, so without promotions the grouping
+    /// is exactly the old same-weather batching.
     fn stage(&mut self, job: ClipJob) {
-        let weather = job.weather;
-        let group = self.pending.entry(weather).or_insert_with(|| PendingGroup {
-            jobs: Vec::with_capacity(self.config.batch_max),
-            opened: Instant::now(),
-        });
+        let model = Arc::clone(&job.model);
+        let group = self
+            .pending
+            .entry(Arc::clone(&model))
+            .or_insert_with(|| PendingGroup {
+                weather: job.weather,
+                jobs: Vec::with_capacity(self.config.batch_max),
+                opened: Instant::now(),
+            });
         group.jobs.push(job);
         if group.jobs.len() >= self.config.batch_max {
-            let group = self.pending.remove(&weather).expect("just inserted");
-            self.dispatch(weather, group.jobs);
+            let group = self.pending.remove(&model).expect("just inserted");
+            self.dispatch(model, group.weather, group.jobs);
         }
     }
 
@@ -1072,22 +1098,22 @@ impl Shard<'_> {
             return false;
         }
         let now = Instant::now();
-        let due: Vec<Weather> = self
+        let due: Vec<Arc<str>> = self
             .pending
             .iter()
             .filter(|(_, g)| force || now.duration_since(g.opened) >= self.config.batch_linger)
-            .map(|(w, _)| *w)
+            .map(|(m, _)| Arc::clone(m))
             .collect();
         let mut any = false;
-        for weather in due {
-            let group = self.pending.remove(&weather).expect("listed as due");
-            self.dispatch(weather, group.jobs);
+        for model in due {
+            let group = self.pending.remove(&model).expect("listed as due");
+            self.dispatch(model, group.weather, group.jobs);
             any = true;
         }
         any
     }
 
-    fn dispatch(&mut self, weather: Weather, jobs: Vec<ClipJob>) {
+    fn dispatch(&mut self, model: Arc<str>, weather: Weather, jobs: Vec<ClipJob>) {
         self.stats.batches += 1;
         self.stats.clips += jobs.len() as u64;
         self.stats.max_batch = self.stats.max_batch.max(jobs.len());
@@ -1096,7 +1122,11 @@ impl Shard<'_> {
         self.shared.queues[self.index]
             .lock()
             .expect("shard queue poisoned")
-            .push_back(Batch { weather, jobs });
+            .push_back(Batch {
+                weather,
+                model,
+                jobs,
+            });
     }
 
     /// Executes one batch — own queue first, then the steal ring —
@@ -1142,6 +1172,19 @@ impl Shard<'_> {
             self.stats.steals += 1;
             self.metrics.steals.inc();
             self.fleet.steals.inc();
+        }
+        // Continual-learning harvest: offer every classified clip to the
+        // learner before the jobs are consumed by completion routing.
+        if let Some(hook) = &self.learn_hook {
+            for (job, verdict) in batch.jobs.iter().zip(&verdicts) {
+                hook.observe(HarvestSample {
+                    stream: job.stream,
+                    weather: job.weather,
+                    seq: job.seq,
+                    verdict: *verdict,
+                    clip: &job.clip,
+                });
+            }
         }
         for (job, verdict) in batch.jobs.iter().zip(verdicts) {
             let owner = job.stream % self.shard_count;

@@ -12,8 +12,10 @@
 
 use crate::metrics::{FleetMetrics, StreamMetrics};
 use safecross::{FramePrep, SafeCross, Verdict};
+use safecross_trafficsim::Weather;
 use safecross_vision::GrayFrame;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Identifies one stream within its fleet.
@@ -134,6 +136,17 @@ impl StreamSession {
 
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The checkpoint this session's frames for `weather` classify
+    /// under: the weather label until a continual-learning promotion
+    /// rebinds the scene to an adapted challenger. Drives batch
+    /// grouping, so a promoted stream never shares a stacked forward
+    /// with streams still on the base checkpoint.
+    pub(crate) fn model_for(&self, weather: Weather) -> Arc<str> {
+        self.inner
+            .scene_model_name(weather)
+            .unwrap_or_else(|| Arc::from(weather.label()))
     }
 
     /// Whether this stream is currently scheduled at high priority: a

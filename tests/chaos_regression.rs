@@ -12,8 +12,17 @@
 //!    resident weights bit-identical — the rollback path restores the
 //!    previous model completely (extends the invariants of
 //!    `tests/model_registry.rs`).
+//! 3. **Trainer death mid-adaptation**: killing the continual-learning
+//!    trainer after every challenger checkpoint registration must lose
+//!    only that attempt's work — no orphan checkpoints, no promotion,
+//!    incumbent still resident, fleet still lossless.
+//! 4. **Canary promotion OOM**: when every challenger activation fails
+//!    with a synthetic OOM, the switcher rolls back to the incumbent,
+//!    the learner retires the challenger's blobs, and the store
+//!    accounting balances exactly.
 
 use safecross::SafeCrossConfig;
+use safecross_learn::{ContinualLearner, LearnConfig};
 use safecross_replay::{chaos_feeds, ChaosConfig, FaultPlan, FeedChaos};
 use safecross_serve::{FleetServer, ServeConfig, StreamSpec};
 use safecross_tensor::{Tensor, TensorRng};
@@ -21,6 +30,8 @@ use safecross_trafficsim::sim::DT;
 use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
 use safecross_videoclass::SlowFastLite;
 use safecross_vision::GrayFrame;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 const W: usize = 64;
@@ -182,10 +193,17 @@ fn forced_oom_switches_leave_store_and_resident_weights_intact() {
     // Every session's resident weights are bit-identical to the stored
     // checkpoint of whatever model it ended up on: a failed swap
     // rolled back completely, a successful one activated real bytes.
+    assert_residents_match_store(&fleet, streams);
+}
+
+/// Every session's resident weights must be bit-identical to the
+/// stored checkpoint of whatever model it is serving.
+fn assert_residents_match_store(fleet: &FleetServer, streams: usize) {
+    let store = fleet.model_store();
     let handles = fleet.handles();
     assert_eq!(handles.len(), streams);
     for (s, handle) in handles.iter().enumerate() {
-        let session = handle.session(&fleet);
+        let session = handle.session(fleet);
         let name = session.resident_model().expect("a model is active");
         let resident = session
             .resident_state_dict()
@@ -196,8 +214,133 @@ fn forced_oom_switches_leave_store_and_resident_weights_intact() {
             assert_eq!(rn, sn, "stream {s}: state dict entry order");
             assert!(
                 tensor_bits_equal(rt, st),
-                "stream {s}: resident tensor {rn} diverged from checkpoint after OOM chaos"
+                "stream {s}: resident tensor {rn} diverged from checkpoint under chaos"
             );
         }
     }
+}
+
+/// A continual learner wired to the fleet's store and telemetry, with
+/// the architecture templates cloned from the shared weather models.
+fn learner_for(fleet: &FleetServer, config: LearnConfig) -> Arc<ContinualLearner> {
+    let templates: HashMap<Weather, SlowFastLite> = shared_models().into_iter().collect();
+    ContinualLearner::new(
+        config,
+        fleet.model_store().clone(),
+        templates,
+        fleet.telemetry(),
+    )
+}
+
+/// Learner knobs that make chaos bite fast: harvest every clip, adapt
+/// from tiny support sets, and let any canary margin win.
+fn eager_learn_config() -> LearnConfig {
+    LearnConfig {
+        seed: 99,
+        harvest_below: 1.1, // every verdict confidence is below this
+        min_support: 2,
+        min_win: -1.0, // any challenger wins its canary
+        max_generations: 8,
+        ..LearnConfig::default()
+    }
+}
+
+#[test]
+fn trainer_death_mid_adaptation_leaves_no_orphans_and_no_promotions() {
+    let feeds = transition_feeds();
+    let streams = feeds.len();
+    let mut fleet = fleet(2, streams);
+
+    // Every single adaptation attempt dies right after the challenger
+    // checkpoint lands in the store — the worst-case orphan window.
+    let plan = FaultPlan::new(ChaosConfig {
+        seed: 13,
+        trainer_death_period: 1,
+        ..ChaosConfig::default()
+    });
+    let learner = learner_for(&fleet, eager_learn_config());
+    learner.set_fault_hook(plan.clone());
+    fleet.set_learn_hook(learner.clone());
+
+    let report = fleet
+        .run(chaos_feeds(feeds, Duration::ZERO, &FeedChaos::default()))
+        .expect("run completes despite trainer deaths");
+    assert_eq!(report.completed, (48 * 3) as u64, "fleet stays lossless");
+    assert!(plan.trainer_deaths() > 0, "the fault actually fired");
+
+    let stats = learner.stats();
+    assert!(stats.harvested > 0, "chaos run harvested nothing");
+    assert!(stats.adaptations > 0, "no adaptation ever started");
+    assert_eq!(stats.trainer_deaths, stats.adaptations, "every attempt died");
+    assert_eq!(stats.promotions_queued, 0, "a dead trainer promoted a model");
+
+    // Recovery removed every orphan challenger: only the three pinned
+    // base checkpoints remain, and the accounting balances.
+    let store = fleet.model_store();
+    assert_eq!(store.model_count(), 3, "orphan challenger left in the store");
+    assert_eq!(
+        store.logical_bytes(),
+        store.stored_bytes() + store.dedup_bytes(),
+        "store accounting drifted after trainer deaths"
+    );
+    assert_residents_match_store(&fleet, streams);
+}
+
+#[test]
+fn challenger_activation_oom_rolls_back_to_the_incumbent() {
+    let streams = transition_feeds().len();
+    let mut fleet = fleet(2, streams);
+
+    // Base-model switches succeed (oom_period 0); every *challenger*
+    // activation fails with a synthetic OOM (period 1), so each canary
+    // winner exercises the rollback path on its owning shard.
+    let plan = FaultPlan::new(ChaosConfig {
+        seed: 17,
+        challenger_oom_period: 1,
+        ..ChaosConfig::default()
+    });
+    fleet.set_switch_fault_hook(plan.clone());
+    let learner = learner_for(&fleet, eager_learn_config());
+    fleet.set_learn_hook(learner.clone());
+
+    // Two rounds: the first harvests and (at run end) adapts + queues
+    // promotions deterministically; the second applies them at the top
+    // of its serve loop, where each activation OOMs and rolls back.
+    for round in 0..2 {
+        let report = fleet
+            .run(chaos_feeds(
+                transition_feeds(),
+                Duration::ZERO,
+                &FeedChaos::default(),
+            ))
+            .expect("run completes despite challenger OOMs");
+        assert_eq!(
+            report.completed,
+            (48 * 3) as u64,
+            "round {round} lost frames to failed promotions"
+        );
+    }
+
+    assert!(plan.challenger_ooms() > 0, "the fault actually fired");
+    let stats = learner.stats();
+    assert!(stats.promotions_queued > 0, "no canary winner was ever queued");
+    assert!(stats.rolled_back > 0, "no activation hit the OOM rollback path");
+    assert_eq!(stats.activated, 0, "an activation survived a forced OOM");
+
+    // Rolled-back and deferred challengers were retired; only winners
+    // still queued (earned by the final run's end-of-run training pass
+    // and never applied) keep their checkpoints.
+    let outstanding = stats.promotions_queued - stats.rolled_back - stats.deferred;
+    let store = fleet.model_store();
+    assert_eq!(
+        store.model_count() as u64,
+        3 + outstanding,
+        "retired challengers must leave the store"
+    );
+    assert_eq!(
+        store.logical_bytes(),
+        store.stored_bytes() + store.dedup_bytes(),
+        "store accounting drifted after promotion rollbacks"
+    );
+    assert_residents_match_store(&fleet, streams);
 }

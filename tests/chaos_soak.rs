@@ -100,6 +100,7 @@ fn chaos_soak_stays_under_the_memory_ceiling_with_zero_steady_state_allocs() {
             worker_stall_period: 9,
             worker_stall_for: Duration::from_micros(200),
             oom_period: 3,
+            ..ChaosConfig::default()
         },
         feed_chaos: FeedChaos {
             seed: 97,

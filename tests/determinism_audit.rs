@@ -2,8 +2,9 @@
 //! serve- or replay-path code consults ambient entropy or wall-clock
 //! time to make decisions. Two layers of defence:
 //!
-//! 1. A source scan over `crates/serve/src`, `crates/replay/src`, and
-//!    `crates/modelswitch/src` for ambient-entropy constructors. Every
+//! 1. A source scan over `crates/serve/src`, `crates/replay/src`,
+//!    `crates/modelswitch/src`, and `crates/learn/src` for
+//!    ambient-entropy constructors. Every
 //!    RNG in those paths must be seeded from configuration (the shim
 //!    `rand` exposes `thread_rng`-style entry points; none may appear
 //!    here).
@@ -62,7 +63,7 @@ fn scan_dir(dir: &Path, violations: &mut Vec<String>) {
 fn serve_and_replay_paths_use_no_ambient_entropy() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut violations = Vec::new();
-    for krate in ["serve", "replay", "modelswitch"] {
+    for krate in ["serve", "replay", "modelswitch", "learn"] {
         scan_dir(&root.join("crates").join(krate).join("src"), &mut violations);
     }
     assert!(
@@ -120,6 +121,8 @@ fn fault_schedules_replay_from_their_seed_alone() {
         worker_stall_period: 11,
         worker_stall_for: Duration::from_micros(100),
         oom_period: 4,
+        trainer_death_period: 6,
+        challenger_oom_period: 3,
     };
     let (a, b) = (FaultPlan::new(config), FaultPlan::new(config));
     for worker in 0..8 {
@@ -131,6 +134,19 @@ fn fault_schedules_replay_from_their_seed_alone() {
     for name in ["daytime", "rain", "snow"] {
         for attempt in 0..500 {
             assert_eq!(a.would_oom(name, attempt), b.would_oom(name, attempt));
+        }
+    }
+    // Continual-learning chaos schedules are pure too.
+    for stream in 0..4 {
+        for attempt in 0..200 {
+            assert_eq!(
+                a.would_kill_trainer(stream, Weather::Rain, attempt),
+                b.would_kill_trainer(stream, Weather::Rain, attempt)
+            );
+            assert_eq!(
+                a.would_oom_challenger("rain#s0g1", attempt),
+                b.would_oom_challenger("rain#s0g1", attempt)
+            );
         }
     }
     // Feed chaos too: skewed intervals and stall schedules are pure.
