@@ -1,23 +1,30 @@
-//! Kernel-layer throughput: raw GEMM GFLOP/s and end-to-end SlowFast
-//! classification rate, swept over thread counts and batch sizes.
+//! Kernel-layer throughput: raw f32 and int8 GEMM GFLOP/s and
+//! end-to-end SlowFast classification rate, swept over thread counts,
+//! batch sizes, and precisions.
 //!
 //! Besides the printed table, the sweep is written to
 //! `BENCH_kernels.json` at the workspace root — GEMM GFLOP/s per
-//! representative shape (with a naive triple-loop baseline for the
-//! largest), and clips/sec for the SlowFast eval forward at threads
-//! {1, host max} × batch {1, 8} — so the kernel perf trajectory is
-//! machine-trackable across commits.
+//! representative shape (with a naive triple-loop baseline), quantized
+//! GEMM GFLOP/s for the same shapes, and clips/sec for the SlowFast
+//! eval forward at threads {1, host max} × batch {1, 8} × precision
+//! {f32, int8}, plus an f32 *scalar-ISA* baseline row — so the kernel
+//! perf trajectory is machine-trackable across commits. The JSON also
+//! records the runtime-detected SIMD ISA (`simd`), because GFLOP/s on
+//! an AVX2 host and a scalar host are not comparable.
 //!
 //! Thread scaling only manifests when the host actually has cores to
 //! scale onto; the JSON records `host_parallelism` so a single-core
 //! container run (where threads=1 and threads=max are the same
-//! configuration) is not misread as a scaling regression.
+//! configuration) is not misread as a scaling regression. Likewise
+//! `int8_speedup_tested`: the quantized-beats-scalar-f32 assertion
+//! only runs on SIMD-capable hosts — a scalar host records its ISA
+//! and skips it.
 //!
 //! Set `SAFECROSS_BENCH_QUICK=1` to run a reduced sweep (CI smoke).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use safecross_nn::Mode;
-use safecross_tensor::{kernel, KernelScratch, TensorRng};
+use safecross_tensor::{kernel, qtensor, Isa, KernelScratch, Precision, QTensor, TensorRng};
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use std::time::Instant;
 
@@ -67,9 +74,25 @@ struct GemmRecord {
     speedup_vs_naive: f64,
 }
 
+struct QgemmRecord {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    gflops: f64,
+    /// Quantized-kernel speedup over the f32 conv-path kernel
+    /// (`gemm_into`) on the same shape and thread count.
+    speedup_vs_f32: f64,
+}
+
 struct ClipRecord {
     batch: usize,
     threads: usize,
+    precision: Precision,
+    /// ISA the row ran under — normally the detected one, `scalar`
+    /// for the pinned f32 baseline row.
+    isa: Isa,
     clips_per_sec: f64,
 }
 
@@ -125,40 +148,155 @@ fn gemm_sweep(reps: usize, thread_counts: &[usize]) -> Vec<GemmRecord> {
     records
 }
 
-/// Clips/sec of the full SlowFast eval forward through the scratch
-/// path, for one thread/batch configuration. The scratch arena is
-/// warmed before timing so the numbers reflect the steady state.
-fn clip_sweep(reps: usize, thread_counts: &[usize], batches: &[usize]) -> Vec<ClipRecord> {
-    let mut rng = TensorRng::seed_from(8);
-    let mut model = SlowFastLite::new(2, &mut rng);
+/// Quantized GEMM GFLOP/s on the same representative shapes, against
+/// the f32 kernel each shape actually replaces in the conv path
+/// (`gemm_into`, flat `[k, n]` rhs — vs the pair-interleaved
+/// `qgemm_paired_into`). Input quantization happens outside the timed
+/// region: the weight panel is quantized once at `set_precision` time
+/// and the activation panel once per forward, so steady-state GEMM
+/// throughput is the honest kernel-vs-kernel comparison (the clips/sec
+/// rows below charge the activation quantization end-to-end).
+fn qgemm_sweep(reps: usize, thread_counts: &[usize]) -> Vec<QgemmRecord> {
+    let mut rng = TensorRng::seed_from(7);
     let mut records = Vec::new();
-    println!("\n{:>8} {:>8} {:>12}", "batch", "threads", "clips/sec");
-    for &batch in batches {
-        let clips = rng.uniform(&[batch, 1, 32, 20, 20], 0.0, 1.0);
+    println!(
+        "\n{:>12} {:>5} {:>5} {:>6} {:>8} {:>10} {:>12}",
+        "qgemm", "m", "k", "n", "threads", "GFLOP/s", "vs f32"
+    );
+    for &(label, m, k, n) in GEMM_SHAPES {
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let qa = QTensor::quantize_rows(&a);
+        let mut qpanel = vec![0i8; 2 * k.div_ceil(2) * n];
+        let mut bscales = vec![0.0f32; n];
+        qtensor::quantize_cols_paired(b.data(), k, n, &mut qpanel, &mut bscales);
+        let mut out = vec![0.0f32; m * n];
+        let flops = (2 * m * k * n) as f64;
         for &threads in thread_counts {
             kernel::set_threads(threads);
-            let mut scratch = KernelScratch::new();
-            for _ in 0..2 {
-                let out = model.forward_scratch(&clips, Mode::Eval, &mut scratch);
-                scratch.recycle_tensor(out);
-            }
-            let secs = best_secs(reps, || {
-                let out = model.forward_scratch(black_box(&clips), Mode::Eval, &mut scratch);
-                scratch.recycle_tensor(out);
+            let f32_secs = best_secs(reps.max(3), || {
+                kernel::gemm_into_with_threads(
+                    black_box(a.data()),
+                    black_box(b.data()),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    threads,
+                );
             });
-            let rec = ClipRecord {
-                batch,
+            let secs = best_secs(reps.max(3), || {
+                qtensor::qgemm_paired_into(
+                    black_box(qa.data()),
+                    black_box(qa.scales()),
+                    black_box(&qpanel),
+                    black_box(&bscales),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+            });
+            let rec = QgemmRecord {
+                label,
+                m,
+                k,
+                n,
                 threads,
-                clips_per_sec: batch as f64 / secs,
+                gflops: flops / secs / 1e9,
+                speedup_vs_f32: f32_secs / secs,
             };
-            println!("{:>8} {:>8} {:>12.1}", batch, threads, rec.clips_per_sec);
+            println!(
+                "{:>12} {:>5} {:>5} {:>6} {:>8} {:>10.3} {:>11.2}x",
+                rec.label, m, k, n, threads, rec.gflops, rec.speedup_vs_f32
+            );
             records.push(rec);
         }
     }
+    kernel::set_threads(1);
     records
 }
 
-fn write_bench_json(gemms: &[GemmRecord], clips: &[ClipRecord]) {
+/// Clips/sec of the full SlowFast eval forward through the scratch
+/// path, for one thread/batch/precision configuration under `isa`.
+/// The scratch arena is warmed before timing so the numbers reflect
+/// the steady state.
+fn clip_config(
+    model: &mut SlowFastLite,
+    clips: &safecross_tensor::Tensor,
+    reps: usize,
+    batch: usize,
+    threads: usize,
+    precision: Precision,
+    isa: Isa,
+) -> ClipRecord {
+    kernel::set_threads(threads);
+    kernel::set_isa(isa);
+    model.set_precision(precision);
+    let mut scratch = KernelScratch::new();
+    for _ in 0..2 {
+        let out = model.forward_scratch(clips, Mode::Eval, &mut scratch);
+        scratch.recycle_tensor(out);
+    }
+    let secs = best_secs(reps, || {
+        let out = model.forward_scratch(black_box(clips), Mode::Eval, &mut scratch);
+        scratch.recycle_tensor(out);
+    });
+    let rec = ClipRecord {
+        batch,
+        threads,
+        precision,
+        isa,
+        clips_per_sec: batch as f64 / secs,
+    };
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>12.1}",
+        batch,
+        threads,
+        rec.precision.label(),
+        rec.isa.name(),
+        rec.clips_per_sec
+    );
+    rec
+}
+
+fn clip_sweep(reps: usize, thread_counts: &[usize], batches: &[usize]) -> Vec<ClipRecord> {
+    let mut rng = TensorRng::seed_from(8);
+    let mut model = SlowFastLite::new(2, &mut rng);
+    let detected = Isa::detect();
+    let mut records = Vec::new();
+    println!(
+        "\n{:>8} {:>8} {:>10} {:>8} {:>12}",
+        "batch", "threads", "precision", "isa", "clips/sec"
+    );
+    for &batch in batches {
+        let clips = rng.uniform(&[batch, 1, 32, 20, 20], 0.0, 1.0);
+        for &threads in thread_counts {
+            for precision in [Precision::F32, Precision::Int8] {
+                records.push(clip_config(
+                    &mut model, &clips, reps, batch, threads, precision, detected,
+                ));
+            }
+        }
+        // The scalar-ISA f32 row: the pre-SIMD serving baseline the
+        // int8 acceptance gate compares against (threads=1 keeps it a
+        // pure single-kernel measurement).
+        records.push(clip_config(
+            &mut model,
+            &clips,
+            reps,
+            batch,
+            1,
+            Precision::F32,
+            Isa::Scalar,
+        ));
+    }
+    kernel::set_isa(detected);
+    model.set_precision(Precision::F32);
+    records
+}
+
+fn write_bench_json(gemms: &[GemmRecord], qgemms: &[QgemmRecord], clips: &[ClipRecord]) {
     let gemm_rows: Vec<String> = gemms
         .iter()
         .map(|r| {
@@ -169,29 +307,49 @@ fn write_bench_json(gemms: &[GemmRecord], clips: &[ClipRecord]) {
             )
         })
         .collect();
+    let qgemm_rows: Vec<String> = qgemms
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+                 \"threads\": {}, \"gflops\": {:.4}, \"speedup_vs_f32\": {:.3}}}",
+                r.label, r.m, r.k, r.n, r.threads, r.gflops, r.speedup_vs_f32
+            )
+        })
+        .collect();
     let clip_rows: Vec<String> = clips
         .iter()
         .map(|r| {
             format!(
-                "  {{\"batch\": {}, \"threads\": {}, \"clips_per_sec\": {:.2}}}",
-                r.batch, r.threads, r.clips_per_sec
+                "  {{\"batch\": {}, \"threads\": {}, \"precision\": \"{}\", \
+                 \"isa\": \"{}\", \"clips_per_sec\": {:.2}}}",
+                r.batch,
+                r.threads,
+                r.precision.label(),
+                r.isa.name(),
+                r.clips_per_sec
             )
         })
         .collect();
-    // `thread_scaling_tested` is the machine-readable form of the
-    // note: regression tooling must key on it rather than comparing
-    // threads=1 and threads=max rows that a single-core host renders
-    // identical.
+    // `thread_scaling_tested` / `int8_speedup_tested` are the
+    // machine-readable form of the notes: regression tooling must key
+    // on them rather than comparing rows a single-core or scalar-ISA
+    // host renders identical (or never asserted over).
     let json = format!(
         "{{\n\"bench\": \"kernels\",\n\"host_parallelism\": {},\n\
-         \"thread_scaling_tested\": {},\n\"quick\": {},\n\
+         \"simd\": \"{}\",\n\
+         \"thread_scaling_tested\": {},\n\"int8_speedup_tested\": {},\n\"quick\": {},\n\
          \"note\": \"thread scaling requires host_parallelism > 1; on a single-core \
-         host the threads=1 and threads=max rows measure the same serial kernel\",\n\
-         \"gemm\": [\n{}\n],\n\"slowfast_forward\": [\n{}\n]\n}}\n",
+         host the threads=1 and threads=max rows measure the same serial kernel. \
+         The int8-beats-scalar-f32 gate runs only on SIMD-capable hosts (simd != scalar).\",\n\
+         \"gemm\": [\n{}\n],\n\"qgemm\": [\n{}\n],\n\"slowfast_forward\": [\n{}\n]\n}}\n",
         host_parallelism(),
+        Isa::detect().name(),
         host_parallelism() > 1,
+        !quick() && Isa::detect().is_simd(),
         quick(),
         gemm_rows.join(",\n"),
+        qgemm_rows.join(",\n"),
         clip_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
@@ -201,16 +359,60 @@ fn write_bench_json(gemms: &[GemmRecord], clips: &[ClipRecord]) {
     }
 }
 
+/// The int8 acceptance gate: on a SIMD-capable host the quantized
+/// SlowFast forward must beat the f32 *scalar* serving baseline at the
+/// same batch size. Scalar hosts record their ISA in the JSON and skip
+/// (mirroring `thread_scaling_tested`), as does the quick smoke sweep
+/// whose rep counts are too noisy to gate on.
+fn assert_int8_speedup(clips: &[ClipRecord]) {
+    if quick() || !Isa::detect().is_simd() {
+        println!("[kernel_bench] int8 speedup gate skipped (quick or scalar host)");
+        return;
+    }
+    for rec in clips {
+        let (batch, threads) = (rec.batch, rec.threads);
+        if rec.precision != Precision::Int8 || !rec.isa.is_simd() || threads != 1 {
+            continue;
+        }
+        let Some(baseline) = clips.iter().find(|r| {
+            r.batch == batch
+                && r.threads == 1
+                && r.precision == Precision::F32
+                && r.isa == Isa::Scalar
+        }) else {
+            continue;
+        };
+        assert!(
+            rec.clips_per_sec > baseline.clips_per_sec,
+            "int8 SlowFast forward (batch {batch}, {:.1} clips/s) did not beat \
+             the f32 scalar baseline ({:.1} clips/s) on a {} host",
+            rec.clips_per_sec,
+            baseline.clips_per_sec,
+            Isa::detect().name(),
+        );
+        println!(
+            "[kernel_bench] int8 gate: batch {batch} int8 {:.1} clips/s > f32-scalar {:.1} clips/s",
+            rec.clips_per_sec, baseline.clips_per_sec
+        );
+    }
+}
+
 fn kernel_bench(c: &mut Criterion) {
     let max = host_parallelism();
     let thread_counts: Vec<usize> = if max > 1 { vec![1, max] } else { vec![1] };
     let reps = if quick() { 2 } else { 8 };
     let batches: &[usize] = if quick() { &[1] } else { &[1, 8] };
 
-    println!("\n=== kernel_bench (host_parallelism={max}, quick={}) ===", quick());
+    println!(
+        "\n=== kernel_bench (host_parallelism={max}, simd={}, quick={}) ===",
+        Isa::detect().name(),
+        quick()
+    );
     let gemms = gemm_sweep(reps, &thread_counts);
+    let qgemms = qgemm_sweep(reps, &thread_counts);
     let clips = clip_sweep(reps, &thread_counts, batches);
-    write_bench_json(&gemms, &clips);
+    write_bench_json(&gemms, &qgemms, &clips);
+    assert_int8_speedup(&clips);
     kernel::set_threads(1);
 
     // Criterion samples of the headline GEMM so regressions show in the

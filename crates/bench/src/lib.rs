@@ -1,1 +1,3 @@
 //! Shared helpers for the SafeCross table-regeneration benches (all logic lives in `safecross::experiments`).
+
+#![forbid(unsafe_code)]

@@ -751,8 +751,13 @@ mod tests {
         let promos = learner.take_promotions(0, 1);
         assert_eq!(promos.len(), 1);
         assert!(learner.store.contains(&promos[0].challenger));
+        // The trainer calibrates every challenger for int8 serving as
+        // part of registration, and retiring it retires the sidecar.
+        assert!(learner.store.has_quantized(&promos[0].challenger));
+        assert!(learner.store.quantized_bytes() > 0);
         learner.promotion_result(&promos[0], PromotionOutcome::RolledBack);
         assert!(!learner.store.contains(&promos[0].challenger));
+        assert!(!learner.store.has_quantized(&promos[0].challenger));
         assert_eq!(learner.binding(0, Weather::Rain), Weather::Rain.label());
         let records = learner.records();
         assert_eq!(records.len(), 1);

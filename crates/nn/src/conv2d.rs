@@ -2,7 +2,8 @@
 
 use crate::{Layer, Mode, Param};
 use safecross_tensor::{
-    col2im, im2col, im2col_into, kernel, Conv2dGeom, KernelScratch, Tensor, TensorRng,
+    col2im, im2col, im2col_into, kernel, qtensor, Conv2dGeom, KernelScratch, Precision, QTensor,
+    Tensor, TensorRng,
 };
 
 /// A 2-D convolution over `[N, C, H, W]` batches with square kernels.
@@ -31,6 +32,9 @@ pub struct Conv2d {
     padding: usize,
     cached_cols: Vec<Tensor>,
     cached_geom: Option<Conv2dGeom>,
+    // Some(..) only while Precision::Int8 is selected: the [out_c,
+    // fan_in] weight quantized per output channel.
+    qweight: Option<QTensor>,
 }
 
 impl Conv2d {
@@ -61,6 +65,7 @@ impl Conv2d {
             padding,
             cached_cols: Vec::new(),
             cached_geom: None,
+            qweight: None,
         }
     }
 
@@ -79,6 +84,36 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
+
+    /// The int8 lowered convolution for one batch item: quantize the
+    /// `[patch, plane]` im2col matrix per column into the
+    /// pair-interleaved panel, run the flat integer GEMM against the
+    /// per-channel quantized weight.
+    fn gemm_int8_cols(
+        &self,
+        qw: &QTensor,
+        cols: &[f32],
+        oseg: &mut [f32],
+        patch: usize,
+        plane: usize,
+        scratch: &mut KernelScratch,
+    ) {
+        let mut qcols = scratch.take_q(2 * patch.div_ceil(2) * plane);
+        let mut cscales = scratch.take(plane);
+        qtensor::quantize_cols_paired(cols, patch, plane, &mut qcols, &mut cscales);
+        qtensor::qgemm_paired_into(
+            qw.data(),
+            qw.scales(),
+            &qcols,
+            &cscales,
+            oseg,
+            self.out_channels,
+            patch,
+            plane,
+        );
+        scratch.recycle_q(qcols);
+        scratch.recycle(cscales);
+    }
 }
 
 impl Layer for Conv2d {
@@ -93,11 +128,20 @@ impl Layer for Conv2d {
             self.cached_geom = Some(g);
         }
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let mut local = KernelScratch::new();
         for i in 0..n {
             let cols = im2col(&x.index_axis0(i), &g);
-            let mut y = self.weight.value.matmul(&cols); // [out_c, oh*ow]
-            let b = self.bias.value.data();
             let plane = oh * ow;
+            let mut y = match (&self.qweight, mode) {
+                (Some(qw), Mode::Eval) => {
+                    // Int8 inference path; training stays f32.
+                    let mut y = Tensor::zeros(&[self.out_channels, plane]);
+                    self.gemm_int8_cols(qw, cols.data(), y.data_mut(), g.patch_len(), plane, &mut local);
+                    y
+                }
+                _ => self.weight.value.matmul(&cols), // [out_c, oh*ow]
+            };
+            let b = self.bias.value.data();
             let yd = y.data_mut();
             for (c, &bc) in b.iter().enumerate() {
                 for v in &mut yd[c * plane..(c + 1) * plane] {
@@ -130,14 +174,18 @@ impl Layer for Conv2d {
             im2col_into(&x.data()[i * chw..(i + 1) * chw], &g, &mut cols);
             let oseg = &mut out.data_mut()
                 [i * self.out_channels * plane..(i + 1) * self.out_channels * plane];
-            kernel::gemm_into(
-                self.weight.value.data(),
-                &cols,
-                oseg,
-                self.out_channels,
-                patch,
-                plane,
-            );
+            if let Some(qw) = &self.qweight {
+                self.gemm_int8_cols(qw, &cols, oseg, patch, plane, scratch);
+            } else {
+                kernel::gemm_into(
+                    self.weight.value.data(),
+                    &cols,
+                    oseg,
+                    self.out_channels,
+                    patch,
+                    plane,
+                );
+            }
             for (c, &bc) in b.iter().enumerate() {
                 for v in &mut oseg[c * plane..(c + 1) * plane] {
                     *v += bc;
@@ -182,6 +230,13 @@ impl Layer for Conv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.qweight = match precision {
+            Precision::Int8 => Some(QTensor::quantize_rows(&self.weight.value)),
+            Precision::F32 => None,
+        };
     }
 
     fn name(&self) -> String {
@@ -229,6 +284,28 @@ mod tests {
         let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
         let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval);
         assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn int8_eval_tracks_f32_and_scratch_path_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(9);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = rng.uniform(&[2, 2, 6, 6], -1.0, 1.0);
+        let exact = conv.forward(&x, Mode::Eval);
+        conv.set_precision(Precision::Int8);
+        let quant = conv.forward(&x, Mode::Eval);
+        let worst = exact
+            .data()
+            .iter()
+            .zip(quant.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 0.1, "int8 conv drifted by {worst}");
+        let mut scratch = KernelScratch::new();
+        let pooled = conv.forward_scratch(&x, Mode::Eval, &mut scratch);
+        assert_eq!(pooled, quant, "int8 scratch path diverged from forward");
+        conv.set_precision(Precision::F32);
+        assert_eq!(conv.forward(&x, Mode::Eval), exact, "f32 restore must be exact");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::{Layer, Mode, Param};
 use safecross_tensor::{
-    col2vol, kernel, vol2col, vol2col_into, Conv3dGeom, KernelScratch, Tensor, TensorRng,
+    col2vol, kernel, qtensor, vol2col, vol2col_into, Conv3dGeom, KernelScratch, Precision,
+    QTensor, Tensor, TensorRng,
 };
 
 /// A 3-D convolution over `[N, C, T, H, W]` video batches.
@@ -32,6 +33,9 @@ pub struct Conv3d {
     padding: (usize, usize),
     cached_cols: Vec<Tensor>,
     cached_geom: Option<Conv3dGeom>,
+    // Some(..) only while Precision::Int8 is selected: the [out_c,
+    // fan_in] weight quantized per output channel.
+    qweight: Option<QTensor>,
 }
 
 impl Conv3d {
@@ -63,6 +67,7 @@ impl Conv3d {
             padding,
             cached_cols: Vec::new(),
             cached_geom: None,
+            qweight: None,
         }
     }
 
@@ -85,6 +90,36 @@ impl Conv3d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
+
+    /// The int8 lowered convolution for one batch item: quantize the
+    /// `[patch, plane]` vol2col matrix per column into the
+    /// pair-interleaved panel, run the flat integer GEMM against the
+    /// per-channel quantized weight.
+    fn gemm_int8_cols(
+        &self,
+        qw: &QTensor,
+        cols: &[f32],
+        oseg: &mut [f32],
+        patch: usize,
+        plane: usize,
+        scratch: &mut KernelScratch,
+    ) {
+        let mut qcols = scratch.take_q(2 * patch.div_ceil(2) * plane);
+        let mut cscales = scratch.take(plane);
+        qtensor::quantize_cols_paired(cols, patch, plane, &mut qcols, &mut cscales);
+        qtensor::qgemm_paired_into(
+            qw.data(),
+            qw.scales(),
+            &qcols,
+            &cscales,
+            oseg,
+            self.out_channels,
+            patch,
+            plane,
+        );
+        scratch.recycle_q(qcols);
+        scratch.recycle(cscales);
+    }
 }
 
 impl Layer for Conv3d {
@@ -105,9 +140,18 @@ impl Layer for Conv3d {
         }
         let mut out = Tensor::zeros(&[n, self.out_channels, ot, oh, ow]);
         let plane = ot * oh * ow;
+        let mut local = KernelScratch::new();
         for i in 0..n {
             let cols = vol2col(&x.index_axis0(i), &g);
-            let mut y = self.weight.value.matmul(&cols);
+            let mut y = match (&self.qweight, mode) {
+                (Some(qw), Mode::Eval) => {
+                    // Int8 inference path; training stays f32.
+                    let mut y = Tensor::zeros(&[self.out_channels, plane]);
+                    self.gemm_int8_cols(qw, cols.data(), y.data_mut(), g.patch_len(), plane, &mut local);
+                    y
+                }
+                _ => self.weight.value.matmul(&cols),
+            };
             let b = self.bias.value.data();
             let yd = y.data_mut();
             for (c, &bc) in b.iter().enumerate() {
@@ -146,14 +190,18 @@ impl Layer for Conv3d {
             vol2col_into(&x.data()[i * cthw..(i + 1) * cthw], &g, &mut cols);
             let oseg = &mut out.data_mut()
                 [i * self.out_channels * plane..(i + 1) * self.out_channels * plane];
-            kernel::gemm_into(
-                self.weight.value.data(),
-                &cols,
-                oseg,
-                self.out_channels,
-                patch,
-                plane,
-            );
+            if let Some(qw) = &self.qweight {
+                self.gemm_int8_cols(qw, &cols, oseg, patch, plane, scratch);
+            } else {
+                kernel::gemm_into(
+                    self.weight.value.data(),
+                    &cols,
+                    oseg,
+                    self.out_channels,
+                    patch,
+                    plane,
+                );
+            }
             for (c, &bc) in b.iter().enumerate() {
                 for v in &mut oseg[c * plane..(c + 1) * plane] {
                     *v += bc;
@@ -196,6 +244,13 @@ impl Layer for Conv3d {
         vec![&mut self.weight, &mut self.bias]
     }
 
+    fn set_precision(&mut self, precision: Precision) {
+        self.qweight = match precision {
+            Precision::Int8 => Some(QTensor::quantize_rows(&self.weight.value)),
+            Precision::F32 => None,
+        };
+    }
+
     fn name(&self) -> String {
         format!(
             "conv3d({}->{}, kt{} ks{}, st{} ss{})",
@@ -234,6 +289,28 @@ mod tests {
         let mut conv = Conv3d::new(2, 3, (3, 3), (2, 1), (1, 1), &mut rng);
         let y = conv.forward(&Tensor::ones(&[1, 2, 8, 4, 4]), Mode::Eval);
         assert_eq!(y.dims(), &[1, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn int8_eval_tracks_f32_and_scratch_path_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut conv = Conv3d::new(2, 4, (3, 3), (1, 1), (1, 1), &mut rng);
+        let x = rng.uniform(&[2, 2, 4, 5, 5], -1.0, 1.0);
+        let exact = conv.forward(&x, Mode::Eval);
+        conv.set_precision(Precision::Int8);
+        let quant = conv.forward(&x, Mode::Eval);
+        let worst = exact
+            .data()
+            .iter()
+            .zip(quant.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 0.1, "int8 conv drifted by {worst}");
+        let mut scratch = KernelScratch::new();
+        let pooled = conv.forward_scratch(&x, Mode::Eval, &mut scratch);
+        assert_eq!(pooled, quant, "int8 scratch path diverged from forward");
+        conv.set_precision(Precision::F32);
+        assert_eq!(conv.forward(&x, Mode::Eval), exact, "f32 restore must be exact");
     }
 
     #[test]

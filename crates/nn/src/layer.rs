@@ -1,7 +1,7 @@
 //! The core `Layer` abstraction.
 
 use crate::Param;
-use safecross_tensor::{KernelScratch, Tensor};
+use safecross_tensor::{KernelScratch, Precision, Tensor};
 
 /// Whether a forward pass is part of training or inference.
 ///
@@ -104,6 +104,22 @@ pub trait Layer: Send + Sync {
             visit(&format!("{prefix}{name}"), &buf);
         }
     }
+
+    /// Selects the arithmetic precision used by eval-mode forward passes.
+    ///
+    /// [`Precision::Int8`] asks the layer to quantize its weights
+    /// (symmetric per-output-channel int8, see
+    /// [`safecross_tensor::QTensor`]) and run inference through the
+    /// quantized GEMM; [`Precision::F32`] restores exact full-precision
+    /// compute and drops any cached quantized weights. Layers without a
+    /// quantizable kernel ignore the call, so the default is a no-op.
+    /// Training-mode forwards and `backward` always run in f32
+    /// regardless of this setting.
+    ///
+    /// Callers must re-invoke this after mutating weights (e.g. after
+    /// `load_state_dict`-style restores) so cached quantized copies stay
+    /// in sync; containers recurse into their children.
+    fn set_precision(&mut self, _precision: Precision) {}
 
     /// A short human-readable identifier (`"linear(4->8)"`).
     fn name(&self) -> String;

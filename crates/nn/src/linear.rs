@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::{Layer, Mode, Param};
-use safecross_tensor::{kernel, KernelScratch, Tensor, TensorRng};
+use safecross_tensor::{kernel, qtensor, KernelScratch, Precision, QTensor, Tensor, TensorRng};
 
 /// A dense affine map `y = x W^T + b` over a `[N, in]` batch.
 ///
@@ -24,6 +24,9 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    // Some(..) only while Precision::Int8 is selected: the weight
+    // quantized per output row, refreshed by `set_precision`.
+    qweight: Option<QTensor>,
 }
 
 impl Linear {
@@ -43,6 +46,7 @@ impl Linear {
             in_features,
             out_features,
             cached_input: None,
+            qweight: None,
         }
     }
 
@@ -55,6 +59,31 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// The int8 affine map: quantize the `[n, in]` input per row, run the
+    /// integer GEMM against the cached quantized weight, add the f32 bias.
+    fn forward_int8(
+        &self,
+        qw: &QTensor,
+        x: &Tensor,
+        y: &mut [f32],
+        scratch: &mut KernelScratch,
+    ) {
+        let n = x.shape().dim(0);
+        let (k, out) = (self.in_features, self.out_features);
+        let mut qx = scratch.take_q(n * k);
+        let mut xscales = scratch.take(n);
+        qtensor::quantize_rows_into(x.data(), n, k, &mut qx, &mut xscales);
+        qtensor::qgemm_transb_into(&qx, &xscales, qw.data(), qw.scales(), y, n, k, out);
+        scratch.recycle_q(qx);
+        scratch.recycle(xscales);
+        let b = self.bias.value.data();
+        for i in 0..n {
+            for (j, &bj) in b.iter().enumerate() {
+                y[i * out + j] += bj;
+            }
+        }
+    }
 }
 
 impl Layer for Linear {
@@ -63,6 +92,15 @@ impl Layer for Linear {
         assert_eq!(x.shape().dim(1), self.in_features, "Linear input width mismatch");
         if mode == Mode::Train {
             self.cached_input = Some(x.clone());
+        }
+        if mode == Mode::Eval {
+            if let Some(qw) = self.qweight.take() {
+                // Int8 inference path; training above always stays f32.
+                let mut y = Tensor::zeros(&[x.shape().dim(0), self.out_features]);
+                self.forward_int8(&qw, x, y.data_mut(), &mut KernelScratch::new());
+                self.qweight = Some(qw);
+                return y;
+            }
         }
         let mut y = x.matmul(&self.weight.value.transpose());
         let n = y.shape().dim(0);
@@ -86,6 +124,12 @@ impl Layer for Linear {
         assert_eq!(x.shape().dim(1), self.in_features, "Linear input width mismatch");
         let n = x.shape().dim(0);
         let out = self.out_features;
+        if let Some(qw) = self.qweight.take() {
+            let mut y = scratch.take_tensor(&[n, out]);
+            self.forward_int8(&qw, x, y.data_mut(), scratch);
+            self.qweight = Some(qw);
+            return y;
+        }
         // W is stored [out, in], exactly the packed layout the transb
         // kernel wants: y = x Wᵀ without materialising the transpose.
         let mut y = scratch.take_tensor(&[n, out]);
@@ -133,6 +177,13 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.qweight = match precision {
+            Precision::Int8 => Some(QTensor::quantize_rows(&self.weight.value)),
+            Precision::F32 => None,
+        };
     }
 
     fn name(&self) -> String {
@@ -184,6 +235,35 @@ mod tests {
         fc.forward(&x, Mode::Train);
         fc.backward(&Tensor::ones(&[1, 1]));
         assert_eq!(fc.bias.grad_or_zeros().data()[0], 2.0 * g1);
+    }
+
+    #[test]
+    fn int8_eval_tracks_f32_and_scratch_path_is_bit_identical() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut fc = Linear::new(16, 5, &mut rng);
+        let x = rng.uniform(&[3, 16], -1.0, 1.0);
+        let exact = fc.forward(&x, Mode::Eval);
+        fc.set_precision(Precision::Int8);
+        let quant = fc.forward(&x, Mode::Eval);
+        assert!(
+            quant.allclose(&exact, 0.05),
+            "int8 affine drifted: {quant:?} vs {exact:?}"
+        );
+        let mut scratch = KernelScratch::new();
+        let pooled = fc.forward_scratch(&x, Mode::Eval, &mut scratch);
+        assert_eq!(pooled, quant, "int8 scratch path diverged from forward");
+        fc.set_precision(Precision::F32);
+        assert_eq!(fc.forward(&x, Mode::Eval), exact, "f32 restore must be exact");
+    }
+
+    #[test]
+    fn int8_training_forward_stays_f32() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut fc = Linear::new(4, 3, &mut rng);
+        let x = rng.uniform(&[2, 4], -1.0, 1.0);
+        let exact = fc.forward(&x, Mode::Train);
+        fc.set_precision(Precision::Int8);
+        assert_eq!(fc.forward(&x, Mode::Train), exact);
     }
 
     #[test]

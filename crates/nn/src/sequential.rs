@@ -138,6 +138,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn set_precision(&mut self, precision: safecross_tensor::Precision) {
+        for layer in &mut self.layers {
+            layer.set_precision(precision);
+        }
+    }
+
     fn set_buffer(&mut self, name: &str, value: Tensor) {
         if let Some((idx, rest)) = name.split_once('.') {
             if let Ok(i) = idx.parse::<usize>() {

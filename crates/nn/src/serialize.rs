@@ -31,11 +31,31 @@
 //! from these manifest byte counts — not from hand-written descriptors
 //! and not from the total file size.
 //!
-//! [`load_tensors`] and [`load_grouped`] read both versions; a v1 file
+//! **v3** — v2 plus an *int8 sidecar*: after the f32 entries, a list of
+//! quantized tensors ([`safecross_tensor::QTensor`], symmetric
+//! per-leading-row scales) stored beside their full-precision twins:
+//!
+//! ```text
+//! v2 layout with u32 version = 3, then:
+//! u32 sidecar count
+//! per quantized tensor: u32 name len | name bytes
+//!                       | u32 ndim | u32 dims...
+//!                       | f32 scales (dims[0] of them) | i8 data...
+//! ```
+//!
+//! The f32 entries stay byte-identical to what v2 would write, so the
+//! bit-identity contract on full-precision weights is unaffected; the
+//! sidecar only adds the cheaper int8 copies that precision-aware
+//! consumers (the model registry, the serving fleet) may activate.
+//! [`save_grouped`] keeps emitting v2; [`save_grouped_quantized`] emits
+//! v3.
+//!
+//! [`load_tensors`] and [`load_grouped`] read all versions; a v1 file
 //! surfaces as a single group named `"all"` so older checkpoints keep
-//! working (see `tests/model_io.rs`).
+//! working (see `tests/model_io.rs`), and the sidecar of a v3 file is
+//! surfaced by [`load_grouped_quantized`] (other readers skip it).
 
-use safecross_tensor::{content_hash, Tensor};
+use safecross_tensor::{content_hash, QTensor, Tensor};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Write};
@@ -44,6 +64,7 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"SCNN";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
+const VERSION_V3: u32 = 3;
 /// Group name synthesised when reading a v1 file through the grouped API.
 pub const V1_COMPAT_GROUP: &str = "all";
 
@@ -213,6 +234,67 @@ pub fn save_grouped(
     Ok(manifest)
 }
 
+fn write_qentry(f: &mut File, name: &str, q: &QTensor) -> io::Result<()> {
+    write_str(f, name)?;
+    f.write_all(&(q.dims().len() as u32).to_le_bytes())?;
+    for &d in q.dims() {
+        f.write_all(&(d as u32).to_le_bytes())?;
+    }
+    for &s in q.scales() {
+        f.write_all(&s.to_le_bytes())?;
+    }
+    // i8 → u8 reinterpretation is value-preserving two's complement.
+    let bytes: Vec<u8> = q.data().iter().map(|&v| v as u8).collect();
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Writes a grouped state dictionary plus an int8 sidecar to `path` in
+/// the v3 format and returns the (f32) manifest that was recorded.
+///
+/// The f32 section is byte-identical to [`save_grouped`]'s apart from the
+/// version word; `quantized` entries are appended after it in the given
+/// order (conventionally the same qualified names as the f32 tensors they
+/// shadow, restricted to quantizable weights).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_grouped_quantized(
+    path: &Path,
+    model: &str,
+    groups: &[(String, Vec<(String, Tensor)>)],
+    quantized: &[(String, QTensor)],
+) -> Result<ModelManifest, SerializeError> {
+    let manifest = manifest_for(model, groups);
+    let mut f = File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&VERSION_V3.to_le_bytes())?;
+    write_str(&mut f, model)?;
+    f.write_all(&(manifest.groups.len() as u32).to_le_bytes())?;
+    for g in &manifest.groups {
+        write_str(&mut f, &g.name)?;
+        f.write_all(&(g.params.len() as u32).to_le_bytes())?;
+        for p in &g.params {
+            write_str(&mut f, p)?;
+        }
+        f.write_all(&(g.bytes as u64).to_le_bytes())?;
+        f.write_all(&g.hash.to_le_bytes())?;
+    }
+    let total: usize = groups.iter().map(|(_, e)| e.len()).sum();
+    f.write_all(&(total as u32).to_le_bytes())?;
+    for (_, entries) in groups {
+        for (name, tensor) in entries {
+            write_entry(&mut f, name, tensor)?;
+        }
+    }
+    f.write_all(&(quantized.len() as u32).to_le_bytes())?;
+    for (name, q) in quantized {
+        write_qentry(&mut f, name, q)?;
+    }
+    Ok(manifest)
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     cursor: usize,
@@ -261,15 +343,36 @@ impl<'a> Reader<'a> {
             .collect();
         Ok((name, Tensor::from_vec(data, &dims)))
     }
+
+    fn take_qentry(&mut self) -> Result<(String, QTensor), SerializeError> {
+        let name = self.take_str()?;
+        let ndim = self.take_u32()? as usize;
+        if ndim == 0 {
+            return Err(SerializeError::Format("0-d quantized tensor".into()));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(self.take_u32()? as usize);
+        }
+        let rows = dims[0];
+        let raw_scales = self.take(rows * 4)?;
+        let scales: Vec<f32> = raw_scales
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let len: usize = dims.iter().product();
+        let data: Vec<i8> = self.take(len)?.iter().map(|&b| b as i8).collect();
+        Ok((name, QTensor::from_parts(dims, data, scales)))
+    }
 }
 
-/// Reads a weight file (either version) as a manifest plus the flat
-/// entry list in manifest order.
+/// Reads a weight file (any version) as a manifest, the flat f32 entry
+/// list in manifest order, and the int8 sidecar (empty for v1/v2).
 ///
 /// A v1 file yields a single group named [`V1_COMPAT_GROUP`] with an
 /// empty model name; its byte size and content hash are computed from
 /// the loaded tensors, so v1 checkpoints dedupe correctly once imported
-/// into a registry. For v2 files every group's recorded byte size and
+/// into a registry. For v2/v3 files every group's recorded byte size and
 /// content hash are verified against the loaded tensors.
 ///
 /// # Errors
@@ -277,7 +380,10 @@ impl<'a> Reader<'a> {
 /// Returns [`SerializeError::Format`] on magic/version mismatch,
 /// truncated data, or a manifest that disagrees with the entries, and
 /// [`SerializeError::Io`] on read failures.
-pub fn load_grouped(path: &Path) -> Result<(ModelManifest, Vec<(String, Tensor)>), SerializeError> {
+#[allow(clippy::type_complexity)]
+pub fn load_grouped_quantized(
+    path: &Path,
+) -> Result<(ModelManifest, Vec<(String, Tensor)>, Vec<(String, QTensor)>), SerializeError> {
     let mut f = File::open(path)?;
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
@@ -298,9 +404,9 @@ pub fn load_grouped(path: &Path) -> Result<(ModelManifest, Vec<(String, Tensor)>
                 "",
                 &[(V1_COMPAT_GROUP.to_owned(), entries.clone())],
             );
-            Ok((manifest, entries))
+            Ok((manifest, entries, Vec::new()))
         }
-        VERSION_V2 => {
+        VERSION_V2 | VERSION_V3 => {
             let model = r.take_str()?;
             let group_count = r.take_u32()? as usize;
             let mut groups = Vec::with_capacity(group_count);
@@ -356,10 +462,30 @@ pub fn load_grouped(path: &Path) -> Result<(ModelManifest, Vec<(String, Tensor)>
                     )));
                 }
             }
-            Ok((manifest, entries))
+            let quantized = if version == VERSION_V3 {
+                let qcount = r.take_u32()? as usize;
+                let mut q = Vec::with_capacity(qcount);
+                for _ in 0..qcount {
+                    q.push(r.take_qentry()?);
+                }
+                q
+            } else {
+                Vec::new()
+            };
+            Ok((manifest, entries, quantized))
         }
         v => Err(SerializeError::Format(format!("unsupported version {v}"))),
     }
+}
+
+/// Reads a weight file (any version) as a manifest plus the flat f32
+/// entry list, discarding any v3 int8 sidecar.
+///
+/// # Errors
+///
+/// Same conditions as [`load_grouped_quantized`].
+pub fn load_grouped(path: &Path) -> Result<(ModelManifest, Vec<(String, Tensor)>), SerializeError> {
+    load_grouped_quantized(path).map(|(m, e, _)| (m, e))
 }
 
 /// Reads the named tensors from a weight file of either version,
@@ -447,6 +573,47 @@ mod tests {
             content_hash(entries.iter().map(|(_, t)| t))
         );
         assert_eq!(entries, named);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_sidecar_and_hides_it_from_v2_readers() {
+        let mut rng = TensorRng::seed_from(4);
+        let w = rng.uniform(&[3, 6], -1.0, 1.0);
+        let groups = vec![(
+            "head".to_owned(),
+            vec![
+                ("head.weight".to_owned(), w.clone()),
+                ("head.bias".to_owned(), rng.uniform(&[3], -1.0, 1.0)),
+            ],
+        )];
+        let quantized = vec![("head.weight".to_owned(), QTensor::quantize_rows(&w))];
+        let path = tmp("v3_roundtrip");
+        let written = save_grouped_quantized(&path, "night", &groups, &quantized).unwrap();
+        let (manifest, entries, sidecar) = load_grouped_quantized(&path).unwrap();
+        assert_eq!(manifest, written);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, w);
+        assert_eq!(sidecar.len(), 1);
+        assert_eq!(sidecar[0].0, "head.weight");
+        assert_eq!(sidecar[0].1, quantized[0].1, "int8 bytes + scales must round-trip");
+        // The legacy readers see the same manifest and f32 tensors.
+        let (m2, e2) = load_grouped(&path).unwrap();
+        assert_eq!((m2, e2), (manifest, entries));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v2_files_load_with_empty_sidecar() {
+        let mut rng = TensorRng::seed_from(5);
+        let groups = vec![(
+            "g".to_owned(),
+            vec![("w".to_owned(), rng.uniform(&[4, 4], -1.0, 1.0))],
+        )];
+        let path = tmp("v2_no_sidecar");
+        save_grouped(&path, "m", &groups).unwrap();
+        let (_, _, sidecar) = load_grouped_quantized(&path).unwrap();
+        assert!(sidecar.is_empty());
         std::fs::remove_file(path).ok();
     }
 

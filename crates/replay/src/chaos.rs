@@ -38,13 +38,11 @@ fn mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Scenario names enter the fault schedule through the workspace's
+/// shared FNV-1a (the same function that content-addresses blobs), so
+/// recorded chaos traces stay replayable across crates and versions.
 fn fnv1a(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    safecross_tensor::fnv1a(s.as_bytes())
 }
 
 const DOMAIN_DEATH: u64 = 0x0DEA_D000;

@@ -28,7 +28,7 @@
 use safecross::{classify_with_model, top_class_from_logits, Verdict};
 use safecross_dataset::Class;
 use safecross_modelswitch::ModelRegistry;
-use safecross_tensor::{KernelScratch, Tensor};
+use safecross_tensor::{KernelScratch, Precision, Tensor};
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use std::collections::HashMap;
@@ -42,14 +42,20 @@ pub(crate) struct ClipJob {
     /// Checkpoint the owning session has bound for `weather` — the
     /// weather label unless a challenger was promoted on that stream.
     pub model: Arc<str>,
+    /// The precision the owning stream was opened at. Part of the
+    /// batch key: an int8 stream and an f32 stream never co-batch even
+    /// when bound to the same checkpoint, so each stream's verdicts
+    /// are a pure function of its own precision contract.
+    pub precision: Precision,
     pub clip: Tensor,
 }
 
-/// A micro-batch of clips bound for one checkpoint, all owned by one
-/// shard.
+/// A micro-batch of clips bound for one (checkpoint, precision) pair,
+/// all owned by one shard.
 pub(crate) struct Batch {
     pub weather: Weather,
     pub model: Arc<str>,
+    pub precision: Precision,
     pub jobs: Vec<ClipJob>,
 }
 
@@ -95,7 +101,7 @@ impl ExecStats {
 pub(crate) struct ShardCompute<'a> {
     shared: &'a HashMap<Weather, SlowFastLite>,
     store: ModelRegistry,
-    local: HashMap<Arc<str>, SlowFastLite>,
+    local: HashMap<(Arc<str>, Precision), SlowFastLite>,
     scratch: KernelScratch,
 }
 
@@ -109,21 +115,33 @@ impl<'a> ShardCompute<'a> {
         }
     }
 
-    /// Materializes the replica for checkpoint `name`, cloning the
-    /// shared `weather` model as the architecture template and — for
-    /// promoted checkpoints — loading the stored weights over it. A
+    /// Materializes the replica for `(name, precision)`, cloning the
+    /// shared `weather` model as the architecture template, — for
+    /// promoted checkpoints — loading the stored weights over it, and
+    /// finally applying the precision contract: an int8 replica
+    /// quantizes its weights *after* they are final, so its calibration
+    /// matches the checkpoint it actually serves. Quantization is
+    /// deterministic in the weight bits, so every shard's int8 replica
+    /// of one checkpoint is bit-identical to the store's sidecar. A
     /// promoted checkpoint missing from the store (evicted after its
     /// last user unpinned it) deterministically falls back to the base
     /// scene weights. `None` only when `weather` has no shared model.
-    fn ensure_replica(&mut self, name: &Arc<str>, weather: Weather) -> Option<()> {
-        if !self.local.contains_key(name) {
+    fn ensure_replica(
+        &mut self,
+        name: &Arc<str>,
+        weather: Weather,
+        precision: Precision,
+    ) -> Option<()> {
+        let key = (Arc::clone(name), precision);
+        if !self.local.contains_key(&key) {
             let mut model = self.shared.get(&weather)?.clone();
             if name.as_ref() != weather.label() {
                 if let Some(state) = self.store.state_dict(name) {
                     model.load_state_dict(&state);
                 }
             }
-            self.local.insert(Arc::clone(name), model);
+            model.set_precision(precision);
+            self.local.insert(key, model);
         }
         Some(())
     }
@@ -131,9 +149,10 @@ impl<'a> ShardCompute<'a> {
     /// Classifies a micro-batch with one stacked forward, returning one
     /// raw verdict per job in job order.
     pub(crate) fn classify(&mut self, batch: &Batch) -> Vec<Verdict> {
-        self.ensure_replica(&batch.model, batch.weather)
+        self.ensure_replica(&batch.model, batch.weather, batch.precision)
             .expect("dispatched batch has a shared scene model");
-        let model = self.local.get_mut(&batch.model).expect("just materialized");
+        let key = (Arc::clone(&batch.model), batch.precision);
+        let model = self.local.get_mut(&key).expect("just materialized");
         classify_batch(model, batch, &mut self.scratch)
     }
 
@@ -144,10 +163,12 @@ impl<'a> ShardCompute<'a> {
         &mut self,
         name: &Arc<str>,
         weather: Weather,
+        precision: Precision,
         clip: &Tensor,
     ) -> Option<Verdict> {
-        self.ensure_replica(name, weather)?;
-        let model = self.local.get_mut(name).expect("just materialized");
+        self.ensure_replica(name, weather, precision)?;
+        let key = (Arc::clone(name), precision);
+        let model = self.local.get_mut(&key).expect("just materialized");
         Some(classify_with_model(model, clip, weather, &mut self.scratch))
     }
 
@@ -231,6 +252,7 @@ mod tests {
         let batch = Batch {
             weather: Weather::Rain,
             model: label(Weather::Rain),
+            precision: Precision::F32,
             jobs: clips
                 .into_iter()
                 .enumerate()
@@ -239,6 +261,7 @@ mod tests {
                     seq: i as u64,
                     weather: Weather::Rain,
                     model: label(Weather::Rain),
+                    precision: Precision::F32,
                     clip,
                 })
                 .collect(),
@@ -256,11 +279,13 @@ mod tests {
         let batch = Batch {
             weather: Weather::Snow,
             model: label(Weather::Snow),
+            precision: Precision::F32,
             jobs: vec![ClipJob {
                 stream: 0,
                 seq: 0,
                 weather: Weather::Snow,
                 model: label(Weather::Snow),
+                precision: Precision::F32,
                 clip,
             }],
         };
@@ -291,11 +316,13 @@ mod tests {
         let job = |model: Arc<str>| Batch {
             weather: Weather::Rain,
             model: Arc::clone(&model),
+            precision: Precision::F32,
             jobs: vec![ClipJob {
                 stream: 0,
                 seq: 0,
                 weather: Weather::Rain,
                 model,
+                precision: Precision::F32,
                 clip: clip.clone(),
             }],
         };
@@ -316,5 +343,42 @@ mod tests {
         // An evicted challenger falls back to the base scene weights.
         let missing = compute.classify(&job(Arc::from("rain#s0g9")));
         assert_eq!(missing[0], base_v[0]);
+    }
+
+    #[test]
+    fn int8_replica_is_keyed_separately_and_tracks_f32() {
+        let mut rng = TensorRng::seed_from(14);
+        let mut shared = HashMap::new();
+        shared.insert(Weather::Daytime, SlowFastLite::new(2, &mut rng));
+        let clip = rng.uniform(&[1, 32, 20, 20], 0.0, 1.0);
+        let batch = |precision: Precision| Batch {
+            weather: Weather::Daytime,
+            model: label(Weather::Daytime),
+            precision,
+            jobs: vec![ClipJob {
+                stream: 0,
+                seq: 0,
+                weather: Weather::Daytime,
+                model: label(Weather::Daytime),
+                precision,
+                clip: clip.clone(),
+            }],
+        };
+        let mut compute = ShardCompute::new(&shared, ModelRegistry::new());
+        let f32_v = compute.classify(&batch(Precision::F32));
+        let int8_v = compute.classify(&batch(Precision::Int8));
+        // Two replicas now exist — the precisions never share one.
+        assert_eq!(compute.local.len(), 2);
+        // Quantization perturbs the logits, not the contract: both
+        // verdicts carry the same weather and a sane confidence.
+        assert_eq!(int8_v[0].weather, f32_v[0].weather);
+        assert!(int8_v[0].confidence > 0.0 && int8_v[0].confidence <= 1.0);
+        // The int8 replica is itself deterministic: re-running the
+        // batch (warm) and after a crash (cold) produces the same bits.
+        let warm = compute.classify(&batch(Precision::Int8));
+        compute.drop_warm_state();
+        let cold = compute.classify(&batch(Precision::Int8));
+        assert_eq!(warm, int8_v);
+        assert_eq!(cold, int8_v);
     }
 }

@@ -20,8 +20,9 @@
 //!   and trace replay share a single ingestion signature.
 //! - shards (internal) — streams are partitioned `i % shards` across
 //!   [`ServeConfig::shards`] threads. Each shard owns its partition's
-//!   admission, shedding, priority scheduling, and same-weather
-//!   micro-batching, executes batches as one stacked forward pass
+//!   admission, shedding, priority scheduling, and same-(checkpoint,
+//!   precision) micro-batching, executes batches as one stacked forward
+//!   pass
 //!   (eval-mode layers are row-independent, so batching never changes
 //!   a verdict bit), and steals batches from other shards' queues when
 //!   its own runs dry. Completions route back to the owning shard, so
@@ -102,6 +103,7 @@ pub use fault::{FaultHook, WorkerAction};
 pub use server::{
     AgeProfile, FleetReport, FleetServer, StreamHandle, StreamReport, StreamSpec,
 };
+pub use safecross_tensor::Precision;
 pub use session::{StreamId, StreamStats};
 pub use source::{
     paced_feed, BoxedSource, FrameFeed, FrameSource, IntoFrameSource, IterSource, PacedSource,

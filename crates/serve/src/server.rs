@@ -10,6 +10,7 @@ use crate::source::{FrameSource, IntoFrameSource, SourcePoll};
 use safecross::{SafeCross, SafeCrossConfig, Verdict};
 use safecross_modelswitch::{ModelRegistry, SwitchFaultHook};
 use safecross_telemetry::Registry;
+use safecross_tensor::Precision;
 use safecross_trafficsim::Weather;
 use safecross_videoclass::{SlowFastLite, VideoClassifier};
 use safecross_vision::GrayFrame;
@@ -139,10 +140,13 @@ impl std::fmt::Display for FleetReport {
 ///
 /// The default spec inherits the fleet's session template
 /// ([`ServeConfig::stream`]); [`StreamSpec::with_config`] overrides it
-/// per stream (frame geometry, segment length, confidence gate).
+/// per stream (frame geometry, segment length, confidence gate), and
+/// [`StreamSpec::with_precision`] selects the numeric precision the
+/// stream's forwards run at (f32 by default).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamSpec {
     config: Option<SafeCrossConfig>,
+    precision: Precision,
 }
 
 impl StreamSpec {
@@ -155,7 +159,17 @@ impl StreamSpec {
     pub fn with_config(config: SafeCrossConfig) -> Self {
         StreamSpec {
             config: Some(config),
+            precision: Precision::default(),
         }
+    }
+
+    /// Selects the precision this stream's clips classify at. Int8
+    /// streams run quantized replicas and never share a micro-batch
+    /// with f32 streams, even when bound to the same checkpoint — the
+    /// executor keys batches by `(checkpoint, precision)`.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 
@@ -173,6 +187,7 @@ impl StreamSpec {
 pub struct StreamHandle {
     id: StreamId,
     config: SafeCrossConfig,
+    precision: Precision,
 }
 
 impl StreamHandle {
@@ -184,6 +199,11 @@ impl StreamHandle {
     /// The session configuration this stream was opened with.
     pub fn config(&self) -> &SafeCrossConfig {
         &self.config
+    }
+
+    /// The numeric precision this stream classifies at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     fn lane<'f>(&self, fleet: &'f FleetServer) -> &'f StreamSession {
@@ -404,12 +424,21 @@ impl FleetServer {
     /// fails validation.
     pub fn open_stream(&mut self, spec: StreamSpec) -> Result<StreamHandle, ServeError> {
         let config = spec.config.unwrap_or(self.config.stream);
-        let id = self.open_with(config)?;
-        Ok(StreamHandle { id, config })
+        let precision = spec.precision;
+        let id = self.open_with(config, precision)?;
+        Ok(StreamHandle {
+            id,
+            config,
+            precision,
+        })
     }
 
     /// The shared stream-opening path behind [`FleetServer::open_stream`].
-    fn open_with(&mut self, config: SafeCrossConfig) -> Result<StreamId, ServeError> {
+    fn open_with(
+        &mut self,
+        config: SafeCrossConfig,
+        precision: Precision,
+    ) -> Result<StreamId, ServeError> {
         if self.models.is_empty() {
             return Err(ServeError::NoModels);
         }
@@ -423,7 +452,8 @@ impl FleetServer {
         }
         let id = StreamId(self.sessions.len());
         let metrics = StreamMetrics::new(&self.registry, id.0);
-        self.sessions.push(StreamSession::new(inner, metrics));
+        self.sessions
+            .push(StreamSession::new(inner, metrics, precision));
         Ok(id)
     }
 
@@ -442,6 +472,7 @@ impl FleetServer {
             .map(|(i, s)| StreamHandle {
                 id: StreamId(i),
                 config: *s.inner.config(),
+                precision: s.precision,
             })
             .collect()
     }
@@ -522,7 +553,7 @@ impl FleetServer {
                 let raw = match (prep.clip.take(), prep.effective) {
                     (Some(clip), Some(weather)) => {
                         let name = session.model_for(weather);
-                        compute.classify_single(&name, weather, &clip)
+                        compute.classify_single(&name, weather, session.precision, &clip)
                     }
                     _ => None,
                 };
@@ -789,10 +820,11 @@ struct ShardStream {
     ingest: Ingest,
 }
 
-/// A same-checkpoint group of clips accumulating toward a micro-batch.
-/// Keyed by checkpoint name in [`Shard::pending`]; the weather rides
-/// along because the executor resolves replicas from the shared scene
-/// model of that weather.
+/// A same-checkpoint, same-precision group of clips accumulating
+/// toward a micro-batch. Keyed by `(checkpoint, precision)` in
+/// [`Shard::pending`] — a mixed-precision fleet never co-batches — and
+/// the weather rides along because the executor resolves replicas from
+/// the shared scene model of that weather.
 struct PendingGroup {
     weather: Weather,
     jobs: Vec<ClipJob>,
@@ -827,8 +859,8 @@ struct Shard<'a> {
     fault_hook: Option<Arc<dyn FaultHook>>,
     learn_hook: Option<Arc<dyn LearnHook>>,
     compute: ShardCompute<'a>,
-    /// Same-checkpoint groups accumulating toward dispatch.
-    pending: HashMap<Arc<str>, PendingGroup>,
+    /// Same-(checkpoint, precision) groups accumulating toward dispatch.
+    pending: HashMap<(Arc<str>, Precision), PendingGroup>,
     /// Clips staged or dispatched and not yet resolved. Bounded by
     /// [`ServeConfig::inflight_limit`] per shard.
     inflight: usize,
@@ -1054,12 +1086,14 @@ impl Shard<'_> {
             Some((clip, weather, model)) => {
                 lane.session.inflight += 1;
                 let stream = lane.global;
+                let precision = lane.session.precision;
                 self.inflight += 1;
                 self.stage(ClipJob {
                     stream,
                     seq,
                     weather,
                     model,
+                    precision,
                     clip,
                 });
             }
@@ -1070,15 +1104,16 @@ impl Shard<'_> {
         }
     }
 
-    /// Adds a clip to its checkpoint group, dispatching the group the
-    /// moment it fills. Streams still on the base scene checkpoints
-    /// group by the weather label, so without promotions the grouping
-    /// is exactly the old same-weather batching.
+    /// Adds a clip to its (checkpoint, precision) group, dispatching
+    /// the group the moment it fills. Streams still on the base scene
+    /// checkpoints at f32 group by the weather label, so without
+    /// promotions or int8 streams the grouping is exactly the old
+    /// same-weather batching.
     fn stage(&mut self, job: ClipJob) {
-        let model = Arc::clone(&job.model);
+        let key = (Arc::clone(&job.model), job.precision);
         let group = self
             .pending
-            .entry(Arc::clone(&model))
+            .entry((Arc::clone(&key.0), key.1))
             .or_insert_with(|| PendingGroup {
                 weather: job.weather,
                 jobs: Vec::with_capacity(self.config.batch_max),
@@ -1086,8 +1121,8 @@ impl Shard<'_> {
             });
         group.jobs.push(job);
         if group.jobs.len() >= self.config.batch_max {
-            let group = self.pending.remove(&model).expect("just inserted");
-            self.dispatch(model, group.weather, group.jobs);
+            let group = self.pending.remove(&key).expect("just inserted");
+            self.dispatch(key, group.weather, group.jobs);
         }
     }
 
@@ -1098,22 +1133,22 @@ impl Shard<'_> {
             return false;
         }
         let now = Instant::now();
-        let due: Vec<Arc<str>> = self
+        let due: Vec<(Arc<str>, Precision)> = self
             .pending
             .iter()
             .filter(|(_, g)| force || now.duration_since(g.opened) >= self.config.batch_linger)
-            .map(|(m, _)| Arc::clone(m))
+            .map(|(k, _)| (Arc::clone(&k.0), k.1))
             .collect();
         let mut any = false;
-        for model in due {
-            let group = self.pending.remove(&model).expect("listed as due");
-            self.dispatch(model, group.weather, group.jobs);
+        for key in due {
+            let group = self.pending.remove(&key).expect("listed as due");
+            self.dispatch(key, group.weather, group.jobs);
             any = true;
         }
         any
     }
 
-    fn dispatch(&mut self, model: Arc<str>, weather: Weather, jobs: Vec<ClipJob>) {
+    fn dispatch(&mut self, key: (Arc<str>, Precision), weather: Weather, jobs: Vec<ClipJob>) {
         self.stats.batches += 1;
         self.stats.clips += jobs.len() as u64;
         self.stats.max_batch = self.stats.max_batch.max(jobs.len());
@@ -1124,7 +1159,8 @@ impl Shard<'_> {
             .expect("shard queue poisoned")
             .push_back(Batch {
                 weather,
-                model,
+                model: key.0,
+                precision: key.1,
                 jobs,
             });
     }

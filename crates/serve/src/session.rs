@@ -12,6 +12,7 @@
 
 use crate::metrics::{FleetMetrics, StreamMetrics};
 use safecross::{FramePrep, SafeCross, Verdict};
+use safecross_tensor::Precision;
 use safecross_trafficsim::Weather;
 use safecross_vision::GrayFrame;
 use std::collections::{BTreeMap, VecDeque};
@@ -114,12 +115,17 @@ pub(crate) struct StreamSession {
     /// The stream is high-priority until its prepared-frame counter
     /// reaches this value.
     hot_until: u64,
+    /// The precision this stream's clips classify at (fixed at open
+    /// time via [`crate::StreamSpec::with_precision`]). Rides on every
+    /// dispatched [`crate::executor::ClipJob`] and so keys the batch
+    /// grouping: int8 and f32 streams never share a stacked forward.
+    pub precision: Precision,
     pub stats: StreamStats,
     metrics: StreamMetrics,
 }
 
 impl StreamSession {
-    pub(crate) fn new(inner: SafeCross, metrics: StreamMetrics) -> Self {
+    pub(crate) fn new(inner: SafeCross, metrics: StreamMetrics, precision: Precision) -> Self {
         StreamSession {
             inner,
             queue: VecDeque::new(),
@@ -129,6 +135,7 @@ impl StreamSession {
             resolved: BTreeMap::new(),
             inflight: 0,
             hot_until: 0,
+            precision,
             stats: StreamStats::default(),
             metrics,
         }

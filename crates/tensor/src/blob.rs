@@ -66,6 +66,18 @@ impl Default for ContentHasher {
     }
 }
 
+/// One-shot FNV-1a over a byte slice — the workspace's single shared
+/// implementation of the plain (rank-free, shape-free) byte hash.
+/// Call sites that used to carry their own copy of the constants
+/// (replay's chaos scheduler, the registry's string keys) route through
+/// here; the output is byte-identical to theirs, so existing traces and
+/// checkpoints keyed on it remain valid.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = ContentHasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
 /// Content hash of an ordered sequence of tensors (a weight group).
 ///
 /// Sensitive to order, shapes, and every bit of the data; insensitive to
@@ -113,5 +125,14 @@ mod tests {
     #[test]
     fn empty_iterator_hashes_to_offset_basis() {
         assert_eq!(content_hash(std::iter::empty()), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Pinned so every routed caller (replay traces, registry keys)
+        // keeps producing the bytes existing artifacts were keyed on.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 }

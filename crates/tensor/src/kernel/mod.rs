@@ -27,10 +27,22 @@
 //! `SAFECROSS_KERNEL_THREADS` environment variable when set, otherwise
 //! the host's available parallelism. `1` reproduces the exact serial
 //! code path (no worker pool is spun up at all).
+//!
+//! The instruction set comes from the same config: detected once
+//! ([`Isa::detect`]) unless `SAFECROSS_KERNEL_ISA` or
+//! [`KernelConfig::with_isa`] overrides it. The f32 inner loops in
+//! [`simd`] are built so dispatch **never changes result bits** —
+//! vector lanes are independent output elements and multiplies/adds are
+//! never fused — so like the thread count, the ISA is purely a
+//! performance knob.
+
+pub mod simd;
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, Weak};
 use std::time::Instant;
+
+pub use simd::Isa;
 
 use crate::{Shape, Tensor};
 
@@ -41,8 +53,32 @@ use crate::{Shape, Tensor};
 /// Environment variable overriding the kernel worker count.
 pub const KERNEL_THREADS_ENV: &str = "SAFECROSS_KERNEL_THREADS";
 
+/// Environment variable forcing the kernel instruction set
+/// (`avx2`/`neon`/`scalar`; unsupported values fall back to detection).
+pub const KERNEL_ISA_ENV: &str = "SAFECROSS_KERNEL_ISA";
+
 /// `0` means "not resolved yet"; resolved lazily on first use.
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `0` means "not resolved yet"; otherwise `1 + Isa` encoding below.
+static KERNEL_ISA: AtomicUsize = AtomicUsize::new(0);
+
+fn isa_encode(isa: Isa) -> usize {
+    match isa {
+        Isa::Avx2 => 1,
+        Isa::Neon => 2,
+        Isa::Scalar => 3,
+    }
+}
+
+fn isa_decode(code: usize) -> Option<Isa> {
+    match code {
+        1 => Some(Isa::Avx2),
+        2 => Some(Isa::Neon),
+        3 => Some(Isa::Scalar),
+        _ => None,
+    }
+}
 
 /// Kernel-layer execution settings.
 ///
@@ -58,25 +94,43 @@ static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     threads: usize,
+    isa: Isa,
 }
 
 impl KernelConfig {
     /// Resolves the worker count from `SAFECROSS_KERNEL_THREADS` when
     /// set (clamped to at least 1), else the host's available
-    /// parallelism.
+    /// parallelism; and the instruction set from `SAFECROSS_KERNEL_ISA`
+    /// when set (sanitized against host support), else detection.
     pub fn from_env() -> Self {
         let threads = std::env::var(KERNEL_THREADS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
-        KernelConfig { threads }
+        let isa = std::env::var(KERNEL_ISA_ENV)
+            .ok()
+            .and_then(|v| Isa::parse(&v))
+            .map_or_else(Isa::detect, Isa::sanitize);
+        KernelConfig { threads, isa }
     }
 
-    /// A configuration with an explicit worker count (clamped to ≥ 1).
+    /// A configuration with an explicit worker count (clamped to ≥ 1)
+    /// and the detected instruction set.
     pub fn with_threads(threads: usize) -> Self {
         KernelConfig {
             threads: threads.max(1),
+            isa: Isa::detect(),
+        }
+    }
+
+    /// This configuration with the given instruction set (sanitized
+    /// against host support — forcing scalar always sticks, forcing an
+    /// unsupported SIMD set falls back to detection).
+    pub fn with_isa(self, isa: Isa) -> Self {
+        KernelConfig {
+            isa: isa.sanitize(),
+            ..self
         }
     }
 
@@ -85,9 +139,15 @@ impl KernelConfig {
         self.threads
     }
 
+    /// The configured instruction set.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
     /// Makes this configuration the process-wide kernel setting.
     pub fn install(self) {
         KERNEL_THREADS.store(self.threads, Ordering::Relaxed);
+        KERNEL_ISA.store(isa_encode(self.isa), Ordering::Relaxed);
     }
 }
 
@@ -104,12 +164,32 @@ pub fn threads() -> usize {
     resolved
 }
 
-/// Sets the process-wide kernel worker count (clamped to ≥ 1).
+/// Sets the process-wide kernel worker count (clamped to ≥ 1). The
+/// instruction-set setting is left untouched.
 ///
 /// Results are bit-identical at every thread count, so this only trades
 /// wall-clock for cores.
 pub fn set_threads(threads: usize) {
-    KernelConfig::with_threads(threads).install();
+    KERNEL_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide kernel instruction set, resolving
+/// [`KernelConfig::from_env`] on first use.
+pub fn isa() -> Isa {
+    if let Some(isa) = isa_decode(KERNEL_ISA.load(Ordering::Relaxed)) {
+        return isa;
+    }
+    let resolved = KernelConfig::from_env().isa;
+    // Racing first calls resolve to the same value; last store wins.
+    KERNEL_ISA.store(isa_encode(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the process-wide kernel instruction set (sanitized against host
+/// support). f32 results are bit-identical across instruction sets, so
+/// like [`set_threads`] this only trades wall-clock.
+pub fn set_isa(isa: Isa) {
+    KERNEL_ISA.store(isa_encode(isa.sanitize()), Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------
@@ -209,12 +289,16 @@ fn observe(sample: &GemmSample) {
 #[derive(Debug, Default)]
 pub struct KernelScratch {
     pool: Vec<Vec<f32>>,
+    qpool: Vec<Vec<i8>>,
 }
 
 impl KernelScratch {
     /// An empty scratch arena.
     pub fn new() -> Self {
-        KernelScratch { pool: Vec::new() }
+        KernelScratch {
+            pool: Vec::new(),
+            qpool: Vec::new(),
+        }
     }
 
     /// Borrows a zero-filled buffer of exactly `len` elements.
@@ -260,9 +344,46 @@ impl KernelScratch {
         self.recycle(t.into_vec());
     }
 
-    /// How many buffers are currently pooled (diagnostic).
+    /// Borrows a zero-filled `i8` buffer of exactly `len` elements —
+    /// the quantized-activation counterpart of [`KernelScratch::take`],
+    /// pooled separately so the f32 free-list semantics (and the
+    /// [`KernelScratch::pooled_buffers`] diagnostic) are untouched.
+    pub fn take_q(&mut self, len: usize) -> Vec<i8> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.qpool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|j| buf.capacity() < self.qpool[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let best = best.or_else(|| {
+            (0..self.qpool.len()).max_by_key(|&i| self.qpool[i].capacity())
+        });
+        let mut buf = match best {
+            Some(i) => self.qpool.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a buffer obtained from [`KernelScratch::take_q`].
+    pub fn recycle_q(&mut self, buf: Vec<i8>) {
+        if buf.capacity() > 0 {
+            self.qpool.push(buf);
+        }
+    }
+
+    /// How many f32 buffers are currently pooled (diagnostic).
     pub fn pooled_buffers(&self) -> usize {
         self.pool.len()
+    }
+
+    /// How many i8 buffers are currently pooled (diagnostic).
+    pub fn pooled_qbuffers(&self) -> usize {
+        self.qpool.len()
     }
 }
 
@@ -309,8 +430,19 @@ fn row_is_sparse(row: &[f32]) -> bool {
 
 /// Computes the flat output elements `[start, start + out.len())` of an
 /// `[m, k] × [k, n]` product, overwriting `out`. Each element accumulates
-/// in ascending-`p` order regardless of the range split.
-fn gemm_flat_range(a: &[f32], b: &[f32], out: &mut [f32], start: usize, k: usize, n: usize) {
+/// in ascending-`p` order regardless of the range split, and the inner
+/// axpy dispatches to `isa` — which cannot change bits, because
+/// [`simd::axpy`] vectorises across independent output columns with
+/// non-fused multiply/add.
+fn gemm_flat_range(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    start: usize,
+    k: usize,
+    n: usize,
+    isa: Isa,
+) {
     for v in out.iter_mut() {
         *v = 0.0;
     }
@@ -332,17 +464,11 @@ fn gemm_flat_range(a: &[f32], b: &[f32], out: &mut [f32], start: usize, k: usize
                     if av == 0.0 {
                         continue;
                     }
-                    let bseg = &b[p * n + jb..p * n + je];
-                    for (o, &bv) in oseg.iter_mut().zip(bseg) {
-                        *o += av * bv;
-                    }
+                    simd::axpy(isa, oseg, av, &b[p * n + jb..p * n + je]);
                 }
             } else {
                 for (p, &av) in arow.iter().enumerate() {
-                    let bseg = &b[p * n + jb..p * n + je];
-                    for (o, &bv) in oseg.iter_mut().zip(bseg) {
-                        *o += av * bv;
-                    }
+                    simd::axpy(isa, oseg, av, &b[p * n + jb..p * n + je]);
                 }
             }
             jb = je;
@@ -354,7 +480,10 @@ fn gemm_flat_range(a: &[f32], b: &[f32], out: &mut [f32], start: usize, k: usize
 /// Same contract as [`gemm_flat_range`] for `A × Bᵀ` with `b` stored
 /// `[n, k]`: `out[i, j] = Σ_p a[i, p] · b[j, p]`, `p` ascending — the
 /// packed-transpose fast path (both operands stream along rows, no
-/// materialised transpose).
+/// materialised transpose). Deliberately **not** SIMD-dispatched: its
+/// reduction runs along `p`, so vector lanes would have to split the
+/// accumulation and change the rounding sequence. The int8 path covers
+/// this shape instead (integer accumulation is order-free).
 fn gemm_transb_flat_range(
     a: &[f32],
     b: &[f32],
@@ -383,7 +512,7 @@ fn gemm_transb_flat_range(
 /// are row-aligned when there are at least as many rows as workers;
 /// otherwise the flat element range is split directly so wide-and-short
 /// outputs (the single-clip conv case) still fan out.
-fn partition_out<F>(out: &mut [f32], m: usize, n: usize, workers: usize, body: F)
+pub(crate) fn partition_out<F>(out: &mut [f32], m: usize, n: usize, workers: usize, body: F)
 where
     F: Fn(&mut [f32], usize) + Sync,
 {
@@ -411,7 +540,7 @@ where
     });
 }
 
-fn effective_workers(m: usize, k: usize, n: usize, threads: usize) -> usize {
+pub(crate) fn effective_workers(m: usize, k: usize, n: usize, threads: usize) -> usize {
     let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
     if threads <= 1 || flops < MIN_PARALLEL_FLOPS {
         1
@@ -439,8 +568,9 @@ pub fn gemm_into_with_threads(
     assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
     assert_eq!(out.len(), m * n, "gemm output length mismatch");
     let workers = effective_workers(m, k, n, threads);
+    let active_isa = isa();
     partition_out(out, m, n, workers, |chunk, start| {
-        gemm_flat_range(a, b, chunk, start, k, n);
+        gemm_flat_range(a, b, chunk, start, k, n, active_isa);
     });
 }
 
@@ -703,5 +833,53 @@ mod tests {
         let c = KernelConfig::with_threads(0);
         assert_eq!(c.threads(), 1);
         assert!(KernelConfig::from_env().threads() >= 1);
+        // The ISA knob sanitizes: scalar always sticks, the detected
+        // set round-trips, anything else falls back to detection.
+        assert_eq!(c.with_isa(Isa::Scalar).isa(), Isa::Scalar);
+        assert_eq!(c.with_isa(Isa::detect()).isa(), Isa::detect());
+    }
+
+    #[test]
+    fn isa_dispatch_never_changes_f32_bits() {
+        // Safe to flip the global mid-suite precisely because of the
+        // property under test: other concurrently-running gemm tests
+        // see identical bits whichever ISA they land on.
+        let detected = Isa::detect();
+        for (seed, m, k, n, zr) in [
+            (21u64, 7, 13, 9, 0.0),
+            (22, 4, 27, 3200, 0.0),
+            (23, 16, 324, 100, 0.4),
+            (24, 3, 5, 2, 0.95),
+            (25, 2, 80, 1024, 0.0),
+        ] {
+            let (a, b) = random_case(seed, m, k, n, zr);
+            set_isa(Isa::Scalar);
+            let mut scalar = vec![f32::NAN; m * n];
+            gemm_into_with_threads(&a, &b, &mut scalar, m, k, n, 1);
+            set_isa(detected);
+            for threads in [1usize, 4] {
+                let mut out = vec![f32::NAN; m * n];
+                gemm_into_with_threads(&a, &b, &mut out, m, k, n, threads);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "isa={detected:?} threads={threads} m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_qpool_is_separate_and_zeroed() {
+        let mut scratch = KernelScratch::new();
+        let mut q = scratch.take_q(64);
+        q.iter_mut().for_each(|v| *v = -5);
+        scratch.recycle_q(q);
+        assert_eq!(scratch.pooled_qbuffers(), 1);
+        assert_eq!(scratch.pooled_buffers(), 0);
+        let q2 = scratch.take_q(32);
+        assert!(q2.capacity() >= 64, "best fit should reuse the pooled buffer");
+        assert!(q2.iter().all(|&v| v == 0));
+        scratch.recycle_q(q2);
     }
 }

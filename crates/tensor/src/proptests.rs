@@ -123,6 +123,70 @@ proptest! {
     }
 
     #[test]
+    fn simd_gemm_bit_identical_to_scalar_fallback(
+        seed in 0u64..1000,
+        m in 0usize..9, k in 1usize..40, n in 1usize..40,
+        zero_rate in 0.0f32..1.0,
+    ) {
+        // The dispatch contract: whatever ISA the host detects, f32
+        // GEMM bits match the portable scalar path for every shape
+        // (m=0 / n=1 / k=1 degenerates included) and thread count.
+        // Flipping the global ISA mid-suite is safe for concurrently
+        // running tests precisely because of this property.
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let mut a = vec![0.0f32; m * k];
+        for v in &mut a {
+            *v = if rng.unit() < zero_rate { 0.0 } else { rng.unit() * 2.0 - 1.0 };
+        }
+        let mut b = vec![0.0f32; k * n];
+        for v in &mut b {
+            *v = rng.unit() * 2.0 - 1.0;
+        }
+        let detected = crate::kernel::Isa::detect();
+        crate::kernel::set_isa(crate::kernel::Isa::Scalar);
+        let mut scalar = vec![0.0f32; m * n];
+        crate::kernel::gemm_into_with_threads(&a, &b, &mut scalar, m, k, n, 1);
+        crate::kernel::set_isa(detected);
+        for threads in [1usize, 2, 4, 7] {
+            let mut out = vec![f32::NAN; m * n];
+            crate::kernel::gemm_into_with_threads(&a, &b, &mut out, m, k, n, threads);
+            prop_assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_identical_across_isa_and_threads(
+        seed in 0u64..500,
+        m in 1usize..6, k in 1usize..48, n in 1usize..6,
+    ) {
+        // Integer accumulation is exact, so the int8 GEMM must agree
+        // bit-for-bit between the scalar and SIMD paths too.
+        let mut rng = crate::TensorRng::seed_from(seed);
+        let wa = rng.uniform(&[m, k], -2.0, 2.0);
+        let wb = rng.uniform(&[n, k], -2.0, 2.0);
+        let qa = crate::QTensor::quantize_rows(&wa);
+        let qb = crate::QTensor::quantize_rows(&wb);
+        let detected = crate::kernel::Isa::detect();
+        crate::kernel::set_isa(crate::kernel::Isa::Scalar);
+        let mut scalar = vec![f32::NAN; m * n];
+        crate::qtensor::qgemm_transb_into(
+            qa.data(), qa.scales(), qb.data(), qb.scales(), &mut scalar, m, k, n,
+        );
+        crate::kernel::set_isa(detected);
+        let mut out = vec![f32::NAN; m * n];
+        crate::qtensor::qgemm_transb_into(
+            qa.data(), qa.scales(), qb.data(), qb.scales(), &mut out, m, k, n,
+        );
+        prop_assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn tiled_transpose_involution_across_tile_boundaries(
         seed in 0u64..1000, m in 1usize..48, n in 1usize..48,
     ) {

@@ -97,6 +97,10 @@ impl VideoClassifier for C3dLite {
         self.net.set_buffer(name, value);
     }
 
+    fn set_precision(&mut self, precision: safecross_tensor::Precision) {
+        self.net.set_precision(precision);
+    }
+
     fn name(&self) -> &'static str {
         "c3d_lite_16f"
     }

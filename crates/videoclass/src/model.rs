@@ -2,7 +2,7 @@
 
 use safecross_nn::{Mode, Param};
 use safecross_telemetry::{Counter, Histogram, Registry, Timer};
-use safecross_tensor::{KernelScratch, Tensor};
+use safecross_tensor::{KernelScratch, Precision, Tensor};
 
 /// Pre-fetched forward-pass telemetry handles shared by the three
 /// architectures. Fetched once at [`VideoClassifier::instrument`] time
@@ -70,6 +70,15 @@ pub trait VideoClassifier: Send + Sync {
 
     /// Restores a buffer by name; unknown names are ignored.
     fn set_buffer(&mut self, name: &str, value: Tensor);
+
+    /// Selects the arithmetic precision for eval-mode forward passes
+    /// (see [`safecross_nn::Layer::set_precision`]). Int8 quantizes the
+    /// conv/linear weights per output channel; f32 restores the exact
+    /// bit-identity path. Must be re-invoked after the weights change
+    /// (e.g. after [`VideoClassifier::load_state_dict`]) so cached
+    /// quantized copies stay in sync. The default is a no-op for
+    /// classifiers without quantizable kernels.
+    fn set_precision(&mut self, _precision: Precision) {}
 
     /// Model family name (used in result tables).
     fn name(&self) -> &'static str;

@@ -356,6 +356,18 @@ impl VideoClassifier for SlowFastLite {
         groups
     }
 
+    fn set_precision(&mut self, precision: safecross_tensor::Precision) {
+        for stage in [
+            &mut self.fast1,
+            &mut self.fast2,
+            &mut self.slow1,
+            &mut self.slow2,
+            &mut self.head,
+        ] {
+            stage.set_precision(precision);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "slowfast_lite_4x16"
     }

@@ -184,6 +184,10 @@ impl VideoClassifier for TsnLite {
         self.backbone.set_buffer(name, value);
     }
 
+    fn set_precision(&mut self, precision: safecross_tensor::Precision) {
+        self.backbone.set_precision(precision);
+    }
+
     fn name(&self) -> &'static str {
         "tsn_lite_1x1x3"
     }

@@ -8,6 +8,8 @@
 //! See the repository `README.md` for the full tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
 
+#![forbid(unsafe_code)]
+
 pub use safecross as framework;
 pub use safecross_dataset as dataset;
 pub use safecross_detect as detect;

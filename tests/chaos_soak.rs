@@ -37,16 +37,19 @@ struct CountingAlloc;
 // SAFETY: delegates every operation to `System` unchanged; the counters
 // are side effects only.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         on_alloc(layout.size());
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as `System::dealloc`; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same contract as `System::realloc`; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
         on_alloc(new_size);

@@ -1,0 +1,151 @@
+//! End-to-end int8 serving: a mixed-precision fleet completes a run.
+//!
+//! Three streams share the same weather models — one served at f32, two
+//! at int8 (`StreamSpec::with_precision`). The contract under test:
+//!
+//! - the fleet run is lossless end to end with int8 streams in it
+//!   (every frame completes, verdicts are produced);
+//! - the f32 stream stays bit-identical to a standalone sequential
+//!   system — int8 neighbours in the fleet must not perturb it, which
+//!   is exactly what precision-tagged batch keys guarantee (mixed
+//!   precisions never co-batch);
+//! - the int8 streams are deterministic: the threaded run reproduces
+//!   the single-threaded reference run bit-for-bit, because int8
+//!   accumulation is integer-exact.
+
+use safecross::{SafeCross, SafeCrossConfig};
+use safecross_serve::{paced_feed, FleetServer, Precision, ServeConfig, StreamSpec};
+use safecross_tensor::TensorRng;
+use safecross_trafficsim::sim::DT;
+use safecross_trafficsim::{RenderConfig, Renderer, Scenario, Simulator, Weather};
+use safecross_videoclass::SlowFastLite;
+use safecross_vision::GrayFrame;
+use std::time::Duration;
+
+fn shared_models() -> Vec<(Weather, SlowFastLite)> {
+    let mut rng = TensorRng::seed_from(0);
+    Weather::ALL
+        .iter()
+        .map(|&w| (w, SlowFastLite::new(2, &mut rng)))
+        .collect()
+}
+
+fn rendered(weather: Weather, frames: usize, seed: u64) -> Vec<GrayFrame> {
+    let mut sim = Simulator::new(Scenario::new(weather, true, 0.15), seed);
+    let mut renderer = Renderer::new(RenderConfig::default(), weather, seed);
+    (0..frames)
+        .map(|_| {
+            sim.step(DT);
+            renderer.render(&sim)
+        })
+        .collect()
+}
+
+fn stream(phases: &[(Weather, usize)], seed: u64) -> Vec<GrayFrame> {
+    phases
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(weather, frames))| rendered(weather, frames, seed * 100 + i as u64))
+        .collect()
+}
+
+/// Stream 0 serves f32, streams 1–2 serve int8; stream 2 crosses a
+/// weather switch so the int8 path also exercises replica activation.
+const PRECISIONS: [Precision; 3] = [Precision::F32, Precision::Int8, Precision::Int8];
+
+fn feeds() -> Vec<Vec<GrayFrame>> {
+    vec![
+        stream(&[(Weather::Daytime, 60)], 1),
+        stream(&[(Weather::Daytime, 60)], 2),
+        stream(&[(Weather::Daytime, 34), (Weather::Rain, 34)], 3),
+    ]
+}
+
+fn fleet(models: &[(Weather, SlowFastLite)], shards: usize) -> FleetServer {
+    let config = ServeConfig::builder()
+        .shards(shards)
+        .shedding(false)
+        .build()
+        .expect("valid serve configuration");
+    let mut fleet = FleetServer::new(config).expect("valid serve configuration");
+    for (w, m) in models {
+        fleet.register_model(*w, m.clone()).expect("models first");
+    }
+    for &precision in &PRECISIONS {
+        fleet
+            .open_stream(StreamSpec::new().with_precision(precision))
+            .expect("models are registered");
+    }
+    fleet
+}
+
+#[test]
+fn mixed_precision_fleet_completes_and_keeps_f32_bit_identity() {
+    let models = shared_models();
+    let feeds = feeds();
+    let total: usize = feeds.iter().map(Vec::len).sum();
+
+    // Standalone sequential f32 reference for stream 0.
+    let mut standalone = SafeCross::try_new(SafeCrossConfig::default()).expect("valid config");
+    for (w, m) in &models {
+        standalone.register_model(*w, m.clone());
+    }
+    for f in &feeds[0] {
+        standalone.process_frame(f);
+    }
+
+    // Reference-mode fleet: the single-threaded determinism baseline
+    // for the int8 streams.
+    let mut reference = fleet(&models, 2);
+    reference.run_reference(feeds.clone()).expect("reference run succeeds");
+
+    // Threaded fleet on the same feeds.
+    let mut served = fleet(&models, 2);
+    let report = served
+        .run(
+            feeds
+                .iter()
+                .map(|frames| paced_feed(frames.clone(), Duration::ZERO))
+                .collect(),
+        )
+        .expect("threaded run succeeds");
+    assert_eq!(report.completed as usize, total, "int8 streams complete losslessly");
+    assert_eq!(report.shed, 0);
+    assert!(report.batches > 0, "the executor actually batched");
+
+    let handles = served.handles();
+    assert_eq!(handles[0].precision(), Precision::F32);
+    assert_eq!(handles[1].precision(), Precision::Int8);
+
+    // f32 stream: bit-identical to the standalone sequential system
+    // even with int8 neighbours sharing the executor.
+    let f32_session = handles[0].session(&served);
+    assert_eq!(
+        f32_session.verdicts(),
+        standalone.verdicts(),
+        "f32 stream perturbed by int8 fleet neighbours"
+    );
+    assert_eq!(f32_session.frames_seen(), standalone.frames_seen());
+    assert_eq!(f32_session.current_scene(), standalone.current_scene());
+
+    // int8 streams: complete, verdict-producing, and bit-identical to
+    // the reference-mode run.
+    let ref_handles = reference.handles();
+    for i in 1..PRECISIONS.len() {
+        let got = handles[i].session(&served);
+        let want = ref_handles[i].session(&reference);
+        assert!(!got.verdicts().is_empty(), "int8 stream {i} produced no verdicts");
+        assert_eq!(got.frames_seen(), feeds[i].len(), "int8 stream {i} dropped frames");
+        assert_eq!(
+            got.verdicts(),
+            want.verdicts(),
+            "int8 stream {i} diverged between threaded and reference runs"
+        );
+        assert_eq!(got.current_scene(), want.current_scene());
+        got.with_switch_log(|got_log| {
+            want.with_switch_log(|want_log| {
+                assert_eq!(got_log, want_log, "int8 stream {i} switch log diverged");
+            });
+        });
+    }
+}
