@@ -302,7 +302,9 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SerializeError> {
-        if self.cursor + n > self.buf.len() {
+        // `cursor <= buf.len()` always holds, so this subtraction form
+        // cannot overflow even when a corrupt file asks for a huge `n`.
+        if n > self.buf.len() - self.cursor {
             return Err(SerializeError::Format("unexpected end of file".into()));
         }
         let s = &self.buf[self.cursor..self.cursor + n];
@@ -328,6 +330,15 @@ impl<'a> Reader<'a> {
             .map_err(|_| SerializeError::Format("non-utf8 name".into()))
     }
 
+    /// Folds recorded dims into an element count with overflow checks,
+    /// so a corrupt file with huge extents fails with
+    /// [`SerializeError::Format`] instead of a multiply panic/wrap.
+    fn checked_len(dims: &[usize]) -> Result<usize, SerializeError> {
+        dims.iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| SerializeError::Format("tensor extent overflow".into()))
+    }
+
     fn take_entry(&mut self) -> Result<(String, Tensor), SerializeError> {
         let name = self.take_str()?;
         let ndim = self.take_u32()? as usize;
@@ -335,8 +346,11 @@ impl<'a> Reader<'a> {
         for _ in 0..ndim {
             dims.push(self.take_u32()? as usize);
         }
-        let len: usize = dims.iter().product::<usize>().max(1);
-        let raw = self.take(len * 4)?;
+        let len = Self::checked_len(&dims)?.max(1);
+        let bytes = len
+            .checked_mul(4)
+            .ok_or_else(|| SerializeError::Format("tensor extent overflow".into()))?;
+        let raw = self.take(bytes)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -355,12 +369,15 @@ impl<'a> Reader<'a> {
             dims.push(self.take_u32()? as usize);
         }
         let rows = dims[0];
-        let raw_scales = self.take(rows * 4)?;
+        let scale_bytes = rows
+            .checked_mul(4)
+            .ok_or_else(|| SerializeError::Format("tensor extent overflow".into()))?;
+        let raw_scales = self.take(scale_bytes)?;
         let scales: Vec<f32> = raw_scales
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let len: usize = dims.iter().product();
+        let len = Self::checked_len(&dims)?;
         let data: Vec<i8> = self.take(len)?.iter().map(|&b| b as i8).collect();
         Ok((name, QTensor::from_parts(dims, data, scales)))
     }
@@ -614,6 +631,39 @@ mod tests {
         save_grouped(&path, "m", &groups).unwrap();
         let (_, _, sidecar) = load_grouped_quantized(&path).unwrap();
         assert!(sidecar.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_v3_sidecar_extents_fail_with_format_error() {
+        // A malicious/corrupt sidecar whose dims product overflows usize
+        // must come back as a Format error, not a multiply panic (debug)
+        // or a wrapped length feeding QTensor's asserts (release).
+        let mut rng = TensorRng::seed_from(6);
+        let groups = vec![(
+            "g".to_owned(),
+            vec![("w".to_owned(), rng.uniform(&[2, 2], -1.0, 1.0))],
+        )];
+        let path = tmp("v3_extent_overflow");
+        save_grouped(&path, "m", &groups).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Rewrite the version to v3 and append a sidecar entry with one
+        // row but a 1 × (2³²−1)³ element extent.
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // sidecar count
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name len
+        bytes.push(b'q');
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // ndim
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // dims[0]: 1 row
+        for _ in 0..3 {
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        bytes.extend_from_slice(&1.0f32.to_le_bytes()); // the row's scale
+        std::fs::write(&path, &bytes).unwrap();
+        match load_grouped_quantized(&path) {
+            Err(SerializeError::Format(m)) => assert!(m.contains("overflow"), "{m}"),
+            other => panic!("expected extent-overflow error, got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 

@@ -7,7 +7,12 @@
 //! is a safe function; the unsafety is the usual `std::arch` pair of
 //! obligations — the CPU must actually support the instruction set, and
 //! pointer-based lane loads/stores must stay inside their slices — and
-//! both are discharged locally, per block.
+//! both are discharged locally, per block. The first obligation is
+//! enforced *inside* every dispatcher, not assumed of callers: [`Isa`]
+//! is freely constructible ([`Isa::parse`] accepts any spelling), so
+//! each public entry point runs the requested set through
+//! [`Isa::sanitize`] before matching, and an unsupported request simply
+//! executes on the detected (or scalar) path.
 //!
 //! Two microkernels exist, chosen so that vectorisation **cannot change
 //! result bits**:
@@ -53,7 +58,8 @@
 /// `SAFECROSS_KERNEL_ISA` environment variable. Forcing
 /// [`Isa::Scalar`] on a SIMD-capable host is always safe and changes no
 /// f32 result bits; forcing a SIMD variant the host lacks falls back to
-/// detection (see [`Isa::sanitize`]).
+/// detection — every dispatcher in this module calls [`Isa::sanitize`]
+/// itself, so *any* `Isa` value is safe to pass from safe code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Isa {
     /// x86-64 AVX2: 8-lane f32, 16-lane i8→i16 widening integer ops.
@@ -143,11 +149,11 @@ fn axpy_scalar(acc: &mut [f32], a: f32, b: &[f32]) {
 #[inline]
 pub fn axpy(isa: Isa, acc: &mut [f32], a: f32, b: &[f32]) {
     assert!(b.len() >= acc.len(), "axpy rhs shorter than accumulator");
-    match isa {
+    match isa.sanitize() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Isa::Avx2` is only produced by `Isa::detect` /
-        // `Isa::sanitize`, both of which require
-        // `is_x86_feature_detected!("avx2")` on this host.
+        // SAFETY: the `sanitize` above only yields `Isa::Avx2` when
+        // `is_x86_feature_detected!("avx2")` holds on this host, so the
+        // target feature is present.
         Isa::Avx2 => unsafe { axpy_avx2(acc, a, b) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is architecturally mandatory on AArch64, so the
@@ -238,11 +244,11 @@ fn qdot_scalar(a: &[i8], b: &[i8]) -> i32 {
 pub fn qdot(isa: Isa, a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "qdot operand length mismatch");
     assert!(a.len() <= QDOT_MAX_K, "qdot reduction too deep for i32");
-    match isa {
+    match isa.sanitize() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Isa::Avx2` is only produced by `Isa::detect` /
-        // `Isa::sanitize`, both of which require
-        // `is_x86_feature_detected!("avx2")` on this host.
+        // SAFETY: the `sanitize` above only yields `Isa::Avx2` when
+        // `is_x86_feature_detected!("avx2")` holds on this host, so the
+        // target feature is present.
         Isa::Avx2 => unsafe { qdot_avx2(a, b) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is architecturally mandatory on AArch64, so the
@@ -321,7 +327,12 @@ fn qdot_neon(a: &[i8], b: &[i8]) -> i32 {
 /// instruction in the vector quantizers below — while half-away lowers
 /// to a per-element libm call that dominates the whole int8 forward.
 /// Every quantizer in the workspace goes through this definition, so
-/// scalar and vector paths produce identical bytes for finite inputs.
+/// scalar and vector paths produce identical bytes on **every** input:
+/// a NaN product quantizes to `0` (the NaN-propagating clamp feeds
+/// Rust's saturating `as i8`, which maps NaN to zero) and out-of-range
+/// magnitudes — `±inf` included — saturate to `±127`. The vector paths
+/// reproduce exactly those semantics by zeroing NaN lanes and clamping
+/// in f32 before their integer converts.
 #[inline]
 pub fn quantize_value(x: f32, inv_scale: f32) -> i8 {
     (x * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
@@ -352,9 +363,9 @@ fn quantize_pair_scalar(row0: &[f32], row1: Option<&[f32]>, inv: &[f32], out: &m
 /// Quantizes two f32 rows against per-column reciprocal scales into a
 /// pair-interleaved `i8` panel row: `out[2j] = q(row0[j] · inv[j])`,
 /// `out[2j + 1] = q(row1[j] · inv[j])` (or `0` with no partner row).
-/// Dispatched to `isa`; bit-identical to the scalar path for finite,
-/// in-range products (see [`quantize_value`] for the rounding
-/// contract).
+/// Dispatched to `isa`; bit-identical to the scalar path on every
+/// input, non-finite values included (see [`quantize_value`] for the
+/// rounding and saturation contract).
 ///
 /// # Panics
 ///
@@ -367,11 +378,11 @@ pub fn quantize_pair_i8(isa: Isa, row0: &[f32], row1: Option<&[f32]>, inv: &[f32
     if let Some(row1) = row1 {
         assert_eq!(row1.len(), row0.len(), "partner row length mismatch");
     }
-    match isa {
+    match isa.sanitize() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Isa::Avx2` is only produced by `Isa::detect` /
-        // `Isa::sanitize`, both of which require
-        // `is_x86_feature_detected!("avx2")` on this host.
+        // SAFETY: the `sanitize` above only yields `Isa::Avx2` when
+        // `is_x86_feature_detected!("avx2")` holds on this host, so the
+        // target feature is present.
         Isa::Avx2 => unsafe { quantize_pair_avx2(row0, row1, inv, out) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is architecturally mandatory on AArch64, so the
@@ -385,35 +396,42 @@ pub fn quantize_pair_i8(isa: Isa, row0: &[f32], row1: Option<&[f32]>, inv: &[f32
 #[target_feature(enable = "avx2")]
 fn quantize_pair_avx2(row0: &[f32], row1: Option<&[f32]>, inv: &[f32], out: &mut [i8]) {
     use std::arch::x86_64::{
-        __m128i, _mm256_castsi256_si128, _mm256_cvtps_epi32, _mm256_extracti128_si256,
-        _mm256_loadu_ps, _mm256_max_epi16, _mm256_min_epi16, _mm256_mul_ps, _mm256_packs_epi32,
-        _mm256_permute4x64_epi64, _mm256_set1_epi16, _mm256_setzero_si256, _mm_packs_epi16,
-        _mm_storeu_si128, _mm_unpackhi_epi16, _mm_unpacklo_epi16,
+        __m128i, _mm256_and_ps, _mm256_castsi256_si128, _mm256_cmp_ps, _mm256_cvtps_epi32,
+        _mm256_extracti128_si256, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps,
+        _mm256_packs_epi32, _mm256_permute4x64_epi64, _mm256_set1_ps, _mm256_setzero_si256,
+        _mm_packs_epi16, _mm_storeu_si128, _mm_unpackhi_epi16, _mm_unpacklo_epi16, _CMP_ORD_Q,
     };
     let n = row0.len();
-    let lo_bound = _mm256_set1_epi16(-127);
-    let hi_bound = _mm256_set1_epi16(127);
+    let lo_bound = _mm256_set1_ps(-127.0);
+    let hi_bound = _mm256_set1_ps(127.0);
     let mut j = 0;
     while j + 8 <= n {
         // SAFETY: `j + 8 <= n` bounds every 8-lane load inside `row0`,
         // `row1` (same length, asserted by the caller) and `inv`; the
         // 16-byte store covers `out[2j..2j+16]`, inside `out`'s
-        // `2n`-byte extent. `cvtps_epi32` rounds ties-to-even — the
-        // scalar contract — and the `packs` saturations cannot alter
-        // values already clamped to `[-127, 127]`.
+        // `2n`-byte extent. Before the convert, NaN lanes are zeroed
+        // (the ordered self-compare mask is 0 exactly on NaN) and the
+        // products clamped to `[-127.0, 127.0]` — clamping to an
+        // integer bound before a ties-to-even convert equals the scalar
+        // round-then-clamp, and NaN→0 / ±inf→±127 match the scalar
+        // NaN-propagating clamp-and-saturating-cast, so the two paths
+        // agree on *all* inputs, not just finite ones. `cvtps_epi32`
+        // rounds ties-to-even — the scalar contract — and the `packs`
+        // saturations cannot alter values already in `[-127, 127]`.
         unsafe {
             let vi = _mm256_loadu_ps(inv.as_ptr().add(j));
-            let r0 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(row0.as_ptr().add(j)), vi));
+            let quant = |row: &[f32]| {
+                let p = _mm256_mul_ps(_mm256_loadu_ps(row.as_ptr().add(j)), vi);
+                let p = _mm256_and_ps(p, _mm256_cmp_ps::<_CMP_ORD_Q>(p, p));
+                _mm256_cvtps_epi32(_mm256_min_ps(_mm256_max_ps(p, lo_bound), hi_bound))
+            };
+            let r0 = quant(row0);
             let r1 = match row1 {
-                Some(row1) => _mm256_cvtps_epi32(_mm256_mul_ps(
-                    _mm256_loadu_ps(row1.as_ptr().add(j)),
-                    vi,
-                )),
+                Some(row1) => quant(row1),
                 None => _mm256_setzero_si256(),
             };
             // packs + permute: [q0 j0..7 | q1 j0..7] as ordered i16s.
             let p = _mm256_permute4x64_epi64(_mm256_packs_epi32(r0, r1), 0b1101_1000);
-            let p = _mm256_min_epi16(_mm256_max_epi16(p, lo_bound), hi_bound);
             let q0 = _mm256_castsi256_si128(p);
             let q1 = _mm256_extracti128_si256(p, 1);
             // Interleave per column, then narrow: bytes land as
@@ -435,28 +453,37 @@ fn quantize_pair_avx2(row0: &[f32], row1: Option<&[f32]>, inv: &[f32], out: &mut
 #[target_feature(enable = "neon")]
 fn quantize_pair_neon(row0: &[f32], row1: Option<&[f32]>, inv: &[f32], out: &mut [i8]) {
     use std::arch::aarch64::{
-        vcombine_s16, vcombine_s8, vcvtnq_s32_f32, vdupq_n_s16, vld1q_f32, vmaxq_s16, vminq_s16,
-        vmulq_f32, vqmovn_s16, vqmovn_s32, vst1q_s8, vzipq_s16,
+        vandq_u32, vceqq_f32, vcombine_s16, vcombine_s8, vcvtnq_s32_f32, vdupq_n_f32, vdupq_n_s16,
+        vld1q_f32, vmaxq_f32, vminq_f32, vmulq_f32, vqmovn_s16, vqmovn_s32, vreinterpretq_f32_u32,
+        vreinterpretq_u32_f32, vst1q_s8, vzipq_s16,
     };
     let n = row0.len();
-    // SAFETY: `vdupq_n_s16` is a pure register op.
-    let (lo_bound, hi_bound) = unsafe { (vdupq_n_s16(-127), vdupq_n_s16(127)) };
+    // SAFETY: `vdupq_n_f32` is a pure register op.
+    let (lo_bound, hi_bound) = unsafe { (vdupq_n_f32(-127.0), vdupq_n_f32(127.0)) };
     let mut j = 0;
     while j + 8 <= n {
         // SAFETY: `j + 8 <= n` bounds the two 4-lane loads per row and
         // per `inv`; the 16-byte store covers `out[2j..2j+16]`, inside
-        // `out`'s `2n`-byte extent. `vcvtnq_s32_f32` rounds
-        // ties-to-even — the scalar contract — and the `vqmovn`
-        // saturating narrows cannot alter values already clamped to
+        // `out`'s `2n`-byte extent. Before the convert, NaN lanes are
+        // zeroed (the self-equality mask is 0 exactly on NaN) and the
+        // products clamped to `[-127.0, 127.0]` — clamping to an
+        // integer bound before a ties-to-even convert equals the scalar
+        // round-then-clamp, and NaN→0 / ±inf→±127 match the scalar
+        // NaN-propagating clamp-and-saturating-cast, so the two paths
+        // agree on *all* inputs, not just finite ones. `vcvtnq_s32_f32`
+        // rounds ties-to-even — the scalar contract — and the `vqmovn`
+        // saturating narrows cannot alter values already in
         // `[-127, 127]`.
         unsafe {
             let i0 = vld1q_f32(inv.as_ptr().add(j));
             let i1 = vld1q_f32(inv.as_ptr().add(j + 4));
+            let quant4 = |row: &[f32], off: usize, vi| {
+                let p = vmulq_f32(vld1q_f32(row.as_ptr().add(off)), vi);
+                let p = vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(p), vceqq_f32(p, p)));
+                vcvtnq_s32_f32(vminq_f32(vmaxq_f32(p, lo_bound), hi_bound))
+            };
             let quant8 = |row: &[f32]| {
-                let a = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(row.as_ptr().add(j)), i0));
-                let b = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(row.as_ptr().add(j + 4)), i1));
-                let q = vcombine_s16(vqmovn_s32(a), vqmovn_s32(b));
-                vminq_s16(vmaxq_s16(q, lo_bound), hi_bound)
+                vcombine_s16(vqmovn_s32(quant4(row, j, i0)), vqmovn_s32(quant4(row, j + 4, i1)))
             };
             let q0 = quant8(row0);
             let q1 = match row1 {
@@ -503,11 +530,11 @@ fn qaxpy2_scalar(acc: &mut [i32], a0: i8, a1: i8, b: &[i8]) {
 #[inline]
 pub fn qaxpy2(isa: Isa, acc: &mut [i32], a0: i8, a1: i8, b: &[i8]) {
     assert!(b.len() >= 2 * acc.len(), "qaxpy2 panel shorter than 2x accumulator");
-    match isa {
+    match isa.sanitize() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Isa::Avx2` is only produced by `Isa::detect` /
-        // `Isa::sanitize`, both of which require
-        // `is_x86_feature_detected!("avx2")` on this host.
+        // SAFETY: the `sanitize` above only yields `Isa::Avx2` when
+        // `is_x86_feature_detected!("avx2")` holds on this host, so the
+        // target feature is present.
         Isa::Avx2 => unsafe { qaxpy2_avx2(acc, a0, a1, b) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is architecturally mandatory on AArch64, so the
@@ -632,11 +659,11 @@ pub fn qgemm_row(isa: Isa, arow: &[i8], panel: &[i8], n: usize, j0: usize, acc: 
         2 * arow.len().div_ceil(2) * n,
         "qgemm_row panel extent mismatch"
     );
-    match isa {
+    match isa.sanitize() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Isa::Avx2` is only produced by `Isa::detect` /
-        // `Isa::sanitize`, both of which require
-        // `is_x86_feature_detected!("avx2")` on this host.
+        // SAFETY: the `sanitize` above only yields `Isa::Avx2` when
+        // `is_x86_feature_detected!("avx2")` holds on this host, so the
+        // target feature is present.
         Isa::Avx2 => unsafe { qgemm_row_avx2(arow, panel, n, j0, acc) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is architecturally mandatory on AArch64, so the
@@ -979,5 +1006,95 @@ mod tests {
     #[should_panic(expected = "panel extent mismatch")]
     fn qgemm_row_bad_panel_panics() {
         qgemm_row(Isa::Scalar, &[1, 2], &[0i8; 7], 2, 0, &mut [0i32; 2]);
+    }
+
+    #[test]
+    fn unsupported_isa_requests_dispatch_safely() {
+        // `Isa` is freely constructible (any `parse` spelling), so every
+        // dispatcher sanitizes for itself: at most one of these two is
+        // the host's ISA, and requesting the other must still execute on
+        // a supported path with identical results — never reach a
+        // `#[target_feature]` body the CPU lacks.
+        for isa in [Isa::Avx2, Isa::Neon] {
+            let b: Vec<f32> = (0..33).map(|i| i as f32 * 0.25 - 3.0).collect();
+            let mut expect: Vec<f32> = (0..33).map(|i| (i as f32).sqrt()).collect();
+            let mut got = expect.clone();
+            axpy_scalar(&mut expect, 1.5, &b);
+            axpy(isa, &mut got, 1.5, &b);
+            assert_eq!(expect, got, "axpy isa={isa:?}");
+
+            let qa: Vec<i8> = (0..33).map(|i| (i - 16) as i8).collect();
+            let qb: Vec<i8> = (0..33i32).map(|i| (i * 7 % 100 - 50) as i8).collect();
+            assert_eq!(qdot(isa, &qa, &qb), qdot_scalar(&qa, &qb), "qdot isa={isa:?}");
+
+            let panel: Vec<i8> = (0..66i32).map(|i| (i % 40 - 20) as i8).collect();
+            let mut qe = vec![3i32; 33];
+            let mut qg = qe.clone();
+            qaxpy2_scalar(&mut qe, 5, -9, &panel);
+            qaxpy2(isa, &mut qg, 5, -9, &panel);
+            assert_eq!(qe, qg, "qaxpy2 isa={isa:?}");
+
+            let (k, n) = (5usize, 33usize);
+            let arow: Vec<i8> = (0..k).map(|p| (p as i32 * 11 - 20) as i8).collect();
+            let gp: Vec<i8> =
+                (0..2 * k.div_ceil(2) * n).map(|i| (i as i32 % 50 - 25) as i8).collect();
+            let mut ge = vec![1i32; n];
+            let mut gg = ge.clone();
+            qgemm_row_scalar(&arow, &gp, n, 0, &mut ge);
+            qgemm_row(isa, &arow, &gp, n, 0, &mut gg);
+            assert_eq!(ge, gg, "qgemm_row isa={isa:?}");
+
+            let inv = vec![0.5f32; 17];
+            let row: Vec<f32> = (0..17).map(|i| i as f32 * 3.3 - 20.0).collect();
+            let mut pe = vec![0i8; 34];
+            let mut pg = vec![99i8; 34];
+            quantize_pair_scalar(&row, None, &inv, &mut pe);
+            quantize_pair_i8(isa, &row, None, &inv, &mut pg);
+            assert_eq!(pe, pg, "quantize_pair isa={isa:?}");
+        }
+    }
+
+    #[test]
+    fn quantize_pair_nonfinite_matches_scalar() {
+        // NaN, ±inf, and out-of-i32-range products must quantize
+        // identically on every ISA: NaN → 0, saturation → ±127. A raw
+        // vector convert would yield INT_MIN (→ -127) for all of these,
+        // so this pins the pre-convert zeroing/clamping in the SIMD
+        // paths against the scalar reference.
+        let isa = Isa::detect();
+        let row0 = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e30,
+            -1e30,
+            f32::MAX,
+            f32::MIN,
+            0.0,
+            -0.0,
+            f32::NAN,
+            64.5,
+            -64.5,
+            f32::INFINITY,
+            1.0,
+            -1.0,
+            200.0,
+        ];
+        let row1: Vec<f32> = row0.iter().rev().copied().collect();
+        let mut inv = vec![1.0f32; row0.len()];
+        // inf · 0 = NaN on the product side, not just the input side.
+        inv[12] = 0.0;
+        for partner in [true, false] {
+            let row1 = partner.then_some(row1.as_slice());
+            let mut expect = vec![0i8; 2 * row0.len()];
+            let mut got = vec![99i8; 2 * row0.len()];
+            quantize_pair_scalar(&row0, row1, &inv, &mut expect);
+            quantize_pair_i8(isa, &row0, row1, &inv, &mut got);
+            assert_eq!(expect, got, "partner={partner} isa={isa:?}");
+        }
+        // The scalar contract on the extremes, pinned explicitly.
+        assert_eq!(quantize_value(f32::NAN, 1.0), 0);
+        assert_eq!(quantize_value(f32::INFINITY, 1.0), 127);
+        assert_eq!(quantize_value(f32::NEG_INFINITY, 1.0), -127);
     }
 }
